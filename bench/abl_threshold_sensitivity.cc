@@ -1,0 +1,79 @@
+// Ablation: sensitivity of the framework's two headline thresholds — the
+// motif similarity φ (Definition 5, paper: 0.8) and the dominance φ
+// (Definition 4, paper: 0.6 with a 0.8 robustness probe).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/dominance.h"
+#include "core/motif.h"
+#include "io/table.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: bench binary
+
+void Run() {
+  bench::FleetCache fleet(bench::SmallConfig(80, 4));
+  const auto set = bench::DailyMotifWindows(&fleet, 28);
+  std::cout << "windows mined: " << set.windows.size() << " gateway-days\n";
+
+  io::PrintSection(std::cout, "Motif threshold phi sweep (Definition 5)");
+  io::TextTable motif_table({"phi", "motifs", "support>=10",
+                             "largest_support", "windows_covered"});
+  for (const double phi : {0.6, 0.7, 0.8, 0.9}) {
+    core::MotifOptions options;
+    options.phi = phi;
+    const auto motifs = core::MotifDiscovery(options).Discover(set.windows);
+    if (!motifs.ok()) continue;
+    size_t high = 0, covered = 0;
+    for (const auto& m : *motifs) {
+      if (m.support() >= 10) ++high;
+      covered += m.support();
+    }
+    motif_table.AddRow(
+        {bench::Fmt(phi, 1), bench::FmtInt(motifs->size()),
+         bench::FmtInt(high),
+         motifs->empty() ? "0" : bench::FmtInt(motifs->front().support()),
+         bench::FmtInt(covered)});
+  }
+  motif_table.Print(std::cout);
+  std::cout << "  (with 8-bin daily windows the significance gate inside "
+               "cor(.,.) dominates: a significant correlation is already "
+               "high, so the motif structure is robust across phi — which "
+               "supports the paper's fixed choice of 0.8)\n";
+
+  io::PrintSection(std::cout, "Dominance threshold phi sweep (Definition 4)");
+  io::TextTable dom_table({"phi", "gateways_with_dominant", "total_dominants",
+                           "fixed_share_%"});
+  for (const double phi : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    core::DominanceOptions options;
+    options.phi = phi;
+    size_t with_dominant = 0, total = 0, fixed = 0, gateways = 0;
+    for (int id = 0; id < fleet.config().n_gateways; ++id) {
+      const auto& gw = fleet.Get(id);
+      if (!gw.HasObservationEveryWeek(0, 4)) continue;
+      ++gateways;
+      const auto dominants = core::FindDominantDevices(gw, options);
+      if (!dominants.empty()) ++with_dominant;
+      for (const auto& d : dominants) {
+        ++total;
+        if (d.reported_type == simgen::DeviceType::kFixed) ++fixed;
+      }
+    }
+    dom_table.AddRow(
+        {bench::Fmt(phi, 1),
+         StrFormat("%zu/%zu", with_dominant, gateways), bench::FmtInt(total),
+         total > 0 ? bench::Fmt(100.0 * fixed / static_cast<double>(total), 0)
+                   : "n/a"});
+  }
+  dom_table.Print(std::cout);
+  std::cout << "  (paper: at 0.6 nearly every gateway has a dominant device; "
+               "at 0.8 still 67% do and the fixed share grows)\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Shared setup for the figure-reproduction benches: the default synthetic
+// fleet (the stand-in for the paper's 196-gateway dataset) and common
+// eligibility/formatting helpers.
+#ifndef HOMETS_BENCH_BENCH_UTIL_H_
+#define HOMETS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/background.h"
+#include "core/motif.h"
+#include "simgen/fleet.h"
+#include "ts/time_series.h"
+
+namespace homets::bench {
+
+/// The paper's deployment: 196 gateways, six analysis weeks starting Monday
+/// 2014-03-17 (our epoch minute 0).
+inline simgen::SimConfig PaperConfig() {
+  simgen::SimConfig config;
+  config.n_gateways = 196;
+  config.weeks = 6;
+  config.seed = 20140317;
+  return config;
+}
+
+/// A reduced fleet for the quick exploratory benches (Figures 1–3 analyze a
+/// handful of representative gateways).
+inline simgen::SimConfig SmallConfig(int gateways, int weeks) {
+  simgen::SimConfig config = PaperConfig();
+  config.n_gateways = gateways;
+  config.weeks = weeks;
+  return config;
+}
+
+/// Lazily generates and caches gateway traces.
+class FleetCache {
+ public:
+  explicit FleetCache(const simgen::SimConfig& config) : generator_(config) {}
+
+  const simgen::GatewayTrace& Get(int id) {
+    auto it = cache_.find(id);
+    if (it == cache_.end()) {
+      it = cache_.emplace(id, generator_.Generate(id)).first;
+    }
+    return it->second;
+  }
+
+  void Evict(int id) { cache_.erase(id); }
+  void Clear() { cache_.clear(); }
+
+  const simgen::SimConfig& config() const { return generator_.config(); }
+  const simgen::FleetGenerator& generator() const { return generator_; }
+
+ private:
+  simgen::FleetGenerator generator_;
+  std::map<int, simgen::GatewayTrace> cache_;
+};
+
+/// Ids of gateways with at least one observation in every one of `weeks`
+/// weekly windows (the paper's weekly eligibility filter).
+inline std::vector<int> WeeklyEligible(const simgen::FleetGenerator& gen,
+                                       int weeks) {
+  std::vector<int> ids;
+  for (int id = 0; id < gen.config().n_gateways; ++id) {
+    if (gen.Generate(id).HasObservationEveryWeek(0, weeks)) ids.push_back(id);
+  }
+  return ids;
+}
+
+/// Ids of gateways with at least one observation every day for `days` days.
+inline std::vector<int> DailyEligible(const simgen::FleetGenerator& gen,
+                                      int days) {
+  std::vector<int> ids;
+  for (int id = 0; id < gen.config().n_gateways; ++id) {
+    if (gen.Generate(id).HasObservationEveryDay(0, days)) ids.push_back(id);
+  }
+  return ids;
+}
+
+/// Windows + provenance for motif mining.
+struct WindowSet {
+  std::vector<ts::TimeSeries> windows;
+  std::vector<core::WindowProvenance> provenance;
+  std::vector<int> gateways;  ///< eligible gateway ids
+};
+
+/// Weekly motif input (Section 7.2.1): background-removed aggregates at 8 h
+/// bins anchored at 2am, cut into weekly windows over `weeks` weeks.
+inline WindowSet WeeklyMotifWindows(FleetCache* fleet, int weeks) {
+  WindowSet set;
+  for (int id = 0; id < fleet->config().n_gateways; ++id) {
+    const auto& gw = fleet->Get(id);
+    if (!gw.HasObservationEveryWeek(0, weeks)) {
+      fleet->Evict(id);
+      continue;
+    }
+    set.gateways.push_back(id);
+    auto active = core::ActiveAggregate(gw);
+    auto sliced = active.Slice(0, weeks * ts::kMinutesPerWeek);
+    if (sliced.ok()) active = std::move(sliced).value();
+    auto aggregated = ts::Aggregate(active, 480, 120, ts::AggKind::kSum);
+    if (aggregated.ok()) {
+      for (auto& window :
+           ts::SliceWindows(*aggregated, ts::kMinutesPerWeek, 120)) {
+        set.provenance.push_back({id, window.start_minute()});
+        set.windows.push_back(std::move(window));
+      }
+    }
+    fleet->Evict(id);
+  }
+  return set;
+}
+
+/// Daily motif input (Section 7.2.2): 3 h bins anchored at midnight, cut
+/// into daily windows over `days` days.
+inline WindowSet DailyMotifWindows(FleetCache* fleet, int days) {
+  WindowSet set;
+  for (int id = 0; id < fleet->config().n_gateways; ++id) {
+    const auto& gw = fleet->Get(id);
+    if (!gw.HasObservationEveryDay(0, days)) {
+      fleet->Evict(id);
+      continue;
+    }
+    set.gateways.push_back(id);
+    auto active = core::ActiveAggregate(gw);
+    auto sliced = active.Slice(0, days * ts::kMinutesPerDay);
+    if (sliced.ok()) active = std::move(sliced).value();
+    auto aggregated = ts::Aggregate(active, 180, 0, ts::AggKind::kSum);
+    if (aggregated.ok()) {
+      for (auto& window :
+           ts::SliceWindows(*aggregated, ts::kMinutesPerDay, 0)) {
+        set.provenance.push_back({id, window.start_minute()});
+        set.windows.push_back(std::move(window));
+      }
+    }
+    fleet->Evict(id);
+  }
+  return set;
+}
+
+inline std::string Fmt(double v, int decimals = 3) {
+  return StrFormat("%.*f", decimals, v);
+}
+
+inline std::string FmtInt(size_t v) {
+  return StrFormat("%zu", v);
+}
+
+}  // namespace homets::bench
+
+#endif  // HOMETS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,124 @@
+// Figures 14–16 (+ Section 7.2.2): daily motifs — representative consensus
+// shapes (afternoon / late-evening / morning+evening / all-day in the
+// paper), dominant devices per motif, overlap with overall dominants,
+// device-type mix and the workday/weekend split.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "core/dominance.h"
+#include "core/motif.h"
+#include "core/motif_analysis.h"
+#include "io/table.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: bench binary
+
+std::string LabelShape(const std::vector<double>& shape) {
+  const auto classified = core::ClassifyDailyShape(shape);
+  return classified.ok() ? core::DailyShapeName(*classified) : "unknown";
+}
+
+void Run() {
+  bench::FleetCache fleet(bench::PaperConfig());
+  const auto set = bench::DailyMotifWindows(&fleet, 28);
+  const auto motifs_or = core::MotifDiscovery().Discover(set.windows);
+  if (!motifs_or.ok()) {
+    std::cout << "motif mining failed: " << motifs_or.status().ToString()
+              << "\n";
+    return;
+  }
+  const auto& motifs = *motifs_or;
+  std::cout << "daily motifs discovered: " << motifs.size() << " from "
+            << set.windows.size() << " gateway-days\n";
+
+  std::map<int, std::vector<core::DominantDevice>> overall;
+  auto provider = [&fleet](int id) -> const simgen::GatewayTrace* {
+    return &fleet.Get(id);
+  };
+  core::MotifAnalysisOptions options;
+  options.granularity_minutes = 180;
+  options.anchor_offset_minutes = 0;
+  options.window_minutes = ts::kMinutesPerDay;
+
+  const size_t n_report = std::min<size_t>(4, motifs.size());
+  static const char* kMotifNames[] = {"motifA", "motifB", "motifC", "motifD"};
+  for (size_t m = 0; m < n_report; ++m) {
+    const auto& motif = motifs[m];
+    for (size_t member : motif.members) {
+      const int gw = set.provenance[member].gateway_id;
+      if (!overall.count(gw)) {
+        overall[gw] = core::FindDominantDevices(fleet.Get(gw));
+      }
+    }
+    const auto shape = core::MotifShape(set.windows, motif);
+    io::PrintSection(std::cout,
+                     StrFormat("Figure 14: daily %s", kMotifNames[m]));
+    std::cout << "  support = " << motif.support() << " gateway-days, "
+              << bench::Fmt(100.0 * core::WithinGatewayFraction(
+                                        motif, set.provenance),
+                            0)
+              << "% within the same gateways";
+    if (shape.ok()) {
+      std::cout << ", shape: " << LabelShape(*shape) << "\n";
+      io::TextTable bins({"slot", "z_mean", "sketch"});
+      double max_abs = 1e-9;
+      for (double v : *shape) max_abs = std::max(max_abs, std::fabs(v));
+      for (size_t b = 0; b < shape->size(); ++b) {
+        bins.AddRow({StrFormat("%02zu:00-%02zu:00", 3 * b, 3 * b + 3),
+                     bench::Fmt((*shape)[b], 2),
+                     io::AsciiBar(std::max((*shape)[b], 0.0), max_abs, 20)});
+      }
+      bins.Print(std::cout);
+    } else {
+      std::cout << "\n";
+    }
+
+    const auto character = core::CharacterizeMotif(
+        motif, set.provenance, provider, overall, options);
+    if (!character.ok()) continue;
+
+    io::PrintSection(
+        std::cout,
+        StrFormat("Figure 15: dominant devices of %s", kMotifNames[m]));
+    io::TextTable dom({"#dominant_in_window", "member_windows"});
+    for (size_t k = 0; k < character->dominant_count_histogram.size(); ++k) {
+      if (character->dominant_count_histogram[k] == 0) continue;
+      dom.AddRow({bench::FmtInt(k),
+                  bench::FmtInt(character->dominant_count_histogram[k])});
+    }
+    dom.Print(std::cout);
+    io::TextTable overlap({"overlap_with_overall", "member_windows"});
+    for (size_t k = 0; k < character->overlap_count_histogram.size(); ++k) {
+      if (character->overlap_count_histogram[k] == 0) continue;
+      overlap.AddRow({bench::FmtInt(k),
+                      bench::FmtInt(character->overlap_count_histogram[k])});
+    }
+    overlap.Print(std::cout);
+
+    io::PrintSection(
+        std::cout,
+        StrFormat("Figure 16: types and day mix of %s", kMotifNames[m]));
+    io::TextTable types({"type", "dominant_devices"});
+    for (const auto& [type, count] : character->dominant_type_counts) {
+      types.AddRow({simgen::DeviceTypeName(type), bench::FmtInt(count)});
+    }
+    types.Print(std::cout);
+    io::TextTable days({"day_kind", "member_windows"});
+    days.AddRow({"workday", bench::FmtInt(character->workday_members)});
+    days.AddRow({"weekend", bench::FmtInt(character->weekend_members)});
+    days.Print(std::cout);
+  }
+  std::cout << "\n(paper: morning/evening motifs are portable-dominated, the "
+               "all-day motif leans fixed and contains more working days; "
+               "daily motifs reuse gateways heavily — 95-98% within-gateway "
+               "support for the top motifs)\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

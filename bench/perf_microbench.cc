@@ -1,0 +1,177 @@
+// google-benchmark microbenchmarks for the framework's algorithmic kernels:
+// correlation coefficients, the Definition 1 similarity, KS, DTW vs cor,
+// aggregation, KDE, motif mining and fleet generation.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/motif.h"
+#include "core/similarity.h"
+#include "correlation/coefficients.h"
+#include "distance/distance.h"
+#include "sax/sax.h"
+#include "simgen/fleet.h"
+#include "stats/kde.h"
+#include "stattests/ks_test.h"
+#include "ts/time_series.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: bench binary
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.LogNormal(std::log(500.0), 1.0);
+  return xs;
+}
+
+void BM_Pearson(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(n, 1);
+  const auto y = RandomSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(correlation::Pearson(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Pearson)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_Spearman(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(n, 3);
+  const auto y = RandomSeries(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(correlation::Spearman(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Spearman)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_KendallKnight(benchmark::State& state) {
+  // O(n log n) Kendall is the load-bearing kernel: the naive O(n²) version
+  // would make minute-level dominance analysis infeasible.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(n, 5);
+  const auto y = RandomSeries(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(correlation::Kendall(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KendallKnight)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_CorrelationSimilarity(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(n, 7);
+  const auto y = RandomSeries(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CorrelationSimilarity(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CorrelationSimilarity)->Arg(21)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_KolmogorovSmirnov(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(n, 9);
+  const auto y = RandomSeries(n, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stattests::KolmogorovSmirnov(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KolmogorovSmirnov)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_DtwFull(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(n, 11);
+  const auto y = RandomSeries(n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::DynamicTimeWarping(x, y));
+  }
+}
+BENCHMARK(BM_DtwFull)->Arg(1 << 7)->Arg(1 << 9)->Arg(1 << 11);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(n, 13);
+  const auto y = RandomSeries(n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::DynamicTimeWarping(x, y, 16));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(1 << 7)->Arg(1 << 9)->Arg(1 << 11);
+
+void BM_Aggregate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ts::TimeSeries series(0, 1, RandomSeries(n, 15));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ts::Aggregate(series, 180, 0, ts::AggKind::kSum));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Aggregate)->Arg(10080)->Arg(40320);
+
+void BM_KdeFitAndEvaluate(benchmark::State& state) {
+  const auto sample = RandomSeries(static_cast<size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    auto kde = stats::KernelDensity::Fit(sample);
+    benchmark::DoNotOptimize(kde->Evaluate(1000.0));
+  }
+}
+BENCHMARK(BM_KdeFitAndEvaluate)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_SaxEncode(benchmark::State& state) {
+  const auto enc = sax::SaxEncoder::Make(8, 16).value();
+  const auto xs = RandomSeries(static_cast<size_t>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Encode(xs));
+  }
+}
+BENCHMARK(BM_SaxEncode)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_MotifDiscovery(benchmark::State& state) {
+  // Windows shaped like the daily-motif workload: 8 bins each.
+  Rng rng(18);
+  const size_t n_windows = static_cast<size_t>(state.range(0));
+  std::vector<ts::TimeSeries> windows;
+  for (size_t w = 0; w < n_windows; ++w) {
+    std::vector<double> v(8);
+    const int family = static_cast<int>(w % 4);
+    for (size_t i = 0; i < 8; ++i) {
+      v[i] = (i == static_cast<size_t>(family * 2) ? 1e6 : 100.0) *
+             rng.LogNormal(0.0, 0.2);
+    }
+    windows.emplace_back(static_cast<int64_t>(w) * ts::kMinutesPerDay, 180,
+                         std::move(v));
+  }
+  core::MotifDiscovery miner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.Discover(windows));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n_windows));
+}
+BENCHMARK(BM_MotifDiscovery)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FleetGenerateGateway(benchmark::State& state) {
+  simgen::SimConfig config;
+  config.n_gateways = 4;
+  config.weeks = static_cast<int>(state.range(0));
+  config.seed = 19;
+  simgen::FleetGenerator gen(config);
+  int id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Generate(id % config.n_gateways));
+    ++id;
+  }
+}
+BENCHMARK(BM_FleetGenerateGateway)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

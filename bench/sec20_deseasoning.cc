@@ -1,0 +1,83 @@
+// Section 2's de-seasoning argument (via Jo et al.): daily/weekly
+// periodicity does not explain the inhomogeneity of home traffic — after
+// removing the seasonal mean the series stays bursty, and seasonal-naive
+// forecasting barely beats trivial baselines at minute granularity.
+#include <iostream>
+
+#include "bench_util.h"
+#include "io/table.h"
+#include "model/baselines.h"
+#include "ts/seasonal.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: bench binary
+
+void Run() {
+  bench::FleetCache fleet(bench::SmallConfig(12, 4));
+
+  io::PrintSection(std::cout,
+                   "Sec 2: burstiness before/after de-seasoning (daily "
+                   "profile removed)");
+  io::TextTable table({"gateway", "seasonal_strength", "burstiness_raw",
+                       "burstiness_deseasoned"});
+  double strengths = 0.0;
+  size_t counted = 0;
+  for (int id = 0; id < fleet.config().n_gateways; ++id) {
+    const auto traffic = fleet.Get(id).AggregateTraffic();
+    fleet.Evict(id);
+    const auto profile =
+        ts::EstimateSeasonalProfile(traffic, ts::kMinutesPerDay);
+    if (!profile.ok()) continue;
+    const auto strength = ts::SeasonalStrength(traffic, *profile);
+    const auto residual = ts::Deseasonalize(traffic, *profile);
+    if (!strength.ok() || !residual.ok()) continue;
+    // Events: minutes far above typical traffic.
+    const auto raw_burst = ts::Burstiness(traffic, 1e6);
+    const auto res_burst = ts::Burstiness(*residual, 1e6);
+    if (!raw_burst.ok() || !res_burst.ok()) continue;
+    table.AddRow({bench::FmtInt(static_cast<size_t>(id)),
+                  bench::Fmt(*strength, 2), bench::Fmt(*raw_burst, 2),
+                  bench::Fmt(*res_burst, 2)});
+    strengths += *strength;
+    ++counted;
+  }
+  table.Print(std::cout);
+  if (counted > 0) {
+    std::cout << "  mean seasonal strength: "
+              << bench::Fmt(strengths / static_cast<double>(counted), 2)
+              << "  (low: the daily mean explains little of the variance)\n";
+  }
+  std::cout << "  (positive burstiness persists after de-seasoning — the "
+               "inhomogeneity comes from human task execution, not from "
+               "daily rhythm; hence the paper removes background instead of "
+               "de-seasoning)\n";
+
+  io::PrintSection(std::cout,
+                   "Forecast baselines at 1-minute granularity (period = 1 "
+                   "day)");
+  io::TextTable forecast({"gateway", "rmse_seasonal_naive", "rmse_last_value",
+                          "rmse_mean"});
+  for (int id = 0; id < 6; ++id) {
+    const auto traffic = fleet.Get(id).AggregateTraffic();
+    fleet.Evict(id);
+    const auto cmp = model::CompareBaselines(
+        traffic, static_cast<size_t>(ts::kMinutesPerDay));
+    if (!cmp.ok()) continue;
+    forecast.AddRow({bench::FmtInt(static_cast<size_t>(id)),
+                     StrFormat("%.3e", cmp->rmse_seasonal_naive),
+                     StrFormat("%.3e", cmp->rmse_last_value),
+                     StrFormat("%.3e", cmp->rmse_mean)});
+  }
+  forecast.Print(std::cout);
+  std::cout << "  (seasonal-naive does not clearly beat the trivial "
+               "baselines — no strong daily determinism at the minute "
+               "scale)\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Section 4.2(c): correlation between the overall traffic and the number of
+// connected devices — statistically significant but low (paper: mean 0.37,
+// median 0.38, sd 0.21), showing traffic depends on behavior rather than on
+// how many devices are attached.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/similarity.h"
+#include "io/table.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: bench binary
+
+void Run() {
+  bench::FleetCache fleet(bench::SmallConfig(60, 2));
+
+  std::vector<double> correlations;
+  size_t significant = 0, checked = 0;
+  for (int id = 0; id < fleet.config().n_gateways; ++id) {
+    const auto& gw = fleet.Get(id);
+    // Hourly bins, as minute-level device counts are dominated by radio
+    // flapping.
+    auto traffic = ts::Aggregate(gw.AggregateTraffic(), 60, 0,
+                                 ts::AggKind::kSum);
+    auto devices = ts::Aggregate(gw.ConnectedDeviceCount(), 60, 0,
+                                 ts::AggKind::kMean);
+    fleet.Evict(id);
+    if (!traffic.ok() || !devices.ok()) continue;
+    const auto sim = core::CorrelationSimilarity(*traffic, *devices);
+    ++checked;
+    if (sim.significant) {
+      ++significant;
+      correlations.push_back(sim.value);
+    }
+  }
+
+  io::PrintSection(std::cout,
+                   "Sec 4.2c: traffic vs #connected devices correlation");
+  const auto summary = stats::Summarize(correlations);
+  if (summary.ok()) {
+    io::TextTable table({"stat", "measured", "paper"});
+    table.AddRow({"mean", bench::Fmt(summary->mean, 2), "0.37"});
+    table.AddRow({"median", bench::Fmt(summary->median, 2), "0.38"});
+    table.AddRow({"stddev", bench::Fmt(summary->stddev, 2), "0.21"});
+    table.AddRow({"significant gateways",
+                  StrFormat("%zu/%zu", significant, checked), "all checked"});
+    table.Print(std::cout);
+    std::cout << "  (paper: significant but LOW — gateway traffic depends on "
+               "user behavior, not on the number of connected devices)\n";
+  } else {
+    std::cout << "  no significant correlations measured\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Section 6.2 "Using Other Distance Metrics": agreement between
+// correlation-based dominance and the Euclidean / traffic-volume baselines
+// (paper: 88% and 73% of 206 dominant devices ranked the same), the
+// correlation-only detections, and the φ = 0.8 robustness probe (67% of
+// gateways keep >= 1 dominant device).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/dominance.h"
+#include "io/table.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: bench binary
+
+void Run() {
+  bench::FleetCache fleet(bench::PaperConfig());
+  const auto eligible = bench::WeeklyEligible(fleet.generator(), 4);
+
+  size_t total_dominants = 0, euclid_agree = 0, volume_agree = 0;
+  size_t phi08_gateways = 0, phi08_fixed = 0, phi08_total = 0;
+  size_t low_volume_dominants = 0;
+  for (int id : eligible) {
+    const auto& gw = fleet.Get(id);
+    const auto dominants = core::FindDominantDevices(gw);
+    total_dominants += dominants.size();
+    const auto by_euclid = core::RankDevicesByEuclidean(gw);
+    const auto by_volume = core::RankDevicesByVolume(gw);
+    euclid_agree += core::CountRankAgreement(dominants, by_euclid);
+    volume_agree += core::CountRankAgreement(dominants, by_volume);
+
+    // Correlation-dominant devices sitting in the lower half of the volume
+    // ranking: the detections volume-based dominance would miss.
+    for (const auto& d : dominants) {
+      for (size_t pos = 0; pos < by_volume.size(); ++pos) {
+        if (by_volume[pos] == d.device_index && pos >= by_volume.size() / 2) {
+          ++low_volume_dominants;
+        }
+      }
+    }
+
+    core::DominanceOptions strict;
+    strict.phi = 0.8;
+    const auto strict_dominants = core::FindDominantDevices(gw, strict);
+    if (!strict_dominants.empty()) ++phi08_gateways;
+    for (const auto& d : strict_dominants) {
+      ++phi08_total;
+      if (d.reported_type == simgen::DeviceType::kFixed) ++phi08_fixed;
+    }
+    fleet.Evict(id);
+  }
+
+  io::PrintSection(std::cout, "Sec 6.2: dominance-ranking agreement");
+  io::TextTable table({"comparison", "measured", "paper"});
+  table.AddRow({"dominant devices (phi=0.6)", bench::FmtInt(total_dominants),
+                "206"});
+  table.AddRow(
+      {"ranked same as Euclidean",
+       total_dominants > 0
+           ? StrFormat("%zu (%.0f%%)", euclid_agree,
+                       100.0 * euclid_agree /
+                           static_cast<double>(total_dominants))
+           : "n/a",
+       "182 (88%)"});
+  table.AddRow(
+      {"ranked same as traffic volume",
+       total_dominants > 0
+           ? StrFormat("%zu (%.0f%%)", volume_agree,
+                       100.0 * volume_agree /
+                           static_cast<double>(total_dominants))
+           : "n/a",
+       "151 (73%)"});
+  table.AddRow({"dominants in lower half of volume ranking",
+                bench::FmtInt(low_volume_dominants), "~15% low-traffic"});
+  table.Print(std::cout);
+
+  io::PrintSection(std::cout, "Sec 6.2: strict threshold phi = 0.8");
+  io::TextTable strict_table({"metric", "measured", "paper"});
+  strict_table.AddRow(
+      {"gateways with >= 1 dominant",
+       StrFormat("%zu/%zu (%.0f%%)", phi08_gateways, eligible.size(),
+                 eligible.empty() ? 0.0
+                                  : 100.0 * phi08_gateways /
+                                        static_cast<double>(eligible.size())),
+       "67%"});
+  strict_table.AddRow(
+      {"fixed share among dominants",
+       phi08_total > 0
+           ? StrFormat("%.0f%%", 100.0 * phi08_fixed /
+                                     static_cast<double>(phi08_total))
+           : "n/a",
+       "even larger than at 0.6"});
+  strict_table.Print(std::cout);
+  std::cout << "  (paper: correlation dominance finds low-volume devices that "
+               "track the gateway's shape, which Euclidean/volume rankings "
+               "miss)\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

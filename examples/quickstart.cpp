@@ -1,0 +1,69 @@
+// Quickstart: generate one synthetic home gateway, estimate per-device
+// background thresholds, compute the correlation similarity between devices
+// and the gateway, and report the dominant device — the framework's core
+// loop in ~60 lines.
+#include <iostream>
+
+#include "core/background.h"
+#include "core/dominance.h"
+#include "core/similarity.h"
+#include "simgen/fleet.h"
+
+int main() {
+  using namespace homets;  // NOLINT: example binary
+
+  // 1. A two-week trace of one home (gateway 7 of the default fleet).
+  simgen::SimConfig config;
+  config.n_gateways = 8;
+  config.weeks = 2;
+  config.seed = 42;
+  simgen::FleetGenerator generator(config);
+  const simgen::GatewayTrace home = generator.Generate(7);
+  std::cout << "home gateway with " << home.devices.size() << " devices, "
+            << home.AggregateTraffic().CountObserved()
+            << " observed minutes\n\n";
+
+  // 2. Per-device background thresholds (Section 6.1: τ = boxplot upper
+  //    whisker, applied as min(τ, 5000) B/min).
+  for (const auto& device : home.devices) {
+    const auto background = core::EstimateDeviceBackground(device);
+    if (!background.ok()) {
+      std::cout << "  " << device.name << ": " << background.status().ToString()
+                << "\n";
+      continue;
+    }
+    std::cout << "  " << device.name << " ("
+              << simgen::DeviceTypeName(device.reported_type)
+              << "): tau_in=" << static_cast<long>(background->incoming.tau)
+              << " B/min (group " << core::TauGroupName(background->incoming.group)
+              << "), applied threshold "
+              << static_cast<long>(background->incoming.tau_back) << "\n";
+  }
+
+  // 3. Correlation similarity of each device to the aggregate (Definition 1).
+  std::cout << "\ncorrelation similarity to the gateway aggregate:\n";
+  const ts::TimeSeries aggregate = home.AggregateTraffic();
+  for (const auto& device : home.devices) {
+    const auto sim =
+        core::CorrelationSimilarity(device.TotalTraffic(), aggregate);
+    std::cout << "  " << device.name << ": cor = " << sim.value << " (from "
+              << core::SimilaritySourceName(sim.source) << ", "
+              << (sim.significant ? "significant" : "not significant")
+              << ")\n";
+  }
+
+  // 4. Dominant devices (Definition 4, φ = 0.6).
+  const auto dominants = core::FindDominantDevices(home);
+  std::cout << "\ndominant devices (phi = 0.6): " << dominants.size() << "\n";
+  for (const auto& dom : dominants) {
+    std::cout << "  #" << dom.device_index << " "
+              << home.devices[dom.device_index].name
+              << " similarity=" << dom.similarity << "\n";
+  }
+  if (!dominants.empty()) {
+    std::cout << "\nISP takeaway: this home's bandwidth profile is governed "
+                 "by one device; schedule maintenance around its idle "
+                 "hours.\n";
+  }
+  return 0;
+}

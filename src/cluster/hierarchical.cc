@@ -1,0 +1,134 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace homets::cluster {
+
+Result<DistanceMatrix> DistanceMatrix::Make(size_t n) {
+  if (n == 0) return Status::InvalidArgument("DistanceMatrix: n must be >= 1");
+  return DistanceMatrix(n);
+}
+
+std::vector<size_t> Dendrogram::CutAt(double threshold) const {
+  // Union-find over leaves; apply merges with distance <= threshold.
+  std::vector<size_t> parent(n_leaves);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<size_t> find_stack;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      find_stack.push_back(x);
+      x = parent[x];
+    }
+    for (size_t y : find_stack) parent[y] = x;
+    find_stack.clear();
+    return x;
+  };
+
+  // Internal node id -> a representative leaf of that subtree.
+  std::vector<size_t> representative(n_leaves + merges.size());
+  std::iota(representative.begin(),
+            representative.begin() + static_cast<long>(n_leaves), 0);
+  for (size_t m = 0; m < merges.size(); ++m) {
+    const MergeStep& step = merges[m];
+    const size_t node = n_leaves + m;
+    const size_t rep_left = representative[step.left];
+    const size_t rep_right = representative[step.right];
+    representative[node] = rep_left;
+    if (step.distance <= threshold) {
+      parent[find(rep_left)] = find(rep_right);
+    }
+  }
+
+  std::vector<size_t> labels(n_leaves);
+  std::vector<size_t> compact(n_leaves, SIZE_MAX);
+  size_t next = 0;
+  for (size_t i = 0; i < n_leaves; ++i) {
+    const size_t root = find(i);
+    if (compact[root] == SIZE_MAX) compact[root] = next++;
+    labels[i] = compact[root];
+  }
+  return labels;
+}
+
+size_t Dendrogram::CountClustersAt(double threshold) const {
+  const std::vector<size_t> labels = CutAt(threshold);
+  size_t k = 0;
+  for (size_t l : labels) k = std::max(k, l + 1);
+  return k;
+}
+
+Result<Dendrogram> AgglomerativeCluster(const DistanceMatrix& dist,
+                                        Linkage linkage) {
+  const size_t n = dist.size();
+  Dendrogram tree;
+  tree.n_leaves = n;
+  if (n == 1) return tree;
+
+  // Working distance matrix over active clusters.
+  std::vector<double> d(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) d[i * n + j] = dist.At(i, j);
+  }
+  std::vector<bool> active(n, true);
+  std::vector<size_t> node_id(n);   // current dendrogram node per slot
+  std::vector<size_t> leaf_count(n, 1);
+  std::iota(node_id.begin(), node_id.end(), 0);
+
+  for (size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d[i * n + j] < best) {
+          best = d[i * n + j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    MergeStep merge;
+    merge.left = node_id[bi];
+    merge.right = node_id[bj];
+    merge.distance = best;
+    merge.size = leaf_count[bi] + leaf_count[bj];
+    tree.merges.push_back(merge);
+
+    // Lance–Williams update into slot bi.
+    const double ni = static_cast<double>(leaf_count[bi]);
+    const double nj = static_cast<double>(leaf_count[bj]);
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      const double dik = d[bi * n + k];
+      const double djk = d[bj * n + k];
+      double updated;
+      switch (linkage) {
+        case Linkage::kSingle:
+          updated = std::min(dik, djk);
+          break;
+        case Linkage::kComplete:
+          updated = std::max(dik, djk);
+          break;
+        case Linkage::kAverage:
+          updated = (ni * dik + nj * djk) / (ni + nj);
+          break;
+        default:
+          updated = std::min(dik, djk);
+          break;
+      }
+      d[bi * n + k] = updated;
+      d[k * n + bi] = updated;
+    }
+    active[bj] = false;
+    leaf_count[bi] += leaf_count[bj];
+    node_id[bi] = n + step;
+  }
+  return tree;
+}
+
+}  // namespace homets::cluster

@@ -1,0 +1,74 @@
+#ifndef HOMETS_CLUSTER_HIERARCHICAL_H_
+#define HOMETS_CLUSTER_HIERARCHICAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::cluster {
+
+/// \brief Symmetric distance matrix over n items, stored densely.
+class DistanceMatrix {
+ public:
+  /// Creates an n×n matrix with zero diagonal; requires n >= 1.
+  static Result<DistanceMatrix> Make(size_t n);
+
+  size_t size() const { return n_; }
+
+  double At(size_t i, size_t j) const { return data_[i * n_ + j]; }
+
+  /// Sets d(i, j) = d(j, i) = value (value >= 0).
+  void Set(size_t i, size_t j, double value) {
+    data_[i * n_ + j] = value;
+    data_[j * n_ + i] = value;
+  }
+
+ private:
+  explicit DistanceMatrix(size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  size_t n_;
+  std::vector<double> data_;
+};
+
+/// \brief Linkage criterion for agglomerative clustering.
+enum class Linkage {
+  kSingle,    ///< min inter-cluster distance
+  kComplete,  ///< max inter-cluster distance
+  kAverage,   ///< unweighted average (UPGMA) — used for Figure 3
+};
+
+/// \brief One merge step of the dendrogram. Leaf ids are 0..n−1; internal
+/// nodes are numbered n, n+1, ... in merge order (scipy convention).
+struct MergeStep {
+  size_t left = 0;
+  size_t right = 0;
+  double distance = 0.0;  ///< linkage distance at which the merge happened
+  size_t size = 0;        ///< number of leaves in the merged cluster
+};
+
+/// \brief Dendrogram produced by agglomerative clustering.
+struct Dendrogram {
+  size_t n_leaves = 0;
+  std::vector<MergeStep> merges;  ///< n_leaves − 1 steps
+
+  /// Flat clusters obtained by cutting the tree at `threshold`: every merge
+  /// with distance <= threshold is applied. Returns a cluster id per leaf,
+  /// ids compacted to 0..k−1.
+  std::vector<size_t> CutAt(double threshold) const;
+
+  /// Number of clusters produced by CutAt(threshold).
+  size_t CountClustersAt(double threshold) const;
+};
+
+/// \brief Agglomerative hierarchical clustering over a distance matrix
+/// (Lance–Williams updates; O(n³), fine for the paper's gateway counts).
+///
+/// The paper clusters traffic time series under the distance 1 − cor(·,·)
+/// and cuts at 0.4, i.e. correlation 0.6 (Figure 3).
+Result<Dendrogram> AgglomerativeCluster(const DistanceMatrix& dist,
+                                        Linkage linkage);
+
+}  // namespace homets::cluster
+
+#endif  // HOMETS_CLUSTER_HIERARCHICAL_H_

@@ -1,0 +1,56 @@
+#include "cluster/rand_index.h"
+
+#include <algorithm>
+#include <map>
+
+namespace homets::cluster {
+
+namespace {
+
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+Result<double> AdjustedRandIndex(const std::vector<size_t>& a,
+                                 const std::vector<size_t>& b) {
+  if (a.empty() || a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "AdjustedRandIndex: need two equal-length non-empty labelings");
+  }
+  const size_t n = a.size();
+  // Contingency table.
+  std::map<std::pair<size_t, size_t>, size_t> joint;
+  std::map<size_t, size_t> rows, cols;
+  for (size_t i = 0; i < n; ++i) {
+    ++joint[{a[i], b[i]}];
+    ++rows[a[i]];
+    ++cols[b[i]];
+  }
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : joint) {
+    sum_joint += Choose2(static_cast<double>(count));
+  }
+  double sum_rows = 0.0;
+  for (const auto& [key, count] : rows) {
+    sum_rows += Choose2(static_cast<double>(count));
+  }
+  double sum_cols = 0.0;
+  for (const auto& [key, count] : cols) {
+    sum_cols += Choose2(static_cast<double>(count));
+  }
+  const double total_pairs = Choose2(static_cast<double>(n));
+  if (total_pairs == 0.0) {
+    return Status::InvalidArgument("AdjustedRandIndex: single item");
+  }
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  const double denom = max_index - expected;
+  if (denom == 0.0) {
+    // Both partitions are all-singletons or all-one-cluster: identical by
+    // construction.
+    return 1.0;
+  }
+  return (sum_joint - expected) / denom;
+}
+
+}  // namespace homets::cluster

@@ -1,0 +1,23 @@
+#ifndef HOMETS_CLUSTER_RAND_INDEX_H_
+#define HOMETS_CLUSTER_RAND_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::cluster {
+
+/// \brief Adjusted Rand Index between two partitions of the same items.
+///
+/// 1 = identical partitions, ~0 = agreement at chance level (can go
+/// slightly negative). Used to compare motif/cluster assignments against
+/// each other or against planted ground truth (e.g. correlation motifs vs
+/// the SAX baseline). Labels are arbitrary non-negative ids; the two
+/// label vectors must have equal, non-zero length.
+Result<double> AdjustedRandIndex(const std::vector<size_t>& a,
+                                 const std::vector<size_t>& b);
+
+}  // namespace homets::cluster
+
+#endif  // HOMETS_CLUSTER_RAND_INDEX_H_

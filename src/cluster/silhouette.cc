@@ -1,0 +1,70 @@
+#include "cluster/silhouette.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace homets::cluster {
+
+Result<double> MeanSilhouette(const DistanceMatrix& dist,
+                              const std::vector<size_t>& labels) {
+  const size_t n = dist.size();
+  if (labels.size() != n) {
+    return Status::InvalidArgument("MeanSilhouette: label count mismatch");
+  }
+  size_t k = 0;
+  for (size_t l : labels) k = std::max(k, l + 1);
+  if (k < 2 || k >= n) {
+    return Status::InvalidArgument(
+        "MeanSilhouette: need between 2 and n-1 clusters");
+  }
+  std::vector<size_t> cluster_size(k, 0);
+  for (size_t l : labels) ++cluster_size[l];
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t own = labels[i];
+    if (cluster_size[own] <= 1) continue;  // singleton: s = 0
+    // Mean distance to each cluster.
+    std::vector<double> sums(k, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[j]] += dist.At(i, j);
+    }
+    const double a =
+        sums[own] / static_cast<double>(cluster_size[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == own || cluster_size[c] == 0) continue;
+      b = std::min(b, sums[c] / static_cast<double>(cluster_size[c]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+Result<SilhouetteSweepResult> BestCutBySilhouette(const DistanceMatrix& dist,
+                                                  const Dendrogram& tree) {
+  SilhouetteSweepResult result;
+  bool found = false;
+  for (const MergeStep& merge : tree.merges) {
+    const double threshold = merge.distance;
+    const std::vector<size_t> labels = tree.CutAt(threshold);
+    const auto score = MeanSilhouette(dist, labels);
+    if (!score.ok()) continue;
+    size_t k = 0;
+    for (size_t l : labels) k = std::max(k, l + 1);
+    if (!found || *score > result.best_score) {
+      found = true;
+      result.best_score = *score;
+      result.best_threshold = threshold;
+      result.best_clusters = k;
+    }
+  }
+  if (!found) {
+    return Status::ComputeError("BestCutBySilhouette: no scorable cut");
+  }
+  return result;
+}
+
+}  // namespace homets::cluster

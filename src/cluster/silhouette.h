@@ -1,0 +1,36 @@
+#ifndef HOMETS_CLUSTER_SILHOUETTE_H_
+#define HOMETS_CLUSTER_SILHOUETTE_H_
+
+#include <vector>
+
+#include "cluster/hierarchical.h"
+#include "common/status.h"
+
+namespace homets::cluster {
+
+/// \brief Mean silhouette coefficient of a flat clustering under a distance
+/// matrix.
+///
+/// s(i) = (b(i) − a(i)) / max(a(i), b(i)) with a = mean intra-cluster
+/// distance and b = smallest mean distance to another cluster. Singleton
+/// clusters contribute s = 0 (the scikit-learn convention). Used to validate
+/// the Figure 3 cut threshold.
+Result<double> MeanSilhouette(const DistanceMatrix& dist,
+                              const std::vector<size_t>& labels);
+
+/// \brief Picks the cut threshold maximizing the mean silhouette over the
+/// dendrogram's merge distances. Requires a clustering with at least 2 and
+/// at most n−1 clusters to be scorable; returns the best threshold and its
+/// score.
+struct SilhouetteSweepResult {
+  double best_threshold = 0.0;
+  double best_score = -1.0;
+  size_t best_clusters = 0;
+};
+
+Result<SilhouetteSweepResult> BestCutBySilhouette(const DistanceMatrix& dist,
+                                                  const Dendrogram& tree);
+
+}  // namespace homets::cluster
+
+#endif  // HOMETS_CLUSTER_SILHOUETTE_H_

@@ -1,0 +1,153 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace homets {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // consecutive zeros, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = max() - max() % n;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 0.0) u1 = Uniform();  // avoid log(0)
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  double u = 0.0;
+  while (u <= 0.0) u = Uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  double u = 0.0;
+  while (u <= 0.0) u = Uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Poisson(double lambda) {
+  assert(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // traffic simulator's large-mean session counts.
+    const double x = Normal(lambda, std::sqrt(lambda));
+    return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  double prod = 1.0;
+  int count = -1;
+  do {
+    prod *= Uniform();
+    ++count;
+  } while (prod > limit);
+  return count;
+}
+
+int Rng::Zipf(int n, double s) {
+  assert(n >= 1 && s > 0.0);
+  // Inverse-transform over the truncated harmonic CDF. n is small (value
+  // ranks for background traffic), so a linear scan is fine.
+  double norm = 0.0;
+  for (int k = 1; k <= n; ++k) norm += 1.0 / std::pow(k, s);
+  double u = Uniform() * norm;
+  double cum = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    cum += 1.0 / std::pow(k, s);
+    if (u <= cum) return k;
+  }
+  return n;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double u = Uniform() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (u <= cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  SplitMix64 sm(s_[0] ^ Rotl(stream, 32) ^ 0xd3833e804f4c574bULL);
+  return Rng(sm.Next() ^ s_[3]);
+}
+
+}  // namespace homets

@@ -1,0 +1,107 @@
+#ifndef HOMETS_COMMON_RANDOM_H_
+#define HOMETS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace homets {
+
+/// \brief SplitMix64 generator, used to seed Xoshiro and as a cheap stateless
+/// mixer. Reference: Steele, Lea, Flood (2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** 1.0 PRNG (Blackman & Vigna). Deterministic across
+/// platforms, which the experiment harness relies on for reproducible fleets.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it composes with
+/// `<random>` distributions, but the generator also offers direct samplers
+/// for every distribution the simulator needs, so results do not depend on
+/// standard-library distribution implementations.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Exponential with the given rate λ (> 0).
+  double Exponential(double rate);
+
+  /// Pareto (Lomax-style: xm * U^{-1/alpha}) with scale xm > 0 and shape
+  /// alpha > 0. Heavy-tailed; used for session volumes.
+  double Pareto(double xm, double alpha);
+
+  /// Log-normal with parameters of the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Poisson with mean lambda >= 0 (Knuth for small lambda, normal
+  /// approximation above 64).
+  int Poisson(double lambda);
+
+  /// Zipf-distributed integer in [1, n] with exponent s > 0, via inverse
+  /// transform on the precomputable harmonic CDF. Used for background-traffic
+  /// value ranks.
+  int Zipf(int n, double s);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; `stream` distinguishes children
+  /// of the same parent. Used to give each gateway/device its own stream so
+  /// fleet generation is order-independent.
+  Rng Fork(uint64_t stream) const;
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace homets
+
+#endif  // HOMETS_COMMON_RANDOM_H_

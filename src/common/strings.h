@@ -1,0 +1,32 @@
+#ifndef HOMETS_COMMON_STRINGS_H_
+#define HOMETS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace homets {
+
+/// \brief printf-style formatting into a std::string.
+///
+/// The toolchain's libstdc++ predates <format>, so benches and reports use
+/// this helper.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// \brief Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// \brief True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace homets
+
+#endif  // HOMETS_COMMON_STRINGS_H_

@@ -1,0 +1,83 @@
+#include "core/background.h"
+
+#include <algorithm>
+
+#include "stats/boxplot.h"
+
+namespace homets::core {
+
+std::string TauGroupName(TauGroup group) {
+  switch (group) {
+    case TauGroup::kSmall:
+      return "small";
+    case TauGroup::kMedium:
+      return "medium";
+    case TauGroup::kLarge:
+      return "large";
+  }
+  return "small";
+}
+
+TauGroup ClassifyTau(double tau) {
+  if (tau <= 5000.0) return TauGroup::kSmall;
+  if (tau <= 40000.0) return TauGroup::kMedium;
+  return TauGroup::kLarge;
+}
+
+Result<BackgroundThreshold> EstimateBackgroundThreshold(
+    const ts::TimeSeries& traffic) {
+  std::vector<double> observed = traffic.ObservedValues();
+  if (observed.size() < 8) {
+    return Status::InvalidArgument(
+        "EstimateBackgroundThreshold: need >= 8 observations");
+  }
+  BackgroundThreshold result;
+  result.observations = observed.size();
+  HOMETS_ASSIGN_OR_RETURN(const stats::Boxplot box,
+                          stats::ComputeBoxplot(std::move(observed)));
+  result.tau = box.upper_whisker;
+  result.tau_back = std::min(result.tau, kBackgroundCapBytes);
+  result.group = ClassifyTau(result.tau);
+  return result;
+}
+
+Result<DeviceBackground> EstimateDeviceBackground(
+    const simgen::DeviceTrace& device) {
+  DeviceBackground bg;
+  HOMETS_ASSIGN_OR_RETURN(bg.incoming,
+                          EstimateBackgroundThreshold(device.incoming));
+  HOMETS_ASSIGN_OR_RETURN(bg.outgoing,
+                          EstimateBackgroundThreshold(device.outgoing));
+  return bg;
+}
+
+Result<ts::TimeSeries> ActiveTraffic(const simgen::DeviceTrace& device) {
+  HOMETS_ASSIGN_OR_RETURN(const DeviceBackground bg,
+                          EstimateDeviceBackground(device));
+  const ts::TimeSeries in_active =
+      device.incoming.ClipBelow(bg.incoming.tau_back);
+  const ts::TimeSeries out_active =
+      device.outgoing.ClipBelow(bg.outgoing.tau_back);
+  return ts::TimeSeries::Add(in_active, out_active);
+}
+
+ts::TimeSeries ActiveAggregate(const simgen::GatewayTrace& gateway) {
+  ts::TimeSeries total;
+  bool first = true;
+  for (const auto& dev : gateway.devices) {
+    auto active = ActiveTraffic(dev);
+    ts::TimeSeries part =
+        active.ok() ? std::move(active).value() : dev.TotalTraffic();
+    if (part.empty()) continue;
+    if (first) {
+      total = std::move(part);
+      first = false;
+      continue;
+    }
+    auto sum = ts::TimeSeries::Add(total, part);
+    if (sum.ok()) total = std::move(sum).value();
+  }
+  return total;
+}
+
+}  // namespace homets::core

@@ -1,0 +1,170 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "distance/distance.h"
+
+namespace homets::core {
+
+namespace {
+
+// The paper compares every device on the gateway's full observation grid
+// (Section 6.2 uses one n for all devices of a gateway): minutes where the
+// gateway reported but the device did not are zero traffic, not missing.
+// Only gateway-offline minutes are dropped.
+void AlignOnAggregateGrid(const ts::TimeSeries& device_total,
+                          const ts::TimeSeries& aggregate,
+                          std::vector<double>* device_values,
+                          std::vector<double>* aggregate_values) {
+  device_values->clear();
+  aggregate_values->clear();
+  device_values->reserve(aggregate.size());
+  aggregate_values->reserve(aggregate.size());
+  const int64_t step = aggregate.step_minutes();
+  for (size_t i = 0; i < aggregate.size(); ++i) {
+    const double agg = aggregate[i];
+    if (ts::TimeSeries::IsMissing(agg)) continue;
+    const int64_t minute = aggregate.MinuteAt(i);
+    double dev = 0.0;
+    if (minute >= device_total.start_minute() &&
+        minute < device_total.EndMinute() &&
+        (minute - device_total.start_minute()) % step == 0) {
+      const size_t idx = static_cast<size_t>(
+          (minute - device_total.start_minute()) / step);
+      const double v = device_total[idx];
+      if (!ts::TimeSeries::IsMissing(v)) dev = v;
+    }
+    device_values->push_back(dev);
+    aggregate_values->push_back(agg);
+  }
+}
+
+std::vector<DominantDevice> RankAndFilter(
+    std::vector<DominantDevice> candidates, const DominanceOptions& options) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const DominantDevice& a, const DominantDevice& b) {
+              return a.similarity > b.similarity;
+            });
+  std::vector<DominantDevice> dominants;
+  for (const auto& c : candidates) {
+    if (c.similarity > options.phi && dominants.size() < options.max_devices) {
+      dominants.push_back(c);
+    }
+  }
+  return dominants;
+}
+
+}  // namespace
+
+std::vector<DominantDevice> FindDominantDevices(
+    const simgen::GatewayTrace& gateway, const DominanceOptions& options) {
+  const ts::TimeSeries aggregate = gateway.AggregateTraffic();
+  if (aggregate.empty()) return {};
+  SimilarityOptions sim_options;
+  sim_options.alpha = options.alpha;
+  std::vector<DominantDevice> candidates;
+  std::vector<double> device_values, aggregate_values;
+  for (size_t d = 0; d < gateway.devices.size(); ++d) {
+    AlignOnAggregateGrid(gateway.devices[d].TotalTraffic(), aggregate,
+                         &device_values, &aggregate_values);
+    const SimilarityResult sim =
+        CorrelationSimilarity(device_values, aggregate_values, sim_options);
+    DominantDevice candidate;
+    candidate.device_index = d;
+    candidate.similarity = sim.value;
+    candidate.reported_type = gateway.devices[d].reported_type;
+    candidates.push_back(candidate);
+  }
+  return RankAndFilter(std::move(candidates), options);
+}
+
+std::vector<DominantDevice> FindDominantDevicesInWindow(
+    const simgen::GatewayTrace& gateway, int64_t begin_minute,
+    int64_t end_minute, int64_t granularity_minutes,
+    int64_t anchor_offset_minutes, const DominanceOptions& options) {
+  const ts::TimeSeries aggregate = gateway.AggregateTraffic();
+  if (aggregate.empty()) return {};
+  auto window_of = [&](const ts::TimeSeries& series) -> ts::TimeSeries {
+    auto aggregated = ts::Aggregate(series, granularity_minutes,
+                                    anchor_offset_minutes, ts::AggKind::kSum);
+    if (!aggregated.ok()) return ts::TimeSeries();
+    const int64_t begin = std::max(begin_minute, aggregated->start_minute());
+    const int64_t end = std::min(end_minute, aggregated->EndMinute());
+    if (begin >= end) return ts::TimeSeries();
+    auto slice = aggregated->Slice(begin, end);
+    return slice.ok() ? std::move(slice).value() : ts::TimeSeries();
+  };
+  const ts::TimeSeries agg_window = window_of(aggregate);
+  if (agg_window.empty()) return {};
+  SimilarityOptions sim_options;
+  sim_options.alpha = options.alpha;
+  std::vector<DominantDevice> candidates;
+  std::vector<double> device_values, aggregate_values;
+  for (size_t d = 0; d < gateway.devices.size(); ++d) {
+    const ts::TimeSeries dev_window =
+        window_of(gateway.devices[d].TotalTraffic());
+    if (dev_window.empty()) continue;
+    AlignOnAggregateGrid(dev_window, agg_window, &device_values,
+                         &aggregate_values);
+    const SimilarityResult sim =
+        CorrelationSimilarity(device_values, aggregate_values, sim_options);
+    DominantDevice candidate;
+    candidate.device_index = d;
+    candidate.similarity = sim.value;
+    candidate.reported_type = gateway.devices[d].reported_type;
+    candidates.push_back(candidate);
+  }
+  return RankAndFilter(std::move(candidates), options);
+}
+
+std::vector<size_t> RankDevicesByEuclidean(
+    const simgen::GatewayTrace& gateway) {
+  const ts::TimeSeries aggregate = gateway.AggregateTraffic();
+  std::vector<std::pair<double, size_t>> keyed;
+  std::vector<double> device_values, aggregate_values;
+  for (size_t d = 0; d < gateway.devices.size(); ++d) {
+    const ts::TimeSeries total = gateway.devices[d].TotalTraffic();
+    double key = std::numeric_limits<double>::infinity();
+    if (!aggregate.empty() && !total.empty()) {
+      // Same grid convention as FindDominantDevices: the paper compares all
+      // devices over the gateway's full observation window, with
+      // non-reporting minutes as zero traffic.
+      AlignOnAggregateGrid(total, aggregate, &device_values,
+                           &aggregate_values);
+      auto dist = distance::Euclidean(device_values, aggregate_values);
+      if (dist.ok()) key = *dist;
+    }
+    keyed.emplace_back(key, d);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<size_t> order;
+  order.reserve(keyed.size());
+  for (const auto& [key, idx] : keyed) order.push_back(idx);
+  return order;
+}
+
+std::vector<size_t> RankDevicesByVolume(const simgen::GatewayTrace& gateway) {
+  std::vector<std::pair<double, size_t>> keyed;
+  for (size_t d = 0; d < gateway.devices.size(); ++d) {
+    keyed.emplace_back(gateway.devices[d].TotalTraffic().Sum(), d);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<size_t> order;
+  order.reserve(keyed.size());
+  for (const auto& [key, idx] : keyed) order.push_back(idx);
+  return order;
+}
+
+size_t CountRankAgreement(const std::vector<DominantDevice>& dominants,
+                          const std::vector<size_t>& baseline_ranking) {
+  size_t agree = 0;
+  for (size_t i = 0; i < dominants.size() && i < baseline_ranking.size(); ++i) {
+    if (dominants[i].device_index == baseline_ranking[i]) ++agree;
+  }
+  return agree;
+}
+
+}  // namespace homets::core

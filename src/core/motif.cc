@@ -1,0 +1,204 @@
+#include "core/motif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "core/similarity.h"
+
+namespace homets::core {
+
+namespace {
+
+// Pairwise cor(·,·) cache; motif mining revisits pairs during the merge
+// phase.
+class SimilarityCache {
+ public:
+  SimilarityCache(const std::vector<ts::TimeSeries>& windows, double alpha)
+      : windows_(windows) {
+    options_.alpha = alpha;
+  }
+
+  double Get(size_t i, size_t j) {
+    if (i == j) return 1.0;
+    if (i > j) std::swap(i, j);
+    const uint64_t key = (static_cast<uint64_t>(i) << 32) | j;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const double value =
+        CorrelationSimilarity(windows_[i].values(), windows_[j].values(),
+                              options_)
+            .value;
+    cache_.emplace(key, value);
+    return value;
+  }
+
+ private:
+  const std::vector<ts::TimeSeries>& windows_;
+  SimilarityOptions options_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace
+
+Result<std::vector<Motif>> MotifDiscovery::Discover(
+    const std::vector<ts::TimeSeries>& windows) const {
+  if (windows.empty()) {
+    return Status::InvalidArgument("MotifDiscovery: no windows");
+  }
+  const size_t length = windows.front().size();
+  for (const auto& w : windows) {
+    if (w.size() != length) {
+      return Status::InvalidArgument(
+          "MotifDiscovery: windows must share one length");
+    }
+  }
+  if (options_.phi <= 0.0 || options_.phi > 1.0) {
+    return Status::InvalidArgument("MotifDiscovery: phi must be in (0, 1]");
+  }
+
+  SimilarityCache cache(windows, options_.alpha);
+  const double group_threshold = options_.group_factor * options_.phi;
+
+  // Greedy agglomeration: each window joins the best admissible motif.
+  std::vector<Motif> motifs;
+  for (size_t w = 0; w < windows.size(); ++w) {
+    int best_motif = -1;
+    double best_score = -2.0;
+    for (size_t m = 0; m < motifs.size(); ++m) {
+      bool individual = false;
+      bool group = true;
+      double sum = 0.0;
+      for (size_t member : motifs[m].members) {
+        const double cor = cache.Get(w, member);
+        if (cor >= options_.phi) individual = true;
+        if (cor < group_threshold) {
+          group = false;
+          break;
+        }
+        sum += cor;
+      }
+      if (!individual || !group) continue;
+      const double score =
+          sum / static_cast<double>(motifs[m].members.size());
+      if (score > best_score) {
+        best_score = score;
+        best_motif = static_cast<int>(m);
+      }
+    }
+    if (best_motif >= 0) {
+      motifs[static_cast<size_t>(best_motif)].members.push_back(w);
+    } else {
+      Motif fresh;
+      fresh.members.push_back(w);
+      motifs.push_back(std::move(fresh));
+    }
+  }
+
+  // Merge phase: combine motifs when all cross pairs correlate at or above
+  // the merge threshold; iterate to a fixed point.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t a = 0; a < motifs.size() && !merged; ++a) {
+      for (size_t b = a + 1; b < motifs.size() && !merged; ++b) {
+        bool all_high = true;
+        for (size_t ma : motifs[a].members) {
+          for (size_t mb : motifs[b].members) {
+            if (cache.Get(ma, mb) < options_.merge_threshold) {
+              all_high = false;
+              break;
+            }
+          }
+          if (!all_high) break;
+        }
+        if (all_high) {
+          motifs[a].members.insert(motifs[a].members.end(),
+                                   motifs[b].members.begin(),
+                                   motifs[b].members.end());
+          motifs.erase(motifs.begin() + static_cast<long>(b));
+          merged = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Motif> reported;
+  for (auto& motif : motifs) {
+    if (motif.support() >= options_.min_support) {
+      std::sort(motif.members.begin(), motif.members.end());
+      reported.push_back(std::move(motif));
+    }
+  }
+  std::sort(reported.begin(), reported.end(),
+            [](const Motif& x, const Motif& y) {
+              return x.support() > y.support();
+            });
+  return reported;
+}
+
+Result<std::vector<double>> MotifShape(
+    const std::vector<ts::TimeSeries>& windows, const Motif& motif) {
+  if (motif.members.empty()) {
+    return Status::InvalidArgument("MotifShape: empty motif");
+  }
+  const size_t length = windows[motif.members.front()].size();
+  std::vector<double> shape(length, 0.0);
+  std::vector<size_t> counts(length, 0);
+  for (size_t member : motif.members) {
+    const ts::TimeSeries z = ts::ZNormalize(windows[member]);
+    for (size_t i = 0; i < length && i < z.size(); ++i) {
+      if (ts::TimeSeries::IsMissing(z[i])) continue;
+      shape[i] += z[i];
+      ++counts[i];
+    }
+  }
+  for (size_t i = 0; i < length; ++i) {
+    shape[i] = counts[i] > 0 ? shape[i] / static_cast<double>(counts[i]) : 0.0;
+  }
+  return shape;
+}
+
+std::vector<std::pair<size_t, size_t>> SupportHistogram(
+    const std::vector<Motif>& motifs) {
+  std::map<size_t, size_t> hist;
+  for (const auto& motif : motifs) ++hist[motif.support()];
+  return {hist.begin(), hist.end()};
+}
+
+std::vector<std::pair<int, size_t>> MotifsPerGateway(
+    const std::vector<Motif>& motifs,
+    const std::vector<WindowProvenance>& provenance) {
+  std::map<int, size_t> counts;
+  for (const auto& motif : motifs) {
+    std::map<int, bool> seen;
+    for (size_t member : motif.members) {
+      if (member >= provenance.size()) continue;
+      const int gw = provenance[member].gateway_id;
+      if (!seen[gw]) {
+        seen[gw] = true;
+        ++counts[gw];
+      }
+    }
+  }
+  return {counts.begin(), counts.end()};
+}
+
+double WithinGatewayFraction(const Motif& motif,
+                             const std::vector<WindowProvenance>& provenance) {
+  if (motif.members.empty()) return 0.0;
+  std::map<int, size_t> per_gateway;
+  for (size_t member : motif.members) {
+    if (member >= provenance.size()) continue;
+    ++per_gateway[provenance[member].gateway_id];
+  }
+  size_t repeated = 0;
+  for (const auto& [gw, count] : per_gateway) {
+    if (count > 1) repeated += count;
+  }
+  return static_cast<double>(repeated) /
+         static_cast<double>(motif.members.size());
+}
+
+}  // namespace homets::core

@@ -1,0 +1,172 @@
+#include "core/motif_analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace homets::core {
+
+Result<MotifCharacterization> CharacterizeMotif(
+    const Motif& motif, const std::vector<WindowProvenance>& provenance,
+    const GatewayProvider& provider,
+    const std::map<int, std::vector<DominantDevice>>& overall_dominants,
+    const MotifAnalysisOptions& options) {
+  if (motif.members.empty()) {
+    return Status::InvalidArgument("CharacterizeMotif: empty motif");
+  }
+  if (options.window_minutes <= 0 || options.granularity_minutes <= 0) {
+    return Status::InvalidArgument(
+        "CharacterizeMotif: window/granularity not set");
+  }
+
+  MotifCharacterization out;
+  out.support = motif.support();
+  out.within_gateway_fraction = WithinGatewayFraction(motif, provenance);
+
+  std::set<int> gateways;
+  for (size_t member : motif.members) {
+    if (member >= provenance.size()) {
+      return Status::InvalidArgument("CharacterizeMotif: provenance too short");
+    }
+    const WindowProvenance& origin = provenance[member];
+    gateways.insert(origin.gateway_id);
+
+    // Day mix: a window strictly inside one day is classified by that day.
+    if (options.window_minutes <= ts::kMinutesPerDay) {
+      const auto day = ts::DayOfWeekAt(origin.start_minute);
+      if (ts::IsWeekend(day)) {
+        ++out.weekend_members;
+      } else {
+        ++out.workday_members;
+      }
+    }
+
+    const simgen::GatewayTrace* gateway = provider(origin.gateway_id);
+    if (gateway == nullptr) continue;
+
+    const std::vector<DominantDevice> window_dominants =
+        FindDominantDevicesInWindow(
+            *gateway, origin.start_minute,
+            origin.start_minute + options.window_minutes,
+            options.granularity_minutes, options.anchor_offset_minutes,
+            options.dominance);
+
+    const size_t bucket =
+        std::min<size_t>(window_dominants.size(),
+                         out.dominant_count_histogram.size() - 1);
+    ++out.dominant_count_histogram[bucket];
+
+    for (const auto& dom : window_dominants) {
+      ++out.dominant_type_counts[dom.reported_type];
+    }
+
+    // Intersection with the gateway's overall dominant devices.
+    size_t overlap = 0;
+    const auto it = overall_dominants.find(origin.gateway_id);
+    if (it != overall_dominants.end()) {
+      for (const auto& dom : window_dominants) {
+        for (const auto& overall : it->second) {
+          if (overall.device_index == dom.device_index) {
+            ++overlap;
+            break;
+          }
+        }
+      }
+    }
+    const size_t overlap_bucket =
+        std::min<size_t>(overlap, out.overlap_count_histogram.size() - 1);
+    ++out.overlap_count_histogram[overlap_bucket];
+  }
+  out.distinct_gateways = gateways.size();
+  return out;
+}
+
+std::string DailyShapeName(DailyShape shape) {
+  switch (shape) {
+    case DailyShape::kAllDay:
+      return "all day";
+    case DailyShape::kMorning:
+      return "morning";
+    case DailyShape::kAfternoon:
+      return "afternoon";
+    case DailyShape::kLateEvening:
+      return "late evening";
+    case DailyShape::kMorningAndEvening:
+      return "morning and evening";
+    case DailyShape::kMixed:
+      return "mixed";
+  }
+  return "mixed";
+}
+
+Result<DailyShape> ClassifyDailyShape(const std::vector<double>& shape) {
+  if (shape.size() != 8) {
+    return Status::InvalidArgument(
+        "ClassifyDailyShape: expected 8 bins of 3 hours");
+  }
+  double max_v = shape[0];
+  for (double v : shape) max_v = std::max(max_v, v);
+  std::vector<bool> hot(8, false);
+  int hot_count = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    hot[i] = shape[i] > 0.5 * max_v;
+    if (hot[i]) ++hot_count;
+  }
+  if (hot_count >= 5) return DailyShape::kAllDay;
+  const bool morning = hot[2] || hot[3];    // 06:00–12:00
+  const bool afternoon = hot[4] || hot[5];  // 12:00–18:00
+  const bool evening = hot[6] || hot[7];    // 18:00–24:00
+  if (morning && evening && !afternoon) return DailyShape::kMorningAndEvening;
+  if (evening && !morning && !afternoon) return DailyShape::kLateEvening;
+  if (afternoon && !morning) return DailyShape::kAfternoon;
+  if (morning && !evening) return DailyShape::kMorning;
+  return DailyShape::kMixed;
+}
+
+std::string WeeklyShapeName(WeeklyShape shape) {
+  switch (shape) {
+    case WeeklyShape::kEveryday:
+      return "everyday";
+    case WeeklyShape::kWeekendHeavy:
+      return "weekend heavy";
+    case WeeklyShape::kWorkdayHeavy:
+      return "workday heavy";
+    case WeeklyShape::kMixed:
+      return "mixed";
+  }
+  return "mixed";
+}
+
+Result<WeeklyShape> ClassifyWeeklyShape(const std::vector<double>& shape) {
+  if (shape.size() != 21) {
+    return Status::InvalidArgument(
+        "ClassifyWeeklyShape: expected 21 bins (7 days x 3 slots)");
+  }
+  // Per-day activity = max over the day's slots; z-scale shapes are
+  // compared by which days clear half the weekly peak.
+  std::vector<double> day_level(7, 0.0);
+  double peak = shape[0];
+  for (int d = 0; d < 7; ++d) {
+    double level = shape[static_cast<size_t>(3 * d)];
+    for (int s = 1; s < 3; ++s) {
+      level = std::max(level, shape[static_cast<size_t>(3 * d + s)]);
+    }
+    day_level[static_cast<size_t>(d)] = level;
+    peak = std::max(peak, level);
+  }
+  int workdays_hot = 0, weekend_hot = 0;
+  for (int d = 0; d < 7; ++d) {
+    if (day_level[static_cast<size_t>(d)] > 0.5 * peak) {
+      if (d >= 5) {
+        ++weekend_hot;
+      } else {
+        ++workdays_hot;
+      }
+    }
+  }
+  if (workdays_hot >= 4 && weekend_hot == 2) return WeeklyShape::kEveryday;
+  if (weekend_hot == 2 && workdays_hot <= 1) return WeeklyShape::kWeekendHeavy;
+  if (workdays_hot >= 3 && weekend_hot == 0) return WeeklyShape::kWorkdayHeavy;
+  return WeeklyShape::kMixed;
+}
+
+}  // namespace homets::core

@@ -1,0 +1,97 @@
+#ifndef HOMETS_CORE_MOTIF_ANALYSIS_H_
+#define HOMETS_CORE_MOTIF_ANALYSIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dominance.h"
+#include "core/motif.h"
+#include "simgen/types.h"
+
+namespace homets::core {
+
+/// \brief Supplies the gateway trace for a gateway id; the bench caches and
+/// regenerates lazily so the whole fleet never sits in memory. Returning
+/// nullptr skips that member.
+using GatewayProvider =
+    std::function<const simgen::GatewayTrace*(int gateway_id)>;
+
+/// \brief The Section 7.2 motif dimensions.
+struct MotifCharacterization {
+  size_t support = 0;
+  size_t distinct_gateways = 0;
+  double within_gateway_fraction = 0.0;
+
+  /// Histogram over the number of dominant devices found in member windows
+  /// (index = count, capped at 4).
+  std::vector<size_t> dominant_count_histogram = std::vector<size_t>(5, 0);
+
+  /// Histogram over |window dominants ∩ overall gateway dominants|.
+  std::vector<size_t> overlap_count_histogram = std::vector<size_t>(4, 0);
+
+  /// Reported device types among the member windows' dominant devices.
+  std::map<simgen::DeviceType, size_t> dominant_type_counts;
+
+  /// Day mix of member windows (meaningful for daily motifs; a weekly window
+  /// spans both and counts under neither).
+  size_t workday_members = 0;
+  size_t weekend_members = 0;
+};
+
+/// \brief Options for motif characterization.
+struct MotifAnalysisOptions {
+  /// Granularity/anchor of the windows the motif was mined from (needed to
+  /// recompute per-window dominance on the device level).
+  int64_t granularity_minutes = 0;
+  int64_t anchor_offset_minutes = 0;
+  /// Window length: a week or a day of minutes.
+  int64_t window_minutes = 0;
+  DominanceOptions dominance;
+};
+
+/// \brief Characterizes one motif along the paper's dimensions. Overall
+/// (whole-trace) dominants per gateway are passed in, precomputed once by
+/// the caller.
+Result<MotifCharacterization> CharacterizeMotif(
+    const Motif& motif, const std::vector<WindowProvenance>& provenance,
+    const GatewayProvider& provider,
+    const std::map<int, std::vector<DominantDevice>>& overall_dominants,
+    const MotifAnalysisOptions& options);
+
+/// \brief The daily usage-shape families the paper names in Figure 14.
+enum class DailyShape {
+  kAllDay,
+  kMorning,
+  kAfternoon,
+  kLateEvening,
+  kMorningAndEvening,
+  kMixed,
+};
+
+std::string DailyShapeName(DailyShape shape);
+
+/// \brief Classifies a daily consensus shape (from MotifShape, 8 bins of 3
+/// hours) into the Figure 14 families by which slots exceed half the peak.
+Result<DailyShape> ClassifyDailyShape(const std::vector<double>& shape);
+
+/// \brief The weekly usage-shape families of Figure 11.
+enum class WeeklyShape {
+  kEveryday,      ///< active every day (the "everyday users" motif)
+  kWeekendHeavy,  ///< Saturday/Sunday dominate ("heavy weekend users")
+  kWorkdayHeavy,  ///< Monday–Friday dominate ("workdays users")
+  kMixed,
+};
+
+std::string WeeklyShapeName(WeeklyShape shape);
+
+/// \brief Classifies a weekly consensus shape (21 bins: 7 days × 3 slots of
+/// 8 hours) by comparing per-day activity across the week.
+Result<WeeklyShape> ClassifyWeeklyShape(const std::vector<double>& shape);
+
+}  // namespace homets::core
+
+#endif  // HOMETS_CORE_MOTIF_ANALYSIS_H_

@@ -1,0 +1,240 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/similarity.h"
+
+namespace homets::core {
+
+Result<WindowAssembler> WindowAssembler::Make(int64_t window_minutes,
+                                              int64_t granularity_minutes,
+                                              int64_t anchor_offset_minutes) {
+  if (window_minutes <= 0 || granularity_minutes <= 0) {
+    return Status::InvalidArgument(
+        "WindowAssembler: window and granularity must be positive");
+  }
+  if (window_minutes % granularity_minutes != 0) {
+    return Status::InvalidArgument(
+        "WindowAssembler: granularity must divide the window");
+  }
+  return WindowAssembler(window_minutes, granularity_minutes,
+                         anchor_offset_minutes);
+}
+
+int64_t WindowAssembler::WindowStartFor(int64_t minute) const {
+  int64_t rem = (minute - anchor_offset_minutes_) % window_minutes_;
+  if (rem < 0) rem += window_minutes_;
+  return minute - rem;
+}
+
+void WindowAssembler::ResetWindow(GatewayState* state,
+                                  int64_t window_start) const {
+  const size_t bins =
+      static_cast<size_t>(window_minutes_ / granularity_minutes_);
+  state->window_start = window_start;
+  state->started = true;
+  state->bins.assign(bins, 0.0);
+  state->bin_has_data.assign(bins, false);
+}
+
+ts::TimeSeries WindowAssembler::EmitWindow(GatewayState* state) const {
+  std::vector<double> values(state->bins.size());
+  for (size_t b = 0; b < state->bins.size(); ++b) {
+    values[b] =
+        state->bin_has_data[b] ? state->bins[b] : ts::TimeSeries::Missing();
+  }
+  return ts::TimeSeries(state->window_start, granularity_minutes_,
+                        std::move(values));
+}
+
+Result<std::vector<ts::TimeSeries>> WindowAssembler::Ingest(int gateway_id,
+                                                            int64_t minute,
+                                                            double value) {
+  GatewayState& state = gateways_[gateway_id];
+  std::vector<ts::TimeSeries> completed;
+  if (!state.started) {
+    ResetWindow(&state, WindowStartFor(minute));
+  }
+  if (minute < state.window_start) {
+    return Status::InvalidArgument(StrFormat(
+        "WindowAssembler: minute %lld before current window start %lld",
+        static_cast<long long>(minute),
+        static_cast<long long>(state.window_start)));
+  }
+  // Close windows the stream has moved past.
+  while (minute >= state.window_start + window_minutes_) {
+    completed.push_back(EmitWindow(&state));
+    ResetWindow(&state, state.window_start + window_minutes_);
+  }
+  if (!ts::TimeSeries::IsMissing(value)) {
+    const size_t bin = static_cast<size_t>(
+        (minute - state.window_start) / granularity_minutes_);
+    state.bins[bin] += value;
+    state.bin_has_data[bin] = true;
+  }
+  return completed;
+}
+
+std::vector<std::pair<int, ts::TimeSeries>> WindowAssembler::Flush() {
+  std::vector<std::pair<int, ts::TimeSeries>> out;
+  for (auto& [gateway_id, state] : gateways_) {
+    if (!state.started) continue;
+    bool any = false;
+    for (bool has : state.bin_has_data) any = any || has;
+    if (any) out.emplace_back(gateway_id, EmitWindow(&state));
+    state.started = false;
+  }
+  return out;
+}
+
+StreamingMotifMiner::StreamingMotifMiner(MotifOptions options,
+                                         size_t horizon_windows)
+    : options_(options),
+      horizon_windows_(horizon_windows == 0 ? 1 : horizon_windows) {}
+
+double StreamingMotifMiner::Similarity(const ts::TimeSeries& a,
+                                       const ts::TimeSeries& b) const {
+  SimilarityOptions sim;
+  sim.alpha = options_.alpha;
+  return CorrelationSimilarity(a.values(), b.values(), sim).value;
+}
+
+Result<size_t> StreamingMotifMiner::AddWindow(int gateway_id,
+                                              const ts::TimeSeries& window) {
+  if (!retained_.empty() &&
+      retained_.front().window.size() != window.size()) {
+    return Status::InvalidArgument(
+        "StreamingMotifMiner: window length mismatch");
+  }
+  const size_t index = next_index_++;
+  provenance_.push_back({gateway_id, window.start_minute()});
+  retained_.push_back({index, window});
+
+  auto window_by_index = [this](size_t idx) -> const ts::TimeSeries* {
+    // retained_ is ordered by arrival index.
+    if (retained_.empty()) return nullptr;
+    const size_t first = retained_.front().index;
+    if (idx < first || idx > retained_.back().index) return nullptr;
+    return &retained_[idx - first].window;
+  };
+
+  // Greedy Definition 5 assignment against retained members.
+  const double group_threshold = options_.group_factor * options_.phi;
+  int best_motif = -1;
+  double best_score = -2.0;
+  for (size_t m = 0; m < motifs_.size(); ++m) {
+    bool individual = false;
+    bool group = true;
+    double sum = 0.0;
+    size_t counted = 0;
+    for (size_t member : motifs_[m].members) {
+      const ts::TimeSeries* other = window_by_index(member);
+      if (other == nullptr) continue;
+      const double cor = Similarity(window, *other);
+      if (cor >= options_.phi) individual = true;
+      if (cor < group_threshold) {
+        group = false;
+        break;
+      }
+      sum += cor;
+      ++counted;
+    }
+    if (!individual || !group || counted == 0) continue;
+    const double score = sum / static_cast<double>(counted);
+    if (score > best_score) {
+      best_score = score;
+      best_motif = static_cast<int>(m);
+    }
+  }
+  size_t joined_id;
+  if (best_motif >= 0) {
+    motifs_[static_cast<size_t>(best_motif)].members.push_back(index);
+    joined_id = motifs_[static_cast<size_t>(best_motif)].id;
+  } else {
+    MotifState fresh;
+    fresh.id = next_motif_id_++;
+    fresh.members.push_back(index);
+    motifs_.push_back(std::move(fresh));
+    joined_id = motifs_.back().id;
+  }
+  TryMerge();
+  Evict();
+  return joined_id;
+}
+
+void StreamingMotifMiner::TryMerge() {
+  auto window_by_index = [this](size_t idx) -> const ts::TimeSeries* {
+    if (retained_.empty()) return nullptr;
+    const size_t first = retained_.front().index;
+    if (idx < first || idx > retained_.back().index) return nullptr;
+    return &retained_[idx - first].window;
+  };
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t a = 0; a < motifs_.size() && !merged; ++a) {
+      for (size_t b = a + 1; b < motifs_.size() && !merged; ++b) {
+        bool all_high = true;
+        for (size_t ma : motifs_[a].members) {
+          const ts::TimeSeries* wa = window_by_index(ma);
+          if (wa == nullptr) continue;
+          for (size_t mb : motifs_[b].members) {
+            const ts::TimeSeries* wb = window_by_index(mb);
+            if (wb == nullptr) continue;
+            if (Similarity(*wa, *wb) < options_.merge_threshold) {
+              all_high = false;
+              break;
+            }
+          }
+          if (!all_high) break;
+        }
+        if (all_high) {
+          // Keep the older id: stable identities across the stream.
+          if (motifs_[b].id < motifs_[a].id) {
+            std::swap(motifs_[a].id, motifs_[b].id);
+          }
+          motifs_[a].members.insert(motifs_[a].members.end(),
+                                    motifs_[b].members.begin(),
+                                    motifs_[b].members.end());
+          std::sort(motifs_[a].members.begin(), motifs_[a].members.end());
+          motifs_.erase(motifs_.begin() + static_cast<long>(b));
+          merged = true;
+        }
+      }
+    }
+  }
+}
+
+void StreamingMotifMiner::Evict() {
+  while (retained_.size() > horizon_windows_) {
+    const size_t evicted = retained_.front().index;
+    retained_.pop_front();
+    for (auto& motif : motifs_) {
+      motif.members.erase(
+          std::remove(motif.members.begin(), motif.members.end(), evicted),
+          motif.members.end());
+    }
+  }
+  motifs_.erase(std::remove_if(motifs_.begin(), motifs_.end(),
+                               [](const MotifState& m) {
+                                 return m.members.empty();
+                               }),
+                motifs_.end());
+}
+
+std::vector<Motif> StreamingMotifMiner::CurrentMotifs() const {
+  std::vector<Motif> out;
+  for (const auto& state : motifs_) {
+    if (state.members.size() < options_.min_support) continue;
+    Motif motif;
+    motif.members = state.members;
+    out.push_back(std::move(motif));
+  }
+  std::sort(out.begin(), out.end(), [](const Motif& a, const Motif& b) {
+    return a.support() > b.support();
+  });
+  return out;
+}
+
+}  // namespace homets::core

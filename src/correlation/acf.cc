@@ -1,0 +1,119 @@
+#include "correlation/acf.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace homets::correlation {
+
+namespace {
+
+// Mean-imputes NaNs; returns the mean of observed values.
+Result<double> Impute(std::vector<double>* x) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : *x) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  if (n == 0) return Status::InvalidArgument("ACF: all values missing");
+  const double mean = sum / static_cast<double>(n);
+  for (double& v : *x) {
+    if (std::isnan(v)) v = mean;
+  }
+  return mean;
+}
+
+}  // namespace
+
+std::vector<size_t> AcfResult::SignificantLags() const {
+  std::vector<size_t> lags;
+  for (size_t k = 1; k < acf.size(); ++k) {
+    if (std::fabs(acf[k]) > conf_bound) lags.push_back(k);
+  }
+  return lags;
+}
+
+Result<AcfResult> Acf(const std::vector<double>& x, size_t max_lag) {
+  if (x.size() < max_lag + 2) {
+    return Status::InvalidArgument("ACF: series shorter than max_lag + 2");
+  }
+  std::vector<double> xs = x;
+  HOMETS_ASSIGN_OR_RETURN(const double mean, Impute(&xs));
+  const size_t n = xs.size();
+  double c0 = 0.0;
+  for (double v : xs) c0 += (v - mean) * (v - mean);
+  c0 /= static_cast<double>(n);
+  if (c0 <= 0.0) return Status::ComputeError("ACF: constant series");
+  AcfResult result;
+  result.acf.resize(max_lag + 1);
+  result.acf[0] = 1.0;
+  for (size_t k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (size_t t = 0; t + k < n; ++t) {
+      ck += (xs[t] - mean) * (xs[t + k] - mean);
+    }
+    ck /= static_cast<double>(n);
+    result.acf[k] = ck / c0;
+  }
+  result.conf_bound = 1.96 / std::sqrt(static_cast<double>(n));
+  return result;
+}
+
+int CcfResult::PeakLag() const {
+  int best = -max_lag;
+  double best_abs = -1.0;
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    const double a = std::fabs(AtLag(lag));
+    if (a > best_abs) {
+      best_abs = a;
+      best = lag;
+    }
+  }
+  return best;
+}
+
+Result<CcfResult> Ccf(const std::vector<double>& x,
+                      const std::vector<double>& y, int max_lag) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("CCF: length mismatch");
+  }
+  if (max_lag < 0 ||
+      x.size() < static_cast<size_t>(max_lag) + 2) {
+    return Status::InvalidArgument("CCF: series shorter than max_lag + 2");
+  }
+  std::vector<double> xs = x;
+  std::vector<double> ys = y;
+  HOMETS_ASSIGN_OR_RETURN(const double mx, Impute(&xs));
+  HOMETS_ASSIGN_OR_RETURN(const double my, Impute(&ys));
+  const size_t n = xs.size();
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += (xs[i] - mx) * (xs[i] - mx);
+    sy += (ys[i] - my) * (ys[i] - my);
+  }
+  sx /= static_cast<double>(n);
+  sy /= static_cast<double>(n);
+  if (sx <= 0.0 || sy <= 0.0) {
+    return Status::ComputeError("CCF: constant series");
+  }
+  const double denom = std::sqrt(sx * sy);
+  CcfResult result;
+  result.max_lag = max_lag;
+  result.ccf.resize(static_cast<size_t>(2 * max_lag) + 1);
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    double c = 0.0;
+    // Correlate x_{t+lag} with y_t over the valid overlap.
+    for (size_t t = 0; t < n; ++t) {
+      const int64_t shifted = static_cast<int64_t>(t) + lag;
+      if (shifted < 0 || shifted >= static_cast<int64_t>(n)) continue;
+      c += (xs[static_cast<size_t>(shifted)] - mx) * (ys[t] - my);
+    }
+    c /= static_cast<double>(n);
+    result.ccf[static_cast<size_t>(lag + max_lag)] = c / denom;
+  }
+  result.conf_bound = 1.96 / std::sqrt(static_cast<double>(n));
+  return result;
+}
+
+}  // namespace homets::correlation

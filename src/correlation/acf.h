@@ -1,0 +1,50 @@
+#ifndef HOMETS_CORRELATION_ACF_H_
+#define HOMETS_CORRELATION_ACF_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::correlation {
+
+/// \brief Sample autocorrelation function and its significance band.
+///
+/// Reproduces the analysis behind Figure 2(left): low but statistically
+/// significant autocorrelations indicate some predictive power in a gateway's
+/// traffic.
+struct AcfResult {
+  std::vector<double> acf;  ///< acf[k] for lag k = 0..max_lag (acf[0] = 1)
+  double conf_bound = 0.0;  ///< ±1.96/√n white-noise band
+
+  /// Lags (>= 1) whose |acf| exceeds the white-noise band.
+  std::vector<size_t> SignificantLags() const;
+};
+
+/// \brief Computes the ACF up to `max_lag`. NaN values are mean-imputed
+/// (gateways report with gaps); requires n >= max_lag + 2 and a non-constant
+/// series.
+Result<AcfResult> Acf(const std::vector<double>& x, size_t max_lag);
+
+/// \brief Sample cross-correlation of `x` and `y` for lags −max_lag..max_lag.
+///
+/// ccf[max_lag + k] correlates x_{t+k} with y_t; a significant value at
+/// positive k means x leads y by k steps (Figure 2 right).
+struct CcfResult {
+  std::vector<double> ccf;  ///< indexed by lag + max_lag
+  int max_lag = 0;
+  double conf_bound = 0.0;
+
+  double AtLag(int lag) const { return ccf[static_cast<size_t>(lag + max_lag)]; }
+
+  /// The lag with the largest |ccf|.
+  int PeakLag() const;
+};
+
+/// \brief Computes the CCF; same preconditions as Acf for both inputs, and
+/// the series must have equal length.
+Result<CcfResult> Ccf(const std::vector<double>& x,
+                      const std::vector<double>& y, int max_lag);
+
+}  // namespace homets::correlation
+
+#endif  // HOMETS_CORRELATION_ACF_H_

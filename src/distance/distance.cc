@@ -1,0 +1,85 @@
+#include "distance/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace homets::distance {
+
+Result<double> EuclideanSquared(const std::vector<double>& x,
+                                const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("Euclidean: length mismatch");
+  }
+  if (x.empty()) return Status::InvalidArgument("Euclidean: empty input");
+  double sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    const double d = x[i] - y[i];
+    sum += d * d;
+    ++used;
+  }
+  if (used == 0) {
+    return Status::InvalidArgument("Euclidean: no complete pairs");
+  }
+  return sum;
+}
+
+Result<double> Euclidean(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  HOMETS_ASSIGN_OR_RETURN(const double ss, EuclideanSquared(x, y));
+  return std::sqrt(ss);
+}
+
+Result<double> DynamicTimeWarping(const std::vector<double>& x,
+                                  const std::vector<double>& y, int band) {
+  const size_t n = x.size();
+  const size_t m = y.size();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("DTW: empty input");
+  }
+  for (double v : x) {
+    if (std::isnan(v)) return Status::InvalidArgument("DTW: NaN in input");
+  }
+  for (double v : y) {
+    if (std::isnan(v)) return Status::InvalidArgument("DTW: NaN in input");
+  }
+  if (band >= 0 &&
+      static_cast<size_t>(band) <
+          (n > m ? n - m : m - n)) {
+    return Status::InvalidArgument(
+        "DTW: band narrower than the length difference");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Two-row DP over the cost matrix; cost is squared pointwise difference,
+  // distance is the square root of the optimal path cost.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    size_t j_lo = 1;
+    size_t j_hi = m;
+    if (band >= 0) {
+      const int64_t lo = static_cast<int64_t>(i) - band;
+      const int64_t hi = static_cast<int64_t>(i) + band;
+      j_lo = lo > 1 ? static_cast<size_t>(lo) : 1;
+      j_hi = hi < static_cast<int64_t>(m) ? static_cast<size_t>(hi) : m;
+    }
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = x[i - 1] - y[j - 1];
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = d * d + best;
+    }
+    std::swap(prev, curr);
+  }
+  if (prev[m] == kInf) {
+    return Status::ComputeError("DTW: no admissible warping path");
+  }
+  return std::sqrt(prev[m]);
+}
+
+}  // namespace homets::distance

@@ -1,0 +1,34 @@
+#ifndef HOMETS_DISTANCE_DISTANCE_H_
+#define HOMETS_DISTANCE_DISTANCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::distance {
+
+/// \brief Euclidean distance between equal-length series (the baseline the
+/// paper compares dominant-device detection against in Section 6.2). Pairs
+/// with a NaN on either side are skipped.
+Result<double> Euclidean(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/// \brief Squared Euclidean distance (no square root), same semantics.
+Result<double> EuclideanSquared(const std::vector<double>& x,
+                                const std::vector<double>& y);
+
+/// \brief Dynamic Time Warping distance with an optional Sakoe–Chiba band.
+///
+/// The paper rejects DTW for home-traffic similarity because warping aligns
+/// traffic peaks that happen at *different* times, while ISP-facing patterns
+/// must be time-aligned; the benches demonstrate exactly this failure mode.
+/// `band < 0` means unconstrained; otherwise |i − j| <= band.
+/// NaNs must be removed or imputed by the caller; NaN input yields
+/// InvalidArgument.
+Result<double> DynamicTimeWarping(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  int band = -1);
+
+}  // namespace homets::distance
+
+#endif  // HOMETS_DISTANCE_DISTANCE_H_

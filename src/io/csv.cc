@@ -1,0 +1,168 @@
+#include "io/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace homets::io {
+
+namespace {
+
+Result<simgen::DeviceType> ParseDeviceType(const std::string& name) {
+  if (name == "portable") return simgen::DeviceType::kPortable;
+  if (name == "fixed") return simgen::DeviceType::kFixed;
+  if (name == "network_equipment") return simgen::DeviceType::kNetworkEquipment;
+  if (name == "game_console") return simgen::DeviceType::kGameConsole;
+  if (name == "unlabeled") return simgen::DeviceType::kUnlabeled;
+  return Status::InvalidArgument("unknown device type: " + name);
+}
+
+}  // namespace
+
+Status WriteTimeSeriesCsv(const std::string& path,
+                          const ts::TimeSeries& series) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "minute,value\n";
+  for (size_t i = 0; i < series.size(); ++i) {
+    out << series.MinuteAt(i) << ',';
+    if (!ts::TimeSeries::IsMissing(series[i])) {
+      out << StrFormat("%.6f", series[i]);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ts::TimeSeries> ReadTimeSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  std::vector<int64_t> minutes;
+  std::vector<double> values;
+  while (std::getline(in, line)) {
+    if (StrTrim(line).empty()) continue;
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() != 2) {
+      return Status::IoError("malformed row in " + path + ": " + line);
+    }
+    minutes.push_back(std::stoll(fields[0]));
+    const auto value_field = StrTrim(fields[1]);
+    values.push_back(value_field.empty() ? ts::TimeSeries::Missing()
+                                         : std::stod(std::string(value_field)));
+  }
+  if (minutes.empty()) return Status::IoError("no data rows in " + path);
+  int64_t step = 1;
+  if (minutes.size() >= 2) {
+    step = minutes[1] - minutes[0];
+    if (step <= 0) return Status::IoError("non-increasing minutes in " + path);
+    for (size_t i = 2; i < minutes.size(); ++i) {
+      if (minutes[i] - minutes[i - 1] != step) {
+        return Status::IoError("irregular minute step in " + path);
+      }
+    }
+  }
+  return ts::TimeSeries(minutes[0], step, std::move(values));
+}
+
+Status WriteGatewayCsv(const std::string& path,
+                       const simgen::GatewayTrace& gateway) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "device,true_type,reported_type,minute,incoming,outgoing\n";
+  for (const auto& dev : gateway.devices) {
+    for (size_t i = 0; i < dev.incoming.size(); ++i) {
+      const double in_v = dev.incoming[i];
+      const double out_v = i < dev.outgoing.size()
+                               ? dev.outgoing[i]
+                               : ts::TimeSeries::Missing();
+      if (ts::TimeSeries::IsMissing(in_v) && ts::TimeSeries::IsMissing(out_v)) {
+        continue;  // long format stores observed minutes only
+      }
+      out << dev.name << ',' << simgen::DeviceTypeName(dev.true_type) << ','
+          << simgen::DeviceTypeName(dev.reported_type) << ','
+          << dev.incoming.MinuteAt(i) << ',';
+      if (!ts::TimeSeries::IsMissing(in_v)) out << StrFormat("%.3f", in_v);
+      out << ',';
+      if (!ts::TimeSeries::IsMissing(out_v)) out << StrFormat("%.3f", out_v);
+      out << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<simgen::GatewayTrace> ReadGatewayCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+
+  struct Accum {
+    simgen::DeviceType true_type;
+    simgen::DeviceType reported_type;
+    std::map<int64_t, std::pair<double, double>> rows;
+  };
+  std::map<std::string, Accum> devices;
+  int64_t min_minute = 0;
+  int64_t max_minute = -1;
+  while (std::getline(in, line)) {
+    if (StrTrim(line).empty()) continue;
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() != 6) {
+      return Status::IoError("malformed row in " + path + ": " + line);
+    }
+    HOMETS_ASSIGN_OR_RETURN(const auto true_type, ParseDeviceType(fields[1]));
+    HOMETS_ASSIGN_OR_RETURN(const auto reported_type,
+                            ParseDeviceType(fields[2]));
+    const int64_t minute = std::stoll(fields[3]);
+    const double in_v = StrTrim(fields[4]).empty()
+                            ? ts::TimeSeries::Missing()
+                            : std::stod(fields[4]);
+    const double out_v = StrTrim(fields[5]).empty()
+                             ? ts::TimeSeries::Missing()
+                             : std::stod(fields[5]);
+    auto& acc = devices[fields[0]];
+    acc.true_type = true_type;
+    acc.reported_type = reported_type;
+    acc.rows[minute] = {in_v, out_v};
+    if (max_minute < 0) {
+      min_minute = minute;
+      max_minute = minute;
+    } else {
+      min_minute = std::min(min_minute, minute);
+      max_minute = std::max(max_minute, minute);
+    }
+  }
+  if (devices.empty()) return Status::IoError("no data rows in " + path);
+
+  simgen::GatewayTrace gw;
+  const size_t n = static_cast<size_t>(max_minute - min_minute + 1);
+  for (auto& [name, acc] : devices) {
+    simgen::DeviceTrace dev;
+    dev.name = name;
+    dev.true_type = acc.true_type;
+    dev.reported_type = acc.reported_type;
+    std::vector<double> in_vals(n, ts::TimeSeries::Missing());
+    std::vector<double> out_vals(n, ts::TimeSeries::Missing());
+    for (const auto& [minute, pair] : acc.rows) {
+      const size_t idx = static_cast<size_t>(minute - min_minute);
+      in_vals[idx] = pair.first;
+      out_vals[idx] = pair.second;
+    }
+    dev.incoming = ts::TimeSeries(min_minute, 1, std::move(in_vals));
+    dev.outgoing = ts::TimeSeries(min_minute, 1, std::move(out_vals));
+    gw.devices.push_back(std::move(dev));
+  }
+  return gw;
+}
+
+}  // namespace homets::io

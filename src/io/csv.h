@@ -1,0 +1,32 @@
+#ifndef HOMETS_IO_CSV_H_
+#define HOMETS_IO_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "simgen/types.h"
+#include "ts/time_series.h"
+
+namespace homets::io {
+
+/// \brief Writes a time series as CSV with header `minute,value`; missing
+/// values are written as empty fields.
+Status WriteTimeSeriesCsv(const std::string& path,
+                          const ts::TimeSeries& series);
+
+/// \brief Reads a series written by WriteTimeSeriesCsv. The minute column
+/// must be contiguous with a constant step.
+Result<ts::TimeSeries> ReadTimeSeriesCsv(const std::string& path);
+
+/// \brief Writes one gateway's per-device traces in long format:
+/// `device,true_type,reported_type,minute,incoming,outgoing` — the shape a
+/// real RGW measurement campaign would export.
+Status WriteGatewayCsv(const std::string& path,
+                       const simgen::GatewayTrace& gateway);
+
+/// \brief Reads a gateway trace written by WriteGatewayCsv.
+Result<simgen::GatewayTrace> ReadGatewayCsv(const std::string& path);
+
+}  // namespace homets::io
+
+#endif  // HOMETS_IO_CSV_H_

@@ -1,0 +1,40 @@
+#ifndef HOMETS_IO_TABLE_H_
+#define HOMETS_IO_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace homets::io {
+
+/// \brief Fixed-width text table used by the experiment benches to print
+/// paper-style rows.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells print empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void Print(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Renders a horizontal ASCII bar of `value` relative to `max_value`
+/// using at most `width` characters — benches use it to sketch the paper's
+/// histogram figures in text.
+std::string AsciiBar(double value, double max_value, size_t width = 40);
+
+/// \brief Prints a section header ("== Figure 4 ... ==") in a consistent
+/// style across benches.
+void PrintSection(std::ostream& os, const std::string& title);
+
+}  // namespace homets::io
+
+#endif  // HOMETS_IO_TABLE_H_

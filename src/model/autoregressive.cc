@@ -1,0 +1,150 @@
+#include "model/autoregressive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace homets::model {
+
+namespace {
+
+double TimeSeriesNan() { return std::nan(""); }
+
+Result<std::vector<double>> ImputedDeviations(const std::vector<double>& x,
+                                              double* mean_out) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : x) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  if (n < 3) return Status::InvalidArgument("AR: too few observations");
+  const double mean = sum / static_cast<double>(n);
+  *mean_out = mean;
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::isnan(x[i]) ? 0.0 : x[i] - mean;
+  }
+  return out;
+}
+
+// Biased autocovariances γ₀..γ_p.
+std::vector<double> Autocovariances(const std::vector<double>& d, size_t p) {
+  const size_t n = d.size();
+  std::vector<double> gamma(p + 1, 0.0);
+  for (size_t k = 0; k <= p; ++k) {
+    double c = 0.0;
+    for (size_t t = k; t < n; ++t) c += d[t] * d[t - k];
+    gamma[k] = c / static_cast<double>(n);
+  }
+  return gamma;
+}
+
+}  // namespace
+
+double ArModel::ForecastOneStep(const std::vector<double>& history) const {
+  double pred = 0.0;
+  const size_t h = history.size();
+  for (size_t i = 0; i < order && i < h; ++i) {
+    const double v = history[h - 1 - i];
+    if (!std::isnan(v)) pred += phi[i] * (v - mean);
+  }
+  return mean + pred;
+}
+
+Result<ArModel> FitAr(const std::vector<double>& x, size_t p) {
+  double mean = 0.0;
+  HOMETS_ASSIGN_OR_RETURN(const std::vector<double> d,
+                          ImputedDeviations(x, &mean));
+  if (d.size() <= p + 1) {
+    return Status::InvalidArgument("AR: series shorter than order + 2");
+  }
+  const std::vector<double> gamma = Autocovariances(d, p);
+  if (gamma[0] <= 0.0) return Status::ComputeError("AR: constant series");
+
+  ArModel model;
+  model.mean = mean;
+  model.order = p;
+  model.phi.assign(p, 0.0);
+
+  // Levinson–Durbin recursion.
+  double err = gamma[0];
+  std::vector<double> phi(p, 0.0);
+  std::vector<double> prev(p, 0.0);
+  for (size_t k = 1; k <= p; ++k) {
+    double acc = gamma[k];
+    for (size_t j = 1; j < k; ++j) acc -= prev[j - 1] * gamma[k - j];
+    const double reflection = acc / err;
+    phi[k - 1] = reflection;
+    for (size_t j = 1; j < k; ++j) {
+      phi[j - 1] = prev[j - 1] - reflection * prev[k - 1 - j];
+    }
+    err *= (1.0 - reflection * reflection);
+    if (err <= 0.0) {
+      return Status::ComputeError("AR: Levinson-Durbin broke down");
+    }
+    std::copy(phi.begin(), phi.begin() + static_cast<long>(k), prev.begin());
+  }
+  model.phi = phi;
+  model.noise_variance = err;
+  const double n = static_cast<double>(d.size());
+  model.aic = n * std::log(err) + 2.0 * (static_cast<double>(p) + 1.0);
+  return model;
+}
+
+Result<ArModel> FitArAicSelect(const std::vector<double>& x,
+                               size_t max_order) {
+  Result<ArModel> best = FitAr(x, 0);
+  HOMETS_RETURN_NOT_OK(best.status());
+  for (size_t p = 1; p <= max_order; ++p) {
+    Result<ArModel> candidate = FitAr(x, p);
+    if (!candidate.ok()) continue;
+    if (candidate->aic < best->aic) best = std::move(candidate);
+  }
+  return best;
+}
+
+Result<BurstForecastReport> EvaluateBurstForecast(const ArModel& model,
+                                                  const std::vector<double>& x,
+                                                  double burst_threshold) {
+  if (x.size() <= model.order + 1) {
+    return Status::InvalidArgument("EvaluateBurstForecast: series too short");
+  }
+  if (burst_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "EvaluateBurstForecast: threshold must be positive");
+  }
+  BurstForecastReport report;
+  double se_sum = 0.0;
+  std::vector<double> history;
+  history.reserve(model.order);
+  for (size_t t = model.order; t < x.size(); ++t) {
+    const double actual = x[t];
+    if (std::isnan(actual)) continue;
+    history.assign(x.begin() + static_cast<long>(t - model.order),
+                   x.begin() + static_cast<long>(t));
+    const double pred = model.ForecastOneStep(history);
+    ++report.n_forecasts;
+    se_sum += (pred - actual) * (pred - actual);
+    // Burst onset: value crosses the threshold from below (or the previous
+    // value was unobserved). Ongoing bursts do not count — see header.
+    const double previous = t > 0 ? x[t - 1] : TimeSeriesNan();
+    const bool was_quiet = std::isnan(previous) || previous <= burst_threshold;
+    if (actual > burst_threshold && was_quiet) {
+      ++report.n_bursts;
+      if (pred > burst_threshold) ++report.n_bursts_anticipated;
+    }
+  }
+  if (report.n_forecasts == 0) {
+    return Status::ComputeError("EvaluateBurstForecast: nothing to forecast");
+  }
+  report.rmse = std::sqrt(se_sum / static_cast<double>(report.n_forecasts));
+  report.recall =
+      report.n_bursts == 0
+          ? 0.0
+          : static_cast<double>(report.n_bursts_anticipated) /
+                static_cast<double>(report.n_bursts);
+  return report;
+}
+
+}  // namespace homets::model

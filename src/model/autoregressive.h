@@ -1,0 +1,61 @@
+#ifndef HOMETS_MODEL_AUTOREGRESSIVE_H_
+#define HOMETS_MODEL_AUTOREGRESSIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::model {
+
+/// \brief AR(p) model fit by Yule–Walker equations (Levinson–Durbin).
+///
+/// Stands in for the paper's ARIMA discussion (Section 4.2): the model is
+/// fit to demonstrate — not to ship — that linear models capture the
+/// background hum but cannot predict the rare active-traffic bursts at
+/// 1-minute granularity. See `EvaluateBurstForecast`.
+struct ArModel {
+  std::vector<double> phi;  ///< AR coefficients φ₁..φ_p
+  double mean = 0.0;        ///< series mean (the model works on deviations)
+  double noise_variance = 0.0;
+  size_t order = 0;
+  double aic = 0.0;
+
+  /// One-step-ahead forecast given the `order` most recent observations
+  /// (history.back() is the latest value).
+  double ForecastOneStep(const std::vector<double>& history) const;
+};
+
+/// \brief Fits AR(p) with fixed order p >= 0 (p = 0 is the mean model).
+/// NaNs are mean-imputed; requires length > p + 1 and non-constant input.
+Result<ArModel> FitAr(const std::vector<double>& x, size_t p);
+
+/// \brief Fits AR models for p = 0..max_order and returns the AIC-best.
+Result<ArModel> FitArAicSelect(const std::vector<double>& x, size_t max_order);
+
+/// \brief How well one-step AR forecasts anticipate traffic-burst onsets.
+///
+/// A burst onset is an observation above `burst_threshold` whose previous
+/// observation was at or below it — the moment activity starts. The onset is
+/// anticipated when the forecast itself exceeds the threshold. Ongoing
+/// bursts are excluded on purpose: a linear model trivially "predicts" the
+/// continuation of a burst already in progress, while the paper's point
+/// (Section 4.2) is that the *starts* of active traffic are unpredictable at
+/// minute granularity.
+struct BurstForecastReport {
+  size_t n_forecasts = 0;
+  size_t n_bursts = 0;             ///< burst onsets observed
+  size_t n_bursts_anticipated = 0; ///< onsets with forecast > threshold
+  double recall = 0.0;
+  double rmse = 0.0;  ///< overall one-step RMSE
+};
+
+/// \brief Walk-forward one-step evaluation of `model` on `x` (same series or
+/// a held-out one).
+Result<BurstForecastReport> EvaluateBurstForecast(const ArModel& model,
+                                                  const std::vector<double>& x,
+                                                  double burst_threshold);
+
+}  // namespace homets::model
+
+#endif  // HOMETS_MODEL_AUTOREGRESSIVE_H_

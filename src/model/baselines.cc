@@ -1,0 +1,69 @@
+#include "model/baselines.h"
+
+#include <cmath>
+
+namespace homets::model {
+
+Result<SeasonalNaive> SeasonalNaive::Make(size_t period_steps) {
+  if (period_steps == 0) {
+    return Status::InvalidArgument("SeasonalNaive: period must be >= 1");
+  }
+  return SeasonalNaive(period_steps);
+}
+
+double SeasonalNaive::Forecast(const std::vector<double>& values,
+                               size_t t) const {
+  if (t < period_steps_) return std::nan("");
+  return values[t - period_steps_];
+}
+
+Result<ForecastComparison> CompareBaselines(const ts::TimeSeries& series,
+                                            size_t period_steps) {
+  if (period_steps == 0) {
+    return Status::InvalidArgument("CompareBaselines: period must be >= 1");
+  }
+  if (series.size() <= period_steps + 1) {
+    return Status::InvalidArgument("CompareBaselines: series too short");
+  }
+  const std::vector<double>& values = series.values();
+
+  double mean = 0.0;
+  size_t observed = 0;
+  for (double v : values) {
+    if (ts::TimeSeries::IsMissing(v)) continue;
+    mean += v;
+    ++observed;
+  }
+  if (observed < 2) {
+    return Status::InvalidArgument("CompareBaselines: too few observations");
+  }
+  mean /= static_cast<double>(observed);
+
+  HOMETS_ASSIGN_OR_RETURN(const SeasonalNaive seasonal,
+                          SeasonalNaive::Make(period_steps));
+  double se_seasonal = 0.0, se_last = 0.0, se_mean = 0.0;
+  size_t n = 0;
+  for (size_t t = period_steps; t < values.size(); ++t) {
+    const double actual = values[t];
+    if (ts::TimeSeries::IsMissing(actual)) continue;
+    double pred_seasonal = seasonal.Forecast(values, t);
+    if (std::isnan(pred_seasonal)) pred_seasonal = mean;
+    double pred_last = values[t - 1];
+    if (std::isnan(pred_last)) pred_last = mean;
+    se_seasonal += (pred_seasonal - actual) * (pred_seasonal - actual);
+    se_last += (pred_last - actual) * (pred_last - actual);
+    se_mean += (mean - actual) * (mean - actual);
+    ++n;
+  }
+  if (n == 0) {
+    return Status::ComputeError("CompareBaselines: nothing to forecast");
+  }
+  ForecastComparison out;
+  out.n_forecasts = n;
+  out.rmse_seasonal_naive = std::sqrt(se_seasonal / static_cast<double>(n));
+  out.rmse_last_value = std::sqrt(se_last / static_cast<double>(n));
+  out.rmse_mean = std::sqrt(se_mean / static_cast<double>(n));
+  return out;
+}
+
+}  // namespace homets::model

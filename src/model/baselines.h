@@ -1,0 +1,49 @@
+#ifndef HOMETS_MODEL_BASELINES_H_
+#define HOMETS_MODEL_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace homets::model {
+
+/// \brief Seasonal-naive forecaster: predicts the value observed one period
+/// earlier (x̂_t = x_{t−P}).
+///
+/// The natural "daily/weekly rhythm" baseline the AR comparison needs: if a
+/// gateway's traffic really repeats with period P, this forecaster wins.
+class SeasonalNaive {
+ public:
+  /// `period_steps` is in series steps (e.g. 1440 for daily at 1-min bins).
+  static Result<SeasonalNaive> Make(size_t period_steps);
+
+  size_t period_steps() const { return period_steps_; }
+
+  /// One-step forecast for index t of `values` (needs t >= period).
+  double Forecast(const std::vector<double>& values, size_t t) const;
+
+ private:
+  explicit SeasonalNaive(size_t period_steps) : period_steps_(period_steps) {}
+
+  size_t period_steps_;
+};
+
+/// \brief Walk-forward comparison of forecasters on a series.
+struct ForecastComparison {
+  double rmse_seasonal_naive = 0.0;
+  double rmse_last_value = 0.0;   ///< random-walk baseline x̂_t = x_{t−1}
+  double rmse_mean = 0.0;         ///< global-mean baseline
+  size_t n_forecasts = 0;
+};
+
+/// \brief Evaluates the three baselines over the observed values of
+/// `series` (missing values skipped as targets; missing inputs fall back to
+/// the series mean).
+Result<ForecastComparison> CompareBaselines(const ts::TimeSeries& series,
+                                            size_t period_steps);
+
+}  // namespace homets::model
+
+#endif  // HOMETS_MODEL_BASELINES_H_

@@ -1,0 +1,138 @@
+#include "sax/sax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace homets::sax {
+
+Result<std::vector<double>> Paa(const std::vector<double>& x,
+                                size_t segments) {
+  const size_t n = x.size();
+  if (segments == 0) return Status::InvalidArgument("PAA: segments must be >= 1");
+  if (n == 0) return Status::InvalidArgument("PAA: empty input");
+  if (segments > n) {
+    return Status::InvalidArgument("PAA: more segments than points");
+  }
+  for (double v : x) {
+    if (std::isnan(v)) return Status::InvalidArgument("PAA: NaN in input");
+  }
+  std::vector<double> out(segments, 0.0);
+  if (n % segments == 0) {
+    const size_t w = n / segments;
+    for (size_t s = 0; s < segments; ++s) {
+      double sum = 0.0;
+      for (size_t i = 0; i < w; ++i) sum += x[s * w + i];
+      out[s] = sum / static_cast<double>(w);
+    }
+    return out;
+  }
+  // Fractional weighting: point i contributes to segment ⌊i·segments/n⌋ with
+  // the overlap length of [i, i+1) and the segment interval.
+  const double seg_len = static_cast<double>(n) / static_cast<double>(segments);
+  for (size_t s = 0; s < segments; ++s) {
+    const double lo = static_cast<double>(s) * seg_len;
+    const double hi = lo + seg_len;
+    double sum = 0.0;
+    for (size_t i = static_cast<size_t>(lo); i < n && static_cast<double>(i) < hi;
+         ++i) {
+      const double overlap = std::min(hi, static_cast<double>(i) + 1.0) -
+                             std::max(lo, static_cast<double>(i));
+      if (overlap > 0.0) sum += x[i] * overlap;
+    }
+    out[s] = sum / seg_len;
+  }
+  return out;
+}
+
+Result<SaxEncoder> SaxEncoder::Make(size_t alphabet_size, size_t segments) {
+  if (alphabet_size < 2 || alphabet_size > 20) {
+    return Status::InvalidArgument("SAX: alphabet size must be in [2, 20]");
+  }
+  if (segments == 0) {
+    return Status::InvalidArgument("SAX: segments must be >= 1");
+  }
+  std::vector<double> breakpoints(alphabet_size - 1);
+  for (size_t i = 1; i < alphabet_size; ++i) {
+    breakpoints[i - 1] = stats::NormalQuantile(
+        static_cast<double>(i) / static_cast<double>(alphabet_size));
+  }
+  return SaxEncoder(alphabet_size, segments, std::move(breakpoints));
+}
+
+Result<std::string> SaxEncoder::Encode(const std::vector<double>& x) const {
+  if (x.size() < segments_) {
+    return Status::InvalidArgument("SAX: series shorter than segment count");
+  }
+  // z-normalize (the canonical SAX pre-step whose normality assumption the
+  // paper challenges for Zipfian traffic).
+  double mean = 0.0;
+  for (double v : x) {
+    if (std::isnan(v)) return Status::InvalidArgument("SAX: NaN in input");
+    mean += v;
+  }
+  mean /= static_cast<double>(x.size());
+  double ss = 0.0;
+  for (double v : x) ss += (v - mean) * (v - mean);
+  const double sd =
+      x.size() > 1 ? std::sqrt(ss / static_cast<double>(x.size() - 1)) : 0.0;
+  std::vector<double> z(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    z[i] = sd > 0.0 ? (x[i] - mean) / sd : 0.0;
+  }
+  HOMETS_ASSIGN_OR_RETURN(const std::vector<double> paa, Paa(z, segments_));
+  std::string word(segments_, 'a');
+  for (size_t s = 0; s < segments_; ++s) {
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(breakpoints_.begin(), breakpoints_.end(), paa[s]) -
+        breakpoints_.begin());
+    word[s] = static_cast<char>('a' + idx);
+  }
+  return word;
+}
+
+Result<double> SaxEncoder::MinDist(const std::string& a, const std::string& b,
+                                   size_t n) const {
+  if (a.size() != segments_ || b.size() != segments_) {
+    return Status::InvalidArgument("MINDIST: word length mismatch");
+  }
+  if (n < segments_) {
+    return Status::InvalidArgument("MINDIST: original length below segments");
+  }
+  auto cell = [this](char ca, char cb) {
+    const int i = ca - 'a';
+    const int j = cb - 'a';
+    if (std::abs(i - j) <= 1) return 0.0;
+    const int hi = std::max(i, j);
+    const int lo = std::min(i, j);
+    const double d = breakpoints_[static_cast<size_t>(hi - 1)] -
+                     breakpoints_[static_cast<size_t>(lo)];
+    return d * d;
+  };
+  double sum = 0.0;
+  for (size_t s = 0; s < segments_; ++s) sum += cell(a[s], b[s]);
+  return std::sqrt(static_cast<double>(n) / static_cast<double>(segments_)) *
+         std::sqrt(sum);
+}
+
+double SaxEncoder::SymbolDistributionSkew(
+    const std::vector<std::string>& words) const {
+  std::vector<size_t> counts(alphabet_size_, 0);
+  size_t total = 0;
+  for (const auto& w : words) {
+    for (char c : w) {
+      const size_t idx = static_cast<size_t>(c - 'a');
+      if (idx < alphabet_size_) {
+        ++counts[idx];
+        ++total;
+      }
+    }
+  }
+  if (total == 0) return 0.0;
+  const size_t max_count = *std::max_element(counts.begin(), counts.end());
+  const double top = static_cast<double>(max_count) / static_cast<double>(total);
+  return top - 1.0 / static_cast<double>(alphabet_size_);
+}
+
+}  // namespace homets::sax

@@ -1,0 +1,64 @@
+#ifndef HOMETS_SAX_SAX_H_
+#define HOMETS_SAX_SAX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::sax {
+
+/// \brief Piecewise Aggregate Approximation: mean of `segments` equal chunks.
+///
+/// Requires segments >= 1 and segments <= n. When n is not divisible by the
+/// segment count, fractional weighting is applied (the standard PAA
+/// definition).
+Result<std::vector<double>> Paa(const std::vector<double>& x, size_t segments);
+
+/// \brief Symbolic Aggregate approXimation (Lin, Keogh et al.).
+///
+/// Implemented as the related-work baseline: SAX assumes z-normalized values
+/// are standard normal and cuts them at Gaussian quantile breakpoints. The
+/// paper (Section 2) argues this is unsuitable for Zipfian traffic — the
+/// symbol distribution stays heavily skewed instead of uniform. The
+/// `SymbolDistributionSkew` helper quantifies that failure and is exercised
+/// in the benches.
+class SaxEncoder {
+ public:
+  /// Creates an encoder with `alphabet_size` in [2, 20] and `segments` >= 1.
+  static Result<SaxEncoder> Make(size_t alphabet_size, size_t segments);
+
+  /// Encodes a series: z-normalize → PAA → Gaussian-breakpoint symbols.
+  /// Symbols are 'a', 'b', ... in increasing value order.
+  Result<std::string> Encode(const std::vector<double>& x) const;
+
+  /// MINDIST lower bound between two SAX words of this encoder, scaled for
+  /// original length `n`.
+  Result<double> MinDist(const std::string& a, const std::string& b,
+                         size_t n) const;
+
+  /// Fraction of probability mass in the most frequent symbol of an encoded
+  /// corpus minus the uniform share 1/alphabet; 0 means the normality
+  /// assumption holds, values near 1 − 1/alphabet mean it is badly violated.
+  double SymbolDistributionSkew(const std::vector<std::string>& words) const;
+
+  size_t alphabet_size() const { return alphabet_size_; }
+  size_t segments() const { return segments_; }
+  const std::vector<double>& breakpoints() const { return breakpoints_; }
+
+ private:
+  SaxEncoder(size_t alphabet_size, size_t segments,
+             std::vector<double> breakpoints)
+      : alphabet_size_(alphabet_size),
+        segments_(segments),
+        breakpoints_(std::move(breakpoints)) {}
+
+  size_t alphabet_size_;
+  size_t segments_;
+  std::vector<double> breakpoints_;  ///< alphabet_size − 1 Gaussian quantiles
+};
+
+}  // namespace homets::sax
+
+#endif  // HOMETS_SAX_SAX_H_

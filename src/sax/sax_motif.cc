@@ -1,0 +1,37 @@
+#include "sax/sax_motif.h"
+
+#include <algorithm>
+#include <map>
+
+namespace homets::sax {
+
+Result<std::vector<SaxMotif>> DiscoverSaxMotifs(
+    const std::vector<ts::TimeSeries>& windows, const SaxEncoder& encoder,
+    size_t min_support) {
+  if (windows.empty()) {
+    return Status::InvalidArgument("DiscoverSaxMotifs: no windows");
+  }
+  std::map<std::string, std::vector<size_t>> buckets;
+  for (size_t w = 0; w < windows.size(); ++w) {
+    // Missing bins carry no traffic for this analysis.
+    const ts::TimeSeries filled = windows[w].FillMissing(0.0);
+    const auto word = encoder.Encode(filled.values());
+    if (!word.ok()) continue;  // window shorter than the segment count
+    buckets[*word].push_back(w);
+  }
+  std::vector<SaxMotif> motifs;
+  for (auto& [word, members] : buckets) {
+    if (members.size() < min_support) continue;
+    SaxMotif motif;
+    motif.word = word;
+    motif.members = std::move(members);
+    motifs.push_back(std::move(motif));
+  }
+  std::sort(motifs.begin(), motifs.end(),
+            [](const SaxMotif& a, const SaxMotif& b) {
+              return a.support() > b.support();
+            });
+  return motifs;
+}
+
+}  // namespace homets::sax

@@ -1,0 +1,37 @@
+#ifndef HOMETS_SAX_SAX_MOTIF_H_
+#define HOMETS_SAX_SAX_MOTIF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sax/sax.h"
+#include "ts/time_series.h"
+
+namespace homets::sax {
+
+/// \brief A motif found by SAX-word matching: windows whose SAX encodings
+/// are identical.
+struct SaxMotif {
+  std::string word;
+  std::vector<size_t> members;  ///< indices into the input windows
+
+  size_t support() const { return members.size(); }
+};
+
+/// \brief The GrammarViz/VizTree-style baseline the paper argues against
+/// (Section 2): encode each window with SAX and call identically-encoded
+/// windows a motif.
+///
+/// Windows that fail to encode (constant after z-normalization is fine;
+/// NaN-containing windows are skipped after zero-filling missing bins).
+/// Motifs with support >= `min_support` are returned, sorted by descending
+/// support. Used by the ablation bench to show how the Zipfian value
+/// distribution degrades SAX's discrimination compared to Definition 5.
+Result<std::vector<SaxMotif>> DiscoverSaxMotifs(
+    const std::vector<ts::TimeSeries>& windows, const SaxEncoder& encoder,
+    size_t min_support = 2);
+
+}  // namespace homets::sax
+
+#endif  // HOMETS_SAX_SAX_MOTIF_H_

@@ -1,0 +1,88 @@
+#include "simgen/behavior.h"
+
+namespace homets::simgen {
+
+std::string ProfileKindName(ProfileKind kind) {
+  switch (kind) {
+    case ProfileKind::kEvening:
+      return "evening";
+    case ProfileKind::kMorningEvening:
+      return "morning_evening";
+    case ProfileKind::kWorkday:
+      return "workday";
+    case ProfileKind::kWeekendHeavy:
+      return "weekend_heavy";
+    case ProfileKind::kAllDay:
+      return "all_day";
+    case ProfileKind::kNightOwl:
+      return "night_owl";
+  }
+  return "evening";
+}
+
+namespace {
+
+void FillHours(std::array<double, 24>* day, int from, int to, double w) {
+  // [from, to) with wrap-around across midnight; `to` is taken modulo 24 so
+  // that 24 means "until midnight".
+  from %= 24;
+  to %= 24;
+  int h = from;
+  do {
+    (*day)[static_cast<size_t>(h)] = w;
+    h = (h + 1) % 24;
+  } while (h != to);
+}
+
+}  // namespace
+
+BehaviorProfile::BehaviorProfile(ProfileKind kind) : kind_(kind) {
+  for (auto& day : weights_) day.fill(0.0);
+  switch (kind) {
+    case ProfileKind::kEvening:
+      for (int d = 0; d < 7; ++d) {
+        FillHours(&weights_[static_cast<size_t>(d)], 18, 23, 1.0);
+        FillHours(&weights_[static_cast<size_t>(d)], 17, 18, 0.4);
+        FillHours(&weights_[static_cast<size_t>(d)], 23, 0, 0.3);
+      }
+      break;
+    case ProfileKind::kMorningEvening:
+      for (int d = 0; d < 7; ++d) {
+        FillHours(&weights_[static_cast<size_t>(d)], 7, 9, 0.9);
+        FillHours(&weights_[static_cast<size_t>(d)], 19, 23, 1.0);
+      }
+      break;
+    case ProfileKind::kWorkday:
+      for (int d = 0; d < 5; ++d) {
+        FillHours(&weights_[static_cast<size_t>(d)], 9, 18, 1.0);
+        FillHours(&weights_[static_cast<size_t>(d)], 18, 21, 0.3);
+      }
+      // Quiet weekends: occasional light usage.
+      FillHours(&weights_[5], 10, 20, 0.15);
+      FillHours(&weights_[6], 10, 20, 0.15);
+      break;
+    case ProfileKind::kWeekendHeavy:
+      for (int d = 0; d < 5; ++d) {
+        FillHours(&weights_[static_cast<size_t>(d)], 19, 22, 0.25);
+      }
+      FillHours(&weights_[5], 9, 24, 1.0);   // Saturday
+      FillHours(&weights_[6], 9, 23, 1.0);   // Sunday
+      // Friday evening ramps into the weekend.
+      FillHours(&weights_[4], 19, 24, 0.8);
+      break;
+    case ProfileKind::kAllDay:
+      for (int d = 0; d < 7; ++d) {
+        FillHours(&weights_[static_cast<size_t>(d)], 8, 24, 0.8);
+        FillHours(&weights_[static_cast<size_t>(d)], 0, 2, 0.4);
+      }
+      break;
+    case ProfileKind::kNightOwl:
+      for (int d = 0; d < 7; ++d) {
+        FillHours(&weights_[static_cast<size_t>(d)], 22, 24, 1.0);
+        FillHours(&weights_[static_cast<size_t>(d)], 0, 3, 0.9);
+      }
+      break;
+  }
+}
+
+}  // namespace homets::simgen

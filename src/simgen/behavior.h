@@ -1,0 +1,63 @@
+#ifndef HOMETS_SIMGEN_BEHAVIOR_H_
+#define HOMETS_SIMGEN_BEHAVIOR_H_
+
+#include <array>
+#include <string>
+
+#include "ts/time_series.h"
+
+namespace homets::simgen {
+
+/// \brief Resident behavior archetypes.
+///
+/// Each profile is a deterministic hour-of-week activity template; residents
+/// drive their devices' active sessions through a profile. These archetypes
+/// are what make the paper's motif families emerge: evening profiles yield
+/// the "late evening users" daily motif, weekend-heavy profiles the "heavy
+/// weekend users" weekly motif, all-day profiles the fixed-device "all day
+/// users" motif, and so on.
+enum class ProfileKind {
+  kEvening,         ///< active 18:00–23:00 every day
+  kMorningEvening,  ///< bimodal: 07:00–09:00 and 19:00–23:00
+  kWorkday,         ///< weekday working hours (home office / fixed device)
+  kWeekendHeavy,    ///< light weekdays, heavy Saturday/Sunday
+  kAllDay,          ///< sustained day-and-evening usage (fixed devices)
+  kNightOwl,        ///< 22:00–03:00 — the night-active homes the paper notes
+};
+
+inline constexpr int kProfileKindCount = 6;
+
+/// \brief Short profile name for reports.
+std::string ProfileKindName(ProfileKind kind);
+
+/// \brief Hour-of-week activity template, one weight per (day, hour).
+///
+/// Weights are relative session-arrival intensities in [0, 1]; 0 means the
+/// resident never starts sessions in that hour.
+class BehaviorProfile {
+ public:
+  explicit BehaviorProfile(ProfileKind kind);
+
+  ProfileKind kind() const { return kind_; }
+
+  /// Weight for an absolute minute since the Monday epoch.
+  double WeightAt(int64_t minute) const {
+    const int day = static_cast<int>(ts::DayOfWeekAt(minute));
+    const int hour = static_cast<int>(ts::MinuteOfDay(minute) /
+                                      ts::kMinutesPerHour);
+    return weights_[static_cast<size_t>(day)][static_cast<size_t>(hour)];
+  }
+
+  /// Raw template access (day 0 = Monday).
+  const std::array<std::array<double, 24>, 7>& weights() const {
+    return weights_;
+  }
+
+ private:
+  ProfileKind kind_;
+  std::array<std::array<double, 24>, 7> weights_{};
+};
+
+}  // namespace homets::simgen
+
+#endif  // HOMETS_SIMGEN_BEHAVIOR_H_

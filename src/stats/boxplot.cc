@@ -1,0 +1,44 @@
+#include "stats/boxplot.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace homets::stats {
+
+Result<Boxplot> ComputeBoxplot(std::vector<double> xs, double whisker_factor) {
+  if (xs.empty()) return Status::InvalidArgument("ComputeBoxplot: empty input");
+  if (whisker_factor < 0.0) {
+    return Status::InvalidArgument("ComputeBoxplot: negative whisker factor");
+  }
+  std::sort(xs.begin(), xs.end());
+  Boxplot box;
+  HOMETS_ASSIGN_OR_RETURN(box.q1, Quantile(xs, 0.25));
+  HOMETS_ASSIGN_OR_RETURN(box.median, Quantile(xs, 0.5));
+  HOMETS_ASSIGN_OR_RETURN(box.q3, Quantile(xs, 0.75));
+  box.iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - whisker_factor * box.iqr;
+  const double hi_fence = box.q3 + whisker_factor * box.iqr;
+  // Whiskers reach to the most extreme observations inside the fences; with
+  // all data outside a fence (degenerate), fall back to the quartile itself.
+  box.lower_whisker = box.q1;
+  box.upper_whisker = box.q3;
+  for (double x : xs) {
+    if (x >= lo_fence) {
+      box.lower_whisker = x;
+      break;
+    }
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    if (*it <= hi_fence) {
+      box.upper_whisker = *it;
+      break;
+    }
+  }
+  for (double x : xs) {
+    if (x < lo_fence || x > hi_fence) box.outliers.push_back(x);
+  }
+  return box;
+}
+
+}  // namespace homets::stats

@@ -1,0 +1,47 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace homets::stats {
+
+Result<Ecdf> Ecdf::Fit(std::vector<double> sample) {
+  std::vector<double> clean;
+  clean.reserve(sample.size());
+  for (double x : sample) {
+    if (!std::isnan(x)) clean.push_back(x);
+  }
+  if (clean.empty()) {
+    return Status::InvalidArgument("Ecdf: no non-NaN observations");
+  }
+  std::sort(clean.begin(), clean.end());
+  return Ecdf(std::move(clean));
+}
+
+double Ecdf::Evaluate(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+Result<double> Ecdf::Quantile(double p) const {
+  if (!(p > 0.0) || p > 1.0) {
+    return Status::InvalidArgument("Ecdf::Quantile: p must be in (0, 1]");
+  }
+  const size_t idx = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double Ecdf::KsStatistic(const Ecdf& other) const {
+  double d = 0.0;
+  for (double x : sorted_) {
+    d = std::max(d, std::fabs(Evaluate(x) - other.Evaluate(x)));
+  }
+  for (double x : other.sorted_) {
+    d = std::max(d, std::fabs(Evaluate(x) - other.Evaluate(x)));
+  }
+  return d;
+}
+
+}  // namespace homets::stats

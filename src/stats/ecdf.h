@@ -1,0 +1,40 @@
+#ifndef HOMETS_STATS_ECDF_H_
+#define HOMETS_STATS_ECDF_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::stats {
+
+/// \brief Empirical cumulative distribution function of a sample.
+///
+/// Backs distribution comparisons and the reports' percentile lookups; NaNs
+/// are dropped at construction.
+class Ecdf {
+ public:
+  /// Builds the ECDF; needs at least one non-NaN observation.
+  static Result<Ecdf> Fit(std::vector<double> sample);
+
+  /// F(x) = fraction of observations <= x.
+  double Evaluate(double x) const;
+
+  /// Smallest observation q with F(q) >= p, p in (0, 1].
+  Result<double> Quantile(double p) const;
+
+  size_t size() const { return sorted_.size(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+  /// Kolmogorov–Smirnov statistic sup |F₁ − F₂| against another ECDF.
+  double KsStatistic(const Ecdf& other) const;
+
+ private:
+  explicit Ecdf(std::vector<double> sorted) : sorted_(std::move(sorted)) {}
+
+  std::vector<double> sorted_;
+};
+
+}  // namespace homets::stats
+
+#endif  // HOMETS_STATS_ECDF_H_

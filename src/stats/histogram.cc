@@ -1,0 +1,49 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+namespace homets::stats {
+
+Result<Histogram> Histogram::Make(double lo, double hi, size_t bins) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("Histogram: lo must be < hi");
+  }
+  if (bins == 0) {
+    return Status::InvalidArgument("Histogram: need at least one bin");
+  }
+  return Histogram(lo, hi, bins);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (std::isnan(x)) {
+    ++underflow_;  // missing counts as out-of-range low
+    return;
+  }
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t idx = static_cast<size_t>((x - lo_) / Width());
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // hi-edge rounding
+  ++counts_[idx];
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double Histogram::CumulativeFraction(size_t i) const {
+  size_t in_range = 0;
+  for (size_t c : counts_) in_range += c;
+  if (in_range == 0) return 0.0;
+  size_t cum = 0;
+  for (size_t j = 0; j <= i && j < counts_.size(); ++j) cum += counts_[j];
+  return static_cast<double>(cum) / static_cast<double>(in_range);
+}
+
+}  // namespace homets::stats

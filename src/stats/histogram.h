@@ -1,0 +1,62 @@
+#ifndef HOMETS_STATS_HISTOGRAM_H_
+#define HOMETS_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::stats {
+
+/// \brief Fixed-width histogram over [lo, hi) with `bins` equal bins.
+///
+/// Values outside the range are counted in `underflow`/`overflow` rather than
+/// silently dropped, so reports can show truncation (Figure 4's τ histograms
+/// truncate at 50 kB, for example).
+class Histogram {
+ public:
+  /// Creates an empty histogram; requires lo < hi and bins >= 1.
+  static Result<Histogram> Make(double lo, double hi, size_t bins);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Adds a batch of observations.
+  void AddAll(const std::vector<double>& xs);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t bins() const { return counts_.size(); }
+  const std::vector<size_t>& counts() const { return counts_; }
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+  size_t total() const { return total_; }
+
+  /// Left edge of bin `i`.
+  double BinLeft(size_t i) const {
+    return lo_ + static_cast<double>(i) * Width();
+  }
+
+  /// Bin width.
+  double Width() const {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+
+  /// Fraction of in-range observations at or below the right edge of bin `i`.
+  double CumulativeFraction(size_t i) const;
+
+ private:
+  Histogram(double lo, double hi, size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace homets::stats
+
+#endif  // HOMETS_STATS_HISTOGRAM_H_

@@ -1,0 +1,43 @@
+#ifndef HOMETS_STATS_KDE_H_
+#define HOMETS_STATS_KDE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::stats {
+
+/// \brief Gaussian kernel density estimator.
+///
+/// Used to approximate the traffic-value PDF of a gateway (Figure 1a); the
+/// heavy concentration near zero is what motivates the paper's background
+/// threshold.
+class KernelDensity {
+ public:
+  /// Fits the estimator to a sample of at least 2 points. `bandwidth <= 0`
+  /// selects Silverman's rule of thumb
+  /// h = 0.9 · min(σ, IQR/1.34) · n^{−1/5}.
+  static Result<KernelDensity> Fit(std::vector<double> sample,
+                                   double bandwidth = 0.0);
+
+  /// Density estimate at `x`.
+  double Evaluate(double x) const;
+
+  /// Density evaluated on `points` equally spaced points spanning
+  /// [min − 3h, max + 3h]. Returns (x, density) pairs.
+  std::vector<std::pair<double, double>> EvaluateGrid(size_t points) const;
+
+  double bandwidth() const { return bandwidth_; }
+  size_t sample_size() const { return sample_.size(); }
+
+ private:
+  KernelDensity(std::vector<double> sample, double bandwidth)
+      : sample_(std::move(sample)), bandwidth_(bandwidth) {}
+
+  std::vector<double> sample_;
+  double bandwidth_;
+};
+
+}  // namespace homets::stats
+
+#endif  // HOMETS_STATS_KDE_H_

@@ -1,0 +1,39 @@
+#ifndef HOMETS_STATS_SPECIAL_FUNCTIONS_H_
+#define HOMETS_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace homets::stats {
+
+/// \brief ln Γ(x) for x > 0 (Lanczos approximation, ~15 significant digits).
+double LogGamma(double x);
+
+/// \brief Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// \brief Regularized incomplete beta I_x(a, b), a, b > 0, x in [0, 1]
+/// (continued fraction, Numerical-Recipes style).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// \brief Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+/// \brief Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Input must be in (0, 1).
+double NormalQuantile(double p);
+
+/// \brief CDF of Student's t with `dof` degrees of freedom.
+double StudentTCdf(double t, double dof);
+
+/// \brief Two-sided p-value for a t statistic with `dof` degrees of freedom.
+double StudentTTwoSidedPValue(double t, double dof);
+
+/// \brief CDF of the chi-squared distribution with `dof` degrees of freedom.
+double ChiSquaredCdf(double x, double dof);
+
+/// \brief Complementary CDF Q(λ) of the Kolmogorov distribution,
+/// Q(λ) = 2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²). Used for the two-sample KS
+/// test's asymptotic p-value.
+double KolmogorovQ(double lambda);
+
+}  // namespace homets::stats
+
+#endif  // HOMETS_STATS_SPECIAL_FUNCTIONS_H_

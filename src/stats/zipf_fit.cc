@@ -1,0 +1,72 @@
+#include "stats/zipf_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace homets::stats {
+
+Result<ZipfFit> FitZipfRankFrequency(const std::vector<double>& sample,
+                                     size_t bins) {
+  if (bins < 3) return Status::InvalidArgument("FitZipf: need >= 3 bins");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  size_t positive = 0;
+  for (double x : sample) {
+    if (!(x > 0.0) || std::isnan(x)) continue;
+    ++positive;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (positive < 10) {
+    return Status::InvalidArgument("FitZipf: need >= 10 positive values");
+  }
+  if (!(hi > lo)) {
+    return Status::ComputeError("FitZipf: degenerate positive support");
+  }
+  // Logarithmic bins over [lo, hi].
+  const double log_lo = std::log(lo);
+  const double log_span = std::log(hi) - log_lo;
+  std::vector<size_t> counts(bins, 0);
+  for (double x : sample) {
+    if (!(x > 0.0) || std::isnan(x)) continue;
+    size_t idx = static_cast<size_t>((std::log(x) - log_lo) / log_span *
+                                     static_cast<double>(bins));
+    if (idx >= bins) idx = bins - 1;
+    ++counts[idx];
+  }
+  std::vector<double> freq;
+  for (size_t c : counts) {
+    if (c > 0) freq.push_back(static_cast<double>(c));
+  }
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+  if (freq.size() < 3) {
+    return Status::ComputeError("FitZipf: fewer than 3 non-empty ranks");
+  }
+  // OLS of log(freq) on log(rank).
+  const size_t m = freq.size();
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t r = 0; r < m; ++r) {
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(freq[r]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  const double mf = static_cast<double>(m);
+  const double sxx_c = sxx - sx * sx / mf;
+  const double sxy_c = sxy - sx * sy / mf;
+  const double syy_c = syy - sy * sy / mf;
+  if (sxx_c <= 0.0 || syy_c <= 0.0) {
+    return Status::ComputeError("FitZipf: degenerate regression");
+  }
+  ZipfFit fit;
+  const double slope = sxy_c / sxx_c;
+  fit.exponent = -slope;
+  fit.r_squared = (sxy_c * sxy_c) / (sxx_c * syy_c);
+  fit.ranks_used = m;
+  return fit;
+}
+
+}  // namespace homets::stats

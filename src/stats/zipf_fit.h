@@ -1,0 +1,34 @@
+#ifndef HOMETS_STATS_ZIPF_FIT_H_
+#define HOMETS_STATS_ZIPF_FIT_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::stats {
+
+/// \brief Result of a rank-frequency power-law fit.
+///
+/// The paper observes (Section 4.1) that gateway traffic values follow
+/// Zipf's law: when positive traffic values are binned and bin frequencies
+/// sorted descending, log(frequency) is linear in log(rank) with negative
+/// slope. `exponent` is the magnitude of that slope and `r_squared` the OLS
+/// goodness of fit; `r_squared` near 1 with `exponent` around or above 1
+/// indicates Zipfian structure.
+struct ZipfFit {
+  double exponent = 0.0;   ///< −slope of log f vs log rank
+  double r_squared = 0.0;  ///< OLS fit quality in log–log space
+  size_t ranks_used = 0;   ///< number of non-empty frequency ranks
+};
+
+/// \brief Fits Zipf's law to a sample by value-binning.
+///
+/// Positive values are discretized into `bins` logarithmic bins; bin counts
+/// are sorted into a rank-frequency curve and fit by OLS in log–log space.
+/// Requires at least 3 non-empty ranks.
+Result<ZipfFit> FitZipfRankFrequency(const std::vector<double>& sample,
+                                     size_t bins = 64);
+
+}  // namespace homets::stats
+
+#endif  // HOMETS_STATS_ZIPF_FIT_H_

@@ -1,0 +1,59 @@
+#include "stattests/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace homets::stattests {
+
+Result<KsTest> KolmogorovSmirnov(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  std::vector<double> xs, ys;
+  xs.reserve(a.size());
+  ys.reserve(b.size());
+  for (double v : a) {
+    if (!std::isnan(v)) xs.push_back(v);
+  }
+  for (double v : b) {
+    if (!std::isnan(v)) ys.push_back(v);
+  }
+  if (xs.size() < 2 || ys.size() < 2) {
+    return Status::InvalidArgument(
+        "KolmogorovSmirnov: need >= 2 observations per sample");
+  }
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+
+  // Walk the two sorted samples in merge order tracking the ECDF gap.
+  double d = 0.0;
+  size_t i = 0, j = 0;
+  const double n1 = static_cast<double>(xs.size());
+  const double n2 = static_cast<double>(ys.size());
+  while (i < xs.size() && j < ys.size()) {
+    const double x1 = xs[i];
+    const double x2 = ys[j];
+    if (x1 <= x2) {
+      while (i < xs.size() && xs[i] == x1) ++i;
+    }
+    if (x2 <= x1) {
+      while (j < ys.size() && ys[j] == x2) ++j;
+    }
+    const double f1 = static_cast<double>(i) / n1;
+    const double f2 = static_cast<double>(j) / n2;
+    d = std::max(d, std::fabs(f1 - f2));
+  }
+
+  KsTest test;
+  test.statistic = d;
+  test.n1 = xs.size();
+  test.n2 = ys.size();
+  const double ne = n1 * n2 / (n1 + n2);
+  const double sqrt_ne = std::sqrt(ne);
+  // Stephens' small-sample correction to the asymptotic distribution.
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  test.p_value = stats::KolmogorovQ(lambda);
+  return test;
+}
+
+}  // namespace homets::stattests

@@ -1,0 +1,33 @@
+#ifndef HOMETS_STATTESTS_KS_TEST_H_
+#define HOMETS_STATTESTS_KS_TEST_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::stattests {
+
+/// \brief Two-sample Kolmogorov–Smirnov test.
+///
+/// Non-parametric comparison of two empirical distributions; the paper uses
+/// it (Definition 2) to require that a strongly stationary gateway keeps the
+/// same traffic distribution across non-overlapping windows, precisely
+/// because the traffic is Zipfian rather than normal.
+struct KsTest {
+  double statistic = 0.0;  ///< D = sup |F₁ − F₂|
+  double p_value = 1.0;    ///< asymptotic (Kolmogorov distribution)
+  size_t n1 = 0;
+  size_t n2 = 0;
+
+  /// True when the "same distribution" null is rejected at `alpha`.
+  bool Rejected(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// \brief Runs the test; NaNs are dropped; each sample needs >= 2
+/// observations after dropping.
+Result<KsTest> KolmogorovSmirnov(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+}  // namespace homets::stattests
+
+#endif  // HOMETS_STATTESTS_KS_TEST_H_

@@ -1,0 +1,67 @@
+#include "stattests/mann_whitney.h"
+
+#include <cmath>
+
+#include "stats/ranks.h"
+#include "stats/special_functions.h"
+
+namespace homets::stattests {
+
+Result<MannWhitneyTest> MannWhitneyU(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  std::vector<double> pooled;
+  pooled.reserve(a.size() + b.size());
+  size_t n1 = 0, n2 = 0;
+  for (double x : a) {
+    if (!std::isnan(x)) {
+      pooled.push_back(x);
+      ++n1;
+    }
+  }
+  for (double x : b) {
+    if (!std::isnan(x)) {
+      pooled.push_back(x);
+      ++n2;
+    }
+  }
+  if (n1 < 2 || n2 < 2) {
+    return Status::InvalidArgument(
+        "MannWhitneyU: need >= 2 observations per sample");
+  }
+  const std::vector<double> ranks = stats::AverageRanks(pooled);
+  double rank_sum_1 = 0.0;
+  for (size_t i = 0; i < n1; ++i) rank_sum_1 += ranks[i];
+
+  const double n1f = static_cast<double>(n1);
+  const double n2f = static_cast<double>(n2);
+  const double u1 = rank_sum_1 - n1f * (n1f + 1.0) / 2.0;
+  const double mean_u = n1f * n2f / 2.0;
+
+  // Tie-corrected variance.
+  const double n = n1f + n2f;
+  double tie_term = 0.0;
+  for (size_t t : stats::TieGroupSizes(pooled)) {
+    const double tf = static_cast<double>(t);
+    tie_term += tf * tf * tf - tf;
+  }
+  const double var_u =
+      n1f * n2f / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    return Status::ComputeError("MannWhitneyU: all pooled values tied");
+  }
+
+  MannWhitneyTest test;
+  test.u_statistic = u1;
+  test.n1 = n1;
+  test.n2 = n2;
+  // Continuity correction toward the mean.
+  const double diff = u1 - mean_u;
+  const double corrected =
+      diff > 0.5 ? diff - 0.5 : (diff < -0.5 ? diff + 0.5 : 0.0);
+  test.z = corrected / std::sqrt(var_u);
+  test.p_value = 2.0 * (1.0 - stats::NormalCdf(std::fabs(test.z)));
+  if (test.p_value > 1.0) test.p_value = 1.0;
+  return test;
+}
+
+}  // namespace homets::stattests

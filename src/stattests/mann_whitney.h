@@ -1,0 +1,33 @@
+#ifndef HOMETS_STATTESTS_MANN_WHITNEY_H_
+#define HOMETS_STATTESTS_MANN_WHITNEY_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::stattests {
+
+/// \brief Mann–Whitney U test (Wilcoxon rank-sum), two-sided.
+///
+/// Complements the KS test in the strong-stationarity analysis: KS reacts to
+/// any distribution difference, Mann–Whitney specifically to a location
+/// shift — useful to tell *how* two traffic windows differ. Tie-corrected
+/// normal approximation.
+struct MannWhitneyTest {
+  double u_statistic = 0.0;  ///< U of the first sample
+  double z = 0.0;            ///< standardized statistic
+  double p_value = 1.0;
+  size_t n1 = 0;
+  size_t n2 = 0;
+
+  bool Rejected(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// \brief Runs the test; NaNs dropped, each sample needs >= 2 observations
+/// after dropping, and the pooled sample must not be entirely tied.
+Result<MannWhitneyTest> MannWhitneyU(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+}  // namespace homets::stattests
+
+#endif  // HOMETS_STATTESTS_MANN_WHITNEY_H_

@@ -1,0 +1,140 @@
+#include "stattests/ols.h"
+
+#include <cmath>
+
+namespace homets::stattests {
+
+namespace {
+
+// Solves A z = b in place (A is k×k row-major) by Gaussian elimination with
+// partial pivoting. Returns false on (near-)singularity. On success A holds
+// junk and b holds the solution.
+bool SolveInPlace(std::vector<double>* a, std::vector<double>* b, size_t k) {
+  auto at = [&](size_t r, size_t c) -> double& { return (*a)[r * k + c]; };
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(at(col, col));
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(at(r, col)) > best) {
+        best = std::fabs(at(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < k; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap((*b)[pivot], (*b)[col]);
+    }
+    for (size_t r = col + 1; r < k; ++r) {
+      const double factor = at(r, col) / at(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < k; ++c) at(r, c) -= factor * at(col, c);
+      (*b)[r] -= factor * (*b)[col];
+    }
+  }
+  for (size_t col = k; col-- > 0;) {
+    double sum = (*b)[col];
+    for (size_t c = col + 1; c < k; ++c) sum -= at(col, c) * (*b)[c];
+    (*b)[col] = sum / at(col, col);
+  }
+  return true;
+}
+
+// Inverts A (k×k row-major) via Gauss-Jordan; returns empty on singularity.
+std::vector<double> Invert(std::vector<double> a, size_t k) {
+  std::vector<double> inv(k * k, 0.0);
+  for (size_t i = 0; i < k; ++i) inv[i * k + i] = 1.0;
+  auto at = [&](std::vector<double>& m, size_t r, size_t c) -> double& {
+    return m[r * k + c];
+  };
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(at(a, col, col));
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(at(a, r, col)) > best) {
+        best = std::fabs(at(a, r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return {};
+    if (pivot != col) {
+      for (size_t c = 0; c < k; ++c) {
+        std::swap(at(a, pivot, c), at(a, col, c));
+        std::swap(at(inv, pivot, c), at(inv, col, c));
+      }
+    }
+    const double d = at(a, col, col);
+    for (size_t c = 0; c < k; ++c) {
+      at(a, col, c) /= d;
+      at(inv, col, c) /= d;
+    }
+    for (size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double factor = at(a, r, col);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < k; ++c) {
+        at(a, r, c) -= factor * at(a, col, c);
+        at(inv, r, c) -= factor * at(inv, col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+Result<OlsFit> FitOls(const std::vector<double>& x, size_t n_rows,
+                      size_t n_cols, const std::vector<double>& y) {
+  if (n_cols == 0 || n_rows <= n_cols) {
+    return Status::InvalidArgument("FitOls: need n_rows > n_cols >= 1");
+  }
+  if (x.size() != n_rows * n_cols || y.size() != n_rows) {
+    return Status::InvalidArgument("FitOls: shape mismatch");
+  }
+  // Normal equations: (X'X) β = X'y.
+  std::vector<double> xtx(n_cols * n_cols, 0.0);
+  std::vector<double> xty(n_cols, 0.0);
+  for (size_t r = 0; r < n_rows; ++r) {
+    const double* row = &x[r * n_cols];
+    for (size_t i = 0; i < n_cols; ++i) {
+      xty[i] += row[i] * y[r];
+      for (size_t j = i; j < n_cols; ++j) xtx[i * n_cols + j] += row[i] * row[j];
+    }
+  }
+  for (size_t i = 0; i < n_cols; ++i) {
+    for (size_t j = 0; j < i; ++j) xtx[i * n_cols + j] = xtx[j * n_cols + i];
+  }
+  const std::vector<double> xtx_inv = Invert(xtx, n_cols);
+  if (xtx_inv.empty()) {
+    return Status::ComputeError("FitOls: singular design matrix");
+  }
+  std::vector<double> beta = xtx;  // reuse storage shape; recompute via solve
+  beta = xty;
+  std::vector<double> xtx_copy = xtx;
+  if (!SolveInPlace(&xtx_copy, &beta, n_cols)) {
+    return Status::ComputeError("FitOls: singular design matrix");
+  }
+
+  OlsFit fit;
+  fit.coefficients = beta;
+  fit.n = n_rows;
+  fit.k = n_cols;
+  double rss = 0.0;
+  for (size_t r = 0; r < n_rows; ++r) {
+    double pred = 0.0;
+    const double* row = &x[r * n_cols];
+    for (size_t j = 0; j < n_cols; ++j) pred += row[j] * beta[j];
+    const double e = y[r] - pred;
+    rss += e * e;
+  }
+  fit.rss = rss;
+  fit.sigma2 = rss / static_cast<double>(n_rows - n_cols);
+  fit.standard_errors.resize(n_cols);
+  for (size_t j = 0; j < n_cols; ++j) {
+    const double v = fit.sigma2 * xtx_inv[j * n_cols + j];
+    fit.standard_errors[j] = v > 0.0 ? std::sqrt(v) : 0.0;
+  }
+  return fit;
+}
+
+}  // namespace homets::stattests

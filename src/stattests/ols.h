@@ -1,0 +1,37 @@
+#ifndef HOMETS_STATTESTS_OLS_H_
+#define HOMETS_STATTESTS_OLS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::stattests {
+
+/// \brief Ordinary least squares fit of y on a design matrix X.
+///
+/// Small dense problems only (the ADF regression has a handful of
+/// regressors), solved by normal equations with partial-pivot Gaussian
+/// elimination.
+struct OlsFit {
+  std::vector<double> coefficients;    ///< β̂, one per design column
+  std::vector<double> standard_errors; ///< se(β̂)
+  double sigma2 = 0.0;                 ///< residual variance (n − k dof)
+  double rss = 0.0;                    ///< residual sum of squares
+  size_t n = 0;                        ///< observations
+  size_t k = 0;                        ///< regressors
+
+  /// t statistic of coefficient `j`.
+  double TStat(size_t j) const {
+    return standard_errors[j] > 0.0 ? coefficients[j] / standard_errors[j]
+                                    : 0.0;
+  }
+};
+
+/// \brief Fits y ≈ X β. `x` is row-major with `n_rows` rows of `n_cols`
+/// columns; requires n_rows > n_cols and a non-singular X'X.
+Result<OlsFit> FitOls(const std::vector<double>& x, size_t n_rows,
+                      size_t n_cols, const std::vector<double>& y);
+
+}  // namespace homets::stattests
+
+#endif  // HOMETS_STATTESTS_OLS_H_

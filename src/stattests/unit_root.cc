@@ -1,0 +1,157 @@
+#include "stattests/unit_root.h"
+
+#include <cmath>
+
+#include "correlation/acf.h"
+#include "stats/special_functions.h"
+#include "stattests/ols.h"
+
+namespace homets::stattests {
+
+namespace {
+
+Result<std::vector<double>> ImputedCopy(const std::vector<double>& x) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : x) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  if (n < 2) {
+    return Status::InvalidArgument("unit root test: too few observations");
+  }
+  const double mean = sum / static_cast<double>(n);
+  std::vector<double> out = x;
+  for (double& v : out) {
+    if (std::isnan(v)) v = mean;
+  }
+  return out;
+}
+
+// MacKinnon (2010) response-surface critical values for the
+// constant-no-trend ADF t statistic: τ(T) = β∞ + β₁/T + β₂/T².
+double MacKinnonCritical(double beta_inf, double beta1, double beta2,
+                         double t_obs) {
+  return beta_inf + beta1 / t_obs + beta2 / (t_obs * t_obs);
+}
+
+}  // namespace
+
+Result<AdfTest> AugmentedDickeyFuller(const std::vector<double>& x, int lags) {
+  HOMETS_ASSIGN_OR_RETURN(const std::vector<double> y, ImputedCopy(x));
+  const size_t n = y.size();
+  size_t p;
+  if (lags < 0) {
+    p = static_cast<size_t>(
+        12.0 * std::pow(static_cast<double>(n) / 100.0, 0.25));
+  } else {
+    p = static_cast<size_t>(lags);
+  }
+  // Regression sample: t runs over indices where y_{t-1} and p lagged
+  // differences exist.
+  if (n < p + 10) {
+    return Status::InvalidArgument("ADF: series too short for lag order");
+  }
+  std::vector<double> diff(n - 1);
+  for (size_t t = 1; t < n; ++t) diff[t - 1] = y[t] - y[t - 1];
+
+  const size_t first = p + 1;        // first usable t (index into y)
+  const size_t rows = n - first;     // observations in the regression
+  const size_t cols = 2 + p;         // const, y_{t-1}, p lagged diffs
+  if (rows <= cols + 1) {
+    return Status::InvalidArgument("ADF: insufficient observations");
+  }
+  std::vector<double> design(rows * cols);
+  std::vector<double> target(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t t = first + r;  // current time index into y
+    target[r] = diff[t - 1];     // Δy_t
+    double* row = &design[r * cols];
+    row[0] = 1.0;
+    row[1] = y[t - 1];
+    for (size_t i = 1; i <= p; ++i) row[1 + i] = diff[t - 1 - i];  // Δy_{t−i}
+  }
+  HOMETS_ASSIGN_OR_RETURN(const OlsFit fit, FitOls(design, rows, cols, target));
+
+  AdfTest test;
+  test.statistic = fit.TStat(1);
+  test.lags = p;
+  test.n_obs = rows;
+  const double t_obs = static_cast<double>(rows);
+  test.crit_1pct = MacKinnonCritical(-3.43035, -6.5393, -16.786, t_obs);
+  test.crit_5pct = MacKinnonCritical(-2.86154, -2.8903, -4.234, t_obs);
+  test.crit_10pct = MacKinnonCritical(-2.56677, -1.5384, -2.809, t_obs);
+  return test;
+}
+
+Result<KpssTest> Kpss(const std::vector<double>& x, int bandwidth) {
+  HOMETS_ASSIGN_OR_RETURN(const std::vector<double> y, ImputedCopy(x));
+  const size_t n = y.size();
+  if (n < 10) return Status::InvalidArgument("KPSS: need >= 10 observations");
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+
+  std::vector<double> e(n);
+  for (size_t t = 0; t < n; ++t) e[t] = y[t] - mean;
+
+  // Partial sums and their squared total.
+  double s = 0.0;
+  double sum_s2 = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    s += e[t];
+    sum_s2 += s * s;
+  }
+
+  size_t l;
+  if (bandwidth < 0) {
+    l = static_cast<size_t>(
+        4.0 * std::pow(static_cast<double>(n) / 100.0, 0.25));
+  } else {
+    l = static_cast<size_t>(bandwidth);
+  }
+  if (l >= n) l = n - 1;
+
+  // Newey–West long-run variance with Bartlett weights.
+  double gamma0 = 0.0;
+  for (double v : e) gamma0 += v * v;
+  gamma0 /= static_cast<double>(n);
+  double lrv = gamma0;
+  for (size_t k = 1; k <= l; ++k) {
+    double gk = 0.0;
+    for (size_t t = k; t < n; ++t) gk += e[t] * e[t - k];
+    gk /= static_cast<double>(n);
+    const double w = 1.0 - static_cast<double>(k) / static_cast<double>(l + 1);
+    lrv += 2.0 * w * gk;
+  }
+  if (lrv <= 0.0) return Status::ComputeError("KPSS: non-positive variance");
+
+  KpssTest test;
+  test.statistic =
+      sum_s2 / (static_cast<double>(n) * static_cast<double>(n) * lrv);
+  test.bandwidth = l;
+  test.n_obs = n;
+  return test;
+}
+
+Result<LjungBoxTest> LjungBox(const std::vector<double>& x, size_t h) {
+  if (h == 0) return Status::InvalidArgument("LjungBox: h must be >= 1");
+  if (x.size() < h + 2) {
+    return Status::InvalidArgument("LjungBox: series too short");
+  }
+  HOMETS_ASSIGN_OR_RETURN(const auto acf, correlation::Acf(x, h));
+  const double n = static_cast<double>(x.size());
+  double q = 0.0;
+  for (size_t k = 1; k <= h; ++k) {
+    q += acf.acf[k] * acf.acf[k] / (n - static_cast<double>(k));
+  }
+  q *= n * (n + 2.0);
+  LjungBoxTest test;
+  test.statistic = q;
+  test.lags = h;
+  test.p_value = 1.0 - stats::ChiSquaredCdf(q, static_cast<double>(h));
+  return test;
+}
+
+}  // namespace homets::stattests

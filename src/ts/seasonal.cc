@@ -1,0 +1,128 @@
+#include "ts/seasonal.h"
+
+#include <cmath>
+
+namespace homets::ts {
+
+double SeasonalProfile::MeanAt(int64_t minute) const {
+  if (means.empty() || period_minutes <= 0 || step_minutes <= 0) return 0.0;
+  int64_t phase = minute % period_minutes;
+  if (phase < 0) phase += period_minutes;
+  const size_t bin = static_cast<size_t>(phase / step_minutes);
+  return bin < means.size() ? means[bin] : 0.0;
+}
+
+Result<SeasonalProfile> EstimateSeasonalProfile(const TimeSeries& series,
+                                                int64_t period_minutes) {
+  if (period_minutes <= 0) {
+    return Status::InvalidArgument("seasonal: period must be positive");
+  }
+  if (period_minutes % series.step_minutes() != 0) {
+    return Status::InvalidArgument(
+        "seasonal: period must be a multiple of the series step");
+  }
+  if (series.CountObserved() == 0) {
+    return Status::InvalidArgument("seasonal: no observations");
+  }
+  SeasonalProfile profile;
+  profile.period_minutes = period_minutes;
+  profile.step_minutes = series.step_minutes();
+  const size_t bins =
+      static_cast<size_t>(period_minutes / series.step_minutes());
+  profile.means.assign(bins, 0.0);
+  profile.counts.assign(bins, 0);
+
+  double total = 0.0;
+  size_t observed = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double v = series[i];
+    if (TimeSeries::IsMissing(v)) continue;
+    int64_t phase = series.MinuteAt(i) % period_minutes;
+    if (phase < 0) phase += period_minutes;
+    const size_t bin = static_cast<size_t>(phase / series.step_minutes());
+    profile.means[bin] += v;
+    ++profile.counts[bin];
+    total += v;
+    ++observed;
+  }
+  const double overall = total / static_cast<double>(observed);
+  for (size_t b = 0; b < bins; ++b) {
+    profile.means[b] = profile.counts[b] > 0
+                           ? profile.means[b] /
+                                 static_cast<double>(profile.counts[b])
+                           : overall;
+  }
+  return profile;
+}
+
+Result<TimeSeries> Deseasonalize(const TimeSeries& series,
+                                 const SeasonalProfile& profile) {
+  if (profile.step_minutes != series.step_minutes()) {
+    return Status::InvalidArgument("deseasonalize: step mismatch");
+  }
+  TimeSeries out = series;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (TimeSeries::IsMissing(out[i])) continue;
+    out[i] -= profile.MeanAt(out.MinuteAt(i));
+  }
+  return out;
+}
+
+Result<double> Burstiness(const TimeSeries& series, double event_threshold) {
+  std::vector<double> gaps;
+  int64_t last_event = -1;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double v = series[i];
+    if (TimeSeries::IsMissing(v) || v <= event_threshold) continue;
+    const int64_t minute = series.MinuteAt(i);
+    if (last_event >= 0) {
+      gaps.push_back(static_cast<double>(minute - last_event));
+    }
+    last_event = minute;
+  }
+  if (gaps.size() < 2) {
+    return Status::InvalidArgument("Burstiness: need >= 3 events");
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  const double sd = std::sqrt(var);
+  if (sd + mean == 0.0) {
+    return Status::ComputeError("Burstiness: degenerate inter-event times");
+  }
+  return (sd - mean) / (sd + mean);
+}
+
+Result<double> SeasonalStrength(const TimeSeries& series,
+                                const SeasonalProfile& profile) {
+  HOMETS_ASSIGN_OR_RETURN(const TimeSeries residual,
+                          Deseasonalize(series, profile));
+  auto variance = [](const TimeSeries& s) -> double {
+    double mean = 0.0;
+    size_t n = 0;
+    for (double v : s.values()) {
+      if (TimeSeries::IsMissing(v)) continue;
+      mean += v;
+      ++n;
+    }
+    if (n < 2) return 0.0;
+    mean /= static_cast<double>(n);
+    double ss = 0.0;
+    for (double v : s.values()) {
+      if (TimeSeries::IsMissing(v)) continue;
+      ss += (v - mean) * (v - mean);
+    }
+    return ss / static_cast<double>(n - 1);
+  };
+  const double var_series = variance(series);
+  if (var_series <= 0.0) {
+    return Status::ComputeError("SeasonalStrength: constant series");
+  }
+  const double strength = 1.0 - variance(residual) / var_series;
+  return strength < 0.0 ? 0.0 : (strength > 1.0 ? 1.0 : strength);
+}
+
+}  // namespace homets::ts

@@ -1,0 +1,55 @@
+#ifndef HOMETS_TS_SEASONAL_H_
+#define HOMETS_TS_SEASONAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace homets::ts {
+
+/// \brief Average seasonal profile of a series.
+///
+/// The related-work discussion (Section 2, Jo et al.) asks whether the
+/// inhomogeneity of human-driven traffic is explained by daily/weekly
+/// seasonality: after removing the seasonal mean, bursty data stays bursty.
+/// These helpers implement that de-seasoning analysis for home traffic.
+struct SeasonalProfile {
+  int64_t period_minutes = 0;  ///< kMinutesPerDay or kMinutesPerWeek
+  int64_t step_minutes = 0;
+  /// Mean value per phase bin; size = period / step.
+  std::vector<double> means;
+  /// Observations that contributed to each phase bin.
+  std::vector<size_t> counts;
+
+  /// Seasonal mean for an absolute minute (phase lookup).
+  double MeanAt(int64_t minute) const;
+};
+
+/// \brief Estimates the seasonal profile with the given period. The period
+/// must be a multiple of the series' step; phases with no observations get
+/// the overall mean.
+Result<SeasonalProfile> EstimateSeasonalProfile(const TimeSeries& series,
+                                                int64_t period_minutes);
+
+/// \brief Removes the seasonal mean: residual_t = x_t − seasonal(t).
+/// Missing values stay missing.
+Result<TimeSeries> Deseasonalize(const TimeSeries& series,
+                                 const SeasonalProfile& profile);
+
+/// \brief Burstiness coefficient B = (σ − μ) / (σ + μ) of the inter-event
+/// times of values above `event_threshold` (Goh & Barabási). B → −1 for a
+/// regular signal, 0 for Poisson, → 1 for extremely bursty behavior. The
+/// paper's claim (via [14]): home traffic stays bursty even after
+/// de-seasoning. Requires at least 3 events.
+Result<double> Burstiness(const TimeSeries& series, double event_threshold);
+
+/// \brief Seasonal strength: 1 − Var(residual) / Var(series), computed over
+/// observed values (clamped to [0, 1]). 0 means seasonality explains
+/// nothing.
+Result<double> SeasonalStrength(const TimeSeries& series,
+                                const SeasonalProfile& profile);
+
+}  // namespace homets::ts
+
+#endif  // HOMETS_TS_SEASONAL_H_

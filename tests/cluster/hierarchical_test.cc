@@ -1,0 +1,136 @@
+#include "cluster/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace homets::cluster {
+namespace {
+
+// Distance matrix with two tight groups {0,1,2} and {3,4} far apart.
+DistanceMatrix TwoClusterMatrix() {
+  auto dist = DistanceMatrix::Make(5).value();
+  const std::vector<std::vector<double>> d{
+      {0.0, 0.1, 0.15, 0.9, 0.95},
+      {0.1, 0.0, 0.12, 0.92, 0.9},
+      {0.15, 0.12, 0.0, 0.88, 0.91},
+      {0.9, 0.92, 0.88, 0.0, 0.05},
+      {0.95, 0.9, 0.91, 0.05, 0.0},
+  };
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) dist.Set(i, j, d[i][j]);
+  }
+  return dist;
+}
+
+TEST(DistanceMatrixTest, SetIsSymmetric) {
+  auto dist = DistanceMatrix::Make(3).value();
+  dist.Set(0, 2, 0.7);
+  EXPECT_DOUBLE_EQ(dist.At(0, 2), 0.7);
+  EXPECT_DOUBLE_EQ(dist.At(2, 0), 0.7);
+  EXPECT_DOUBLE_EQ(dist.At(1, 1), 0.0);
+}
+
+TEST(DistanceMatrixTest, ZeroSizeRejected) {
+  EXPECT_FALSE(DistanceMatrix::Make(0).ok());
+}
+
+TEST(AgglomerativeTest, ProducesNMinusOneMerges) {
+  const auto tree =
+      AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();
+  EXPECT_EQ(tree.n_leaves, 5u);
+  EXPECT_EQ(tree.merges.size(), 4u);
+}
+
+TEST(AgglomerativeTest, MergeDistancesNonDecreasingForAverageLinkage) {
+  const auto tree =
+      AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();
+  for (size_t i = 1; i < tree.merges.size(); ++i) {
+    EXPECT_GE(tree.merges[i].distance, tree.merges[i - 1].distance - 1e-12);
+  }
+}
+
+TEST(AgglomerativeTest, CutRecoversPlantedClusters) {
+  // The Figure 3 operation: distance 1 − cor, cut at 0.4.
+  const auto tree =
+      AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();
+  const auto labels = tree.CutAt(0.4);
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(tree.CountClustersAt(0.4), 2u);
+}
+
+TEST(AgglomerativeTest, CutAtZeroIsAllSingletons) {
+  const auto tree =
+      AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();
+  EXPECT_EQ(tree.CountClustersAt(-1.0), 5u);
+}
+
+TEST(AgglomerativeTest, CutAtMaxIsOneCluster) {
+  const auto tree =
+      AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();
+  EXPECT_EQ(tree.CountClustersAt(10.0), 1u);
+}
+
+TEST(AgglomerativeTest, SingleLeafTrivial) {
+  const auto dist = DistanceMatrix::Make(1).value();
+  const auto tree = AgglomerativeCluster(dist, Linkage::kSingle).value();
+  EXPECT_EQ(tree.merges.size(), 0u);
+  EXPECT_EQ(tree.CountClustersAt(0.5), 1u);
+}
+
+TEST(AgglomerativeTest, SingleLinkageChains) {
+  // Chain 0-1-2-3 with gaps 0.1; single linkage merges the whole chain at
+  // 0.1 while complete linkage needs the full diameter.
+  auto dist = DistanceMatrix::Make(4).value();
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      dist.Set(i, j, 0.1 * static_cast<double>(j - i));
+    }
+  }
+  const auto single = AgglomerativeCluster(dist, Linkage::kSingle).value();
+  EXPECT_NEAR(single.merges.back().distance, 0.1, 1e-12);
+  const auto complete =
+      AgglomerativeCluster(dist, Linkage::kComplete).value();
+  EXPECT_NEAR(complete.merges.back().distance, 0.3, 1e-12);
+}
+
+TEST(AgglomerativeTest, AverageLinkageBetweenSingleAndComplete) {
+  const auto m = TwoClusterMatrix();
+  const double s =
+      AgglomerativeCluster(m, Linkage::kSingle).value().merges.back().distance;
+  const double a = AgglomerativeCluster(m, Linkage::kAverage)
+                       .value()
+                       .merges.back()
+                       .distance;
+  const double c = AgglomerativeCluster(m, Linkage::kComplete)
+                       .value()
+                       .merges.back()
+                       .distance;
+  EXPECT_LE(s, a + 1e-12);
+  EXPECT_LE(a, c + 1e-12);
+}
+
+TEST(AgglomerativeTest, MergeSizesAccountForAllLeaves) {
+  const auto tree =
+      AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();
+  EXPECT_EQ(tree.merges.back().size, 5u);
+}
+
+TEST(DendrogramTest, CutLabelsAreCompact) {
+  const auto tree =
+      AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();
+  const auto labels = tree.CutAt(0.4);
+  std::set<size_t> distinct(labels.begin(), labels.end());
+  // Labels must be 0..k−1.
+  size_t expect = 0;
+  for (size_t l : distinct) EXPECT_EQ(l, expect++);
+}
+
+}  // namespace
+}  // namespace homets::cluster

@@ -1,0 +1,72 @@
+#include "cluster/rand_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace homets::cluster {
+namespace {
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  EXPECT_DOUBLE_EQ(
+      AdjustedRandIndex({0, 0, 1, 1, 2}, {0, 0, 1, 1, 2}).value(), 1.0);
+}
+
+TEST(AriTest, RelabeledPartitionsScoreOne) {
+  // ARI is invariant to label permutation.
+  EXPECT_DOUBLE_EQ(
+      AdjustedRandIndex({0, 0, 1, 1, 2}, {5, 5, 9, 9, 7}).value(), 1.0);
+}
+
+TEST(AriTest, KnownSmallExample) {
+  // Classic example: ARI of {0,0,1,1} vs {0,1,1,1}.
+  // Pairs: joint table {0,0}:1 {0,1}:1 {1,1}:2 → sum_joint = C(2,2) = 1;
+  // rows: 2,2 → 2; cols: 1,3 → 3; total pairs = 6; expected = 1;
+  // ARI = (1 − 1) / (2.5 − 1) = 0.
+  EXPECT_NEAR(AdjustedRandIndex({0, 0, 1, 1}, {0, 1, 1, 1}).value(), 0.0,
+              1e-12);
+}
+
+TEST(AriTest, IndependentRandomLabelsNearZero) {
+  Rng rng(1);
+  std::vector<size_t> a(2000), b(2000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.UniformInt(4);
+    b[i] = rng.UniformInt(4);
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b).value(), 0.0, 0.02);
+}
+
+TEST(AriTest, PartialAgreementBetweenZeroAndOne) {
+  // Same as truth but with 20% of labels scrambled.
+  Rng rng(2);
+  std::vector<size_t> truth(1000), noisy(1000);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.UniformInt(3);
+    noisy[i] = rng.Bernoulli(0.2) ? rng.UniformInt(3) : truth[i];
+  }
+  const double ari = AdjustedRandIndex(truth, noisy).value();
+  EXPECT_GT(ari, 0.4);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(AriTest, SymmetricInArguments) {
+  const std::vector<size_t> a{0, 0, 1, 2, 2, 1};
+  const std::vector<size_t> b{1, 1, 0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b).value(),
+                   AdjustedRandIndex(b, a).value());
+}
+
+TEST(AriTest, DegenerateEqualPartitions) {
+  // All-singletons vs all-singletons, and one-cluster vs one-cluster.
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 1, 2}, {2, 0, 1}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 0, 0}, {1, 1, 1}).value(), 1.0);
+}
+
+TEST(AriTest, InvalidInputs) {
+  EXPECT_FALSE(AdjustedRandIndex({}, {}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({0, 1}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace homets::cluster

@@ -1,0 +1,81 @@
+#include "cluster/silhouette.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace homets::cluster {
+namespace {
+
+// Two tight planted groups {0,1,2} and {3,4}.
+DistanceMatrix TwoClusterMatrix() {
+  auto dist = DistanceMatrix::Make(5).value();
+  const std::vector<std::vector<double>> d{
+      {0.0, 0.1, 0.15, 0.9, 0.95},
+      {0.1, 0.0, 0.12, 0.92, 0.9},
+      {0.15, 0.12, 0.0, 0.88, 0.91},
+      {0.9, 0.92, 0.88, 0.0, 0.05},
+      {0.95, 0.9, 0.91, 0.05, 0.0},
+  };
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) dist.Set(i, j, d[i][j]);
+  }
+  return dist;
+}
+
+TEST(SilhouetteTest, CorrectClusteringScoresHigh) {
+  const auto score =
+      MeanSilhouette(TwoClusterMatrix(), {0, 0, 0, 1, 1}).value();
+  EXPECT_GT(score, 0.8);
+}
+
+TEST(SilhouetteTest, WrongClusteringScoresLow) {
+  const auto good =
+      MeanSilhouette(TwoClusterMatrix(), {0, 0, 0, 1, 1}).value();
+  const auto bad =
+      MeanSilhouette(TwoClusterMatrix(), {0, 1, 0, 1, 0}).value();
+  EXPECT_LT(bad, good);
+  EXPECT_LT(bad, 0.2);
+}
+
+TEST(SilhouetteTest, SingletonContributesZero) {
+  // {0,1,2} vs {3} vs {4}: item 3 and 4 are singletons.
+  const auto score =
+      MeanSilhouette(TwoClusterMatrix(), {0, 0, 0, 1, 2}).value();
+  // Still positive thanks to the tight first group, but reduced by the two
+  // zero-contribution singletons.
+  EXPECT_GT(score, 0.0);
+  const auto full = MeanSilhouette(TwoClusterMatrix(), {0, 0, 0, 1, 1}).value();
+  EXPECT_LT(score, full);
+}
+
+TEST(SilhouetteTest, InvalidInputs) {
+  const auto dist = TwoClusterMatrix();
+  EXPECT_FALSE(MeanSilhouette(dist, {0, 0, 0}).ok());          // size mismatch
+  EXPECT_FALSE(MeanSilhouette(dist, {0, 0, 0, 0, 0}).ok());    // one cluster
+  EXPECT_FALSE(MeanSilhouette(dist, {0, 1, 2, 3, 4}).ok());    // n clusters
+}
+
+TEST(BestCutTest, FindsThePlantedStructure) {
+  const auto dist = TwoClusterMatrix();
+  const auto tree = AgglomerativeCluster(dist, Linkage::kAverage).value();
+  const auto sweep = BestCutBySilhouette(dist, tree).value();
+  EXPECT_EQ(sweep.best_clusters, 2u);
+  EXPECT_GT(sweep.best_score, 0.8);
+  // Cutting at the best threshold reproduces the planted labels.
+  const auto labels = tree.CutAt(sweep.best_threshold);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(BestCutTest, TwoLeavesUnscorable) {
+  auto dist = DistanceMatrix::Make(2).value();
+  dist.Set(0, 1, 1.0);
+  const auto tree = AgglomerativeCluster(dist, Linkage::kAverage).value();
+  // Only possible cuts: 2 singletons (k = n) or 1 cluster — neither scorable.
+  EXPECT_FALSE(BestCutBySilhouette(dist, tree).ok());
+}
+
+}  // namespace
+}  // namespace homets::cluster

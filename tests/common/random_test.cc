@@ -1,0 +1,216 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace homets {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(ss / n - mean * mean, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParametersShiftsAndScales) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ParetoRespectsScaleFloor) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.Pareto(3.0, 2.5), 3.0);
+  }
+}
+
+TEST(RngTest, ParetoIsHeavyTailed) {
+  // With alpha = 1.2 the sample max should dwarf the median.
+  Rng rng(31);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.Pareto(1.0, 1.2);
+  std::sort(xs.begin(), xs.end());
+  const double median = xs[xs.size() / 2];
+  EXPECT_GT(xs.back(), 50.0 * median);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(37);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerateCases) {
+  Rng rng(38);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(41);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaLargeUsesNormalApprox) {
+  Rng rng(43);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(200.0);
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(44);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ZipfRanksWithinBoundsAndSkewed) {
+  Rng rng(47);
+  const int n = 50000;
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < n; ++i) {
+    const int k = rng.Zipf(10, 1.2);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 10);
+    ++counts[k];
+  }
+  // Rank 1 must dominate rank 10 heavily under s = 1.2.
+  EXPECT_GT(counts[1], 5 * counts[10]);
+  // Monotone-ish decay at the head.
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(53);
+  const int n = 100000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.7, 0.01);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverChosen) {
+  Rng rng(54);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(rng.Categorical({1.0, 0.0, 1.0}), 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = xs;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, xs);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(61);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  Rng child1_again = parent.Fork(1);
+  EXPECT_EQ(child1.Next(), child1_again.Next());
+  EXPECT_NE(child1.Next(), child2.Next());
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng a(67);
+  Rng b(67);
+  (void)a.Fork(9);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace homets

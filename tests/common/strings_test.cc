@@ -1,0 +1,63 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace homets {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s-%c", "gw", 'x'), "gw-x");
+}
+
+TEST(StrFormatTest, EmptyFormat) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_arg(5000, 'a');
+  EXPECT_EQ(StrFormat("%s", long_arg.c_str()).size(), 5000u);
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  const auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrSplitTest, NoDelimiterYieldsWholeString) {
+  const auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrSplitTest, TrailingDelimiterYieldsEmptyTail) {
+  const auto parts = StrSplit("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"one"}, ", "), "one");
+}
+
+TEST(StrTrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(StrTrim("  x y \t\n"), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim(" \t "), "");
+  EXPECT_EQ(StrTrim("none"), "none");
+}
+
+TEST(StartsWithTest, PrefixChecks) {
+  EXPECT_TRUE(StartsWith("gateway", "gate"));
+  EXPECT_TRUE(StartsWith("gateway", ""));
+  EXPECT_FALSE(StartsWith("gate", "gateway"));
+  EXPECT_FALSE(StartsWith("gateway", "way"));
+}
+
+}  // namespace
+}  // namespace homets

@@ -1,0 +1,133 @@
+#include "core/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/motif.h"
+
+namespace homets::core {
+namespace {
+
+// A gateway world: gateway 1 repeats an evening shape on most days but has
+// one wildly different day; gateway 2 contributes unrelated but regular
+// morning days.
+struct World {
+  std::vector<ts::TimeSeries> windows;
+  std::vector<WindowProvenance> provenance;
+  size_t anomaly_index = 0;
+};
+
+World MakeWorld(uint64_t seed) {
+  Rng rng(seed);
+  World world;
+  auto push = [&](int gateway, std::vector<double> v) {
+    const int64_t start =
+        static_cast<int64_t>(world.windows.size()) * ts::kMinutesPerDay;
+    world.provenance.push_back({gateway, start});
+    world.windows.emplace_back(start, 180, std::move(v));
+  };
+  auto evening = [&] {
+    std::vector<double> v(8, 0.0);
+    v[6] = 5e6 * rng.LogNormal(0.0, 0.1);
+    v[7] = 7e6 * rng.LogNormal(0.0, 0.1);
+    return v;
+  };
+  auto morning = [&] {
+    std::vector<double> v(8, 0.0);
+    v[2] = 4e6 * rng.LogNormal(0.0, 0.1);
+    v[3] = 6e6 * rng.LogNormal(0.0, 0.1);
+    return v;
+  };
+  for (int d = 0; d < 6; ++d) push(1, evening());
+  // The anomalous day of gateway 1: all-night blast.
+  {
+    std::vector<double> v(8, 0.0);
+    v[0] = 9e6;
+    v[1] = 9e6;
+    world.anomaly_index = world.windows.size();
+    push(1, std::move(v));
+  }
+  for (int d = 0; d < 6; ++d) push(2, morning());
+  return world;
+}
+
+TEST(AnomalyTest, FlagsTheDeviantDay) {
+  const World world = MakeWorld(1);
+  const auto motifs = MotifDiscovery().Discover(world.windows).value();
+  ASSERT_GE(motifs.size(), 2u);
+  const auto anomalies =
+      FindPatternAnomalies(world.windows, world.provenance, motifs).value();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].window_index, world.anomaly_index);
+  EXPECT_EQ(anomalies[0].gateway_id, 1);
+  EXPECT_LT(anomalies[0].best_pattern_similarity, 0.4);
+  EXPECT_GT(anomalies[0].window_volume, 1e7);
+}
+
+TEST(AnomalyTest, RegularDaysNotFlagged) {
+  const World world = MakeWorld(2);
+  const auto motifs = MotifDiscovery().Discover(world.windows).value();
+  const auto anomalies =
+      FindPatternAnomalies(world.windows, world.provenance, motifs).value();
+  for (const auto& anomaly : anomalies) {
+    EXPECT_EQ(anomaly.window_index, world.anomaly_index);
+  }
+}
+
+TEST(AnomalyTest, GatewaysWithoutPatternSkipped) {
+  // A lone gateway whose days never repeat (a single disjoint spike per
+  // day) forms no motifs → no anomalies, by design: no pattern, no
+  // deviation.
+  std::vector<ts::TimeSeries> windows;
+  std::vector<WindowProvenance> provenance;
+  for (int d = 0; d < 5; ++d) {
+    std::vector<double> v(8, 0.0);
+    v[static_cast<size_t>(d)] = 5e6;
+    provenance.push_back({9, d * ts::kMinutesPerDay});
+    windows.emplace_back(d * ts::kMinutesPerDay, 180, std::move(v));
+  }
+  const auto motifs = MotifDiscovery().Discover(windows).value();
+  EXPECT_TRUE(motifs.empty());
+  const auto anomalies =
+      FindPatternAnomalies(windows, provenance, motifs).value();
+  EXPECT_TRUE(anomalies.empty());
+}
+
+TEST(AnomalyTest, SortedMostDeviantFirst) {
+  World world = MakeWorld(4);
+  // Add a second, milder deviation: evening shifted by one slot.
+  {
+    std::vector<double> v(8, 0.0);
+    v[5] = 5e6;
+    v[6] = 7e6;
+    const int64_t start =
+        static_cast<int64_t>(world.windows.size()) * ts::kMinutesPerDay;
+    world.provenance.push_back({1, start});
+    world.windows.emplace_back(start, 180, std::move(v));
+  }
+  const auto motifs = MotifDiscovery().Discover(world.windows).value();
+  AnomalyOptions options;
+  options.similarity_floor = 0.9;  // catch both deviations
+  const auto anomalies =
+      FindPatternAnomalies(world.windows, world.provenance, motifs, options)
+          .value();
+  for (size_t i = 1; i < anomalies.size(); ++i) {
+    EXPECT_LE(anomalies[i - 1].best_pattern_similarity,
+              anomalies[i].best_pattern_similarity);
+  }
+}
+
+TEST(AnomalyTest, InvalidInputs) {
+  const World world = MakeWorld(5);
+  const auto motifs = MotifDiscovery().Discover(world.windows).value();
+  std::vector<WindowProvenance> short_provenance(world.provenance.begin(),
+                                                 world.provenance.end() - 1);
+  EXPECT_FALSE(
+      FindPatternAnomalies(world.windows, short_provenance, motifs).ok());
+  EXPECT_FALSE(FindPatternAnomalies({}, {}, motifs).ok());
+}
+
+}  // namespace
+}  // namespace homets::core

@@ -1,0 +1,171 @@
+#include "core/background.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/similarity.h"
+#include "simgen/fleet.h"
+
+namespace homets::core {
+namespace {
+
+ts::TimeSeries BackgroundWithBursts(double base, double burst, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.LogNormal(std::log(base), 0.6);
+    if (rng.Bernoulli(0.01)) x += burst;
+  }
+  return ts::TimeSeries(0, 1, std::move(v));
+}
+
+TEST(TauGroupTest, PaperBoundaries) {
+  EXPECT_EQ(ClassifyTau(100.0), TauGroup::kSmall);
+  EXPECT_EQ(ClassifyTau(5000.0), TauGroup::kSmall);
+  EXPECT_EQ(ClassifyTau(5000.1), TauGroup::kMedium);
+  EXPECT_EQ(ClassifyTau(40000.0), TauGroup::kMedium);
+  EXPECT_EQ(ClassifyTau(40001.0), TauGroup::kLarge);
+  EXPECT_EQ(TauGroupName(TauGroup::kSmall), "small");
+  EXPECT_EQ(TauGroupName(TauGroup::kMedium), "medium");
+  EXPECT_EQ(TauGroupName(TauGroup::kLarge), "large");
+}
+
+TEST(BackgroundThresholdTest, TauSeparatesBackgroundFromBursts) {
+  const auto traffic = BackgroundWithBursts(300.0, 1e6, 5000, 1);
+  const auto bg = EstimateBackgroundThreshold(traffic).value();
+  EXPECT_GT(bg.tau, 300.0);   // above the background median
+  EXPECT_LT(bg.tau, 1e5);     // far below burst scale
+}
+
+TEST(BackgroundThresholdTest, TauBackCappedAt5000) {
+  // A chatty fixed device with high background: τ_back caps at 5000.
+  const auto traffic = BackgroundWithBursts(30000.0, 1e7, 5000, 2);
+  const auto bg = EstimateBackgroundThreshold(traffic).value();
+  EXPECT_GT(bg.tau, kBackgroundCapBytes);
+  EXPECT_DOUBLE_EQ(bg.tau_back, kBackgroundCapBytes);
+}
+
+TEST(BackgroundThresholdTest, LowBackgroundTauBackIsTau) {
+  const auto traffic = BackgroundWithBursts(100.0, 1e6, 5000, 3);
+  const auto bg = EstimateBackgroundThreshold(traffic).value();
+  if (bg.tau < kBackgroundCapBytes) {
+    EXPECT_DOUBLE_EQ(bg.tau_back, bg.tau);
+  }
+}
+
+TEST(BackgroundThresholdTest, GroupAssignedFromTau) {
+  const auto low = EstimateBackgroundThreshold(
+                       BackgroundWithBursts(100.0, 1e6, 3000, 4))
+                       .value();
+  EXPECT_EQ(low.group, TauGroup::kSmall);
+  const auto high = EstimateBackgroundThreshold(
+                        BackgroundWithBursts(50000.0, 1e7, 3000, 5))
+                        .value();
+  EXPECT_EQ(high.group, TauGroup::kLarge);
+}
+
+TEST(BackgroundThresholdTest, MissingValuesIgnored) {
+  auto traffic = BackgroundWithBursts(200.0, 1e6, 1000, 6);
+  for (size_t i = 0; i < traffic.size(); i += 7) {
+    traffic[i] = ts::TimeSeries::Missing();
+  }
+  const auto bg = EstimateBackgroundThreshold(traffic).value();
+  EXPECT_LT(bg.observations, 1000u);
+  EXPECT_GT(bg.tau, 0.0);
+}
+
+TEST(BackgroundThresholdTest, TooFewObservationsError) {
+  ts::TimeSeries tiny(0, 1, {1, 2, 3});
+  EXPECT_FALSE(EstimateBackgroundThreshold(tiny).ok());
+}
+
+TEST(DeviceBackgroundTest, PerDirectionEstimates) {
+  simgen::DeviceTrace dev;
+  dev.incoming = BackgroundWithBursts(400.0, 2e6, 2000, 7);
+  dev.outgoing = BackgroundWithBursts(80.0, 2e5, 2000, 8);
+  const auto bg = EstimateDeviceBackground(dev).value();
+  EXPECT_GT(bg.incoming.tau, bg.outgoing.tau);
+}
+
+TEST(ActiveTrafficTest, RemovesBackgroundKeepsBursts) {
+  simgen::DeviceTrace dev;
+  dev.incoming = BackgroundWithBursts(300.0, 1e6, 5000, 9);
+  dev.outgoing = BackgroundWithBursts(50.0, 1e5, 5000, 10);
+  const auto active = ActiveTraffic(dev).value();
+  size_t zeros = 0, bursts = 0, observed = 0;
+  for (double v : active.values()) {
+    if (ts::TimeSeries::IsMissing(v)) continue;
+    ++observed;
+    if (v == 0.0) ++zeros;
+    if (v > 1e5) ++bursts;
+  }
+  // Most minutes are background → zeroed; bursts survive.
+  EXPECT_GT(static_cast<double>(zeros) / observed, 0.8);
+  EXPECT_GT(bursts, 10u);
+}
+
+TEST(ActiveTrafficTest, ActiveNeverExceedsRaw) {
+  simgen::DeviceTrace dev;
+  dev.incoming = BackgroundWithBursts(300.0, 1e6, 2000, 11);
+  dev.outgoing = BackgroundWithBursts(60.0, 1e5, 2000, 12);
+  const auto active = ActiveTraffic(dev).value();
+  const auto raw = dev.TotalTraffic();
+  for (size_t i = 0; i < active.size(); ++i) {
+    if (ts::TimeSeries::IsMissing(active[i])) continue;
+    EXPECT_LE(active[i], raw[i] + 1e-9);
+  }
+}
+
+TEST(ActiveAggregateTest, FleetGatewayProducesActiveSeries) {
+  simgen::SimConfig config;
+  config.n_gateways = 2;
+  config.weeks = 1;
+  config.seed = 21;
+  const auto gw = simgen::FleetGenerator(config).Generate(0);
+  const auto active = ActiveAggregate(gw);
+  ASSERT_FALSE(active.empty());
+  // Active mass is a strict subset of raw mass.
+  EXPECT_LT(active.Sum(), gw.AggregateTraffic().Sum());
+  EXPECT_GT(active.Sum(), 0.0);
+}
+
+TEST(ActiveAggregateTest, RevealsMoreRegularity) {
+  // Removing background raises the week-over-week correlation — the paper's
+  // Section 7 observation (7% → 11% stationary gateways).
+  simgen::SimConfig config;
+  config.n_gateways = 6;
+  config.weeks = 3;  // two full 2am-anchored weekly windows need > 2 weeks
+  config.seed = 22;
+  config.long_outage_prob = 0.0;
+  config.unreliable_daily_prob = 0.0;
+  simgen::FleetGenerator gen(config);
+  double raw_cor = 0.0, active_cor = 0.0;
+  int counted = 0;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = gen.Generate(id);
+    const auto split = [&](const ts::TimeSeries& s) {
+      auto agg = ts::Aggregate(s, 480, 120, ts::AggKind::kSum);
+      return ts::SliceWindows(*agg, ts::kMinutesPerWeek, 120);
+    };
+    const auto raw_weeks = split(gw.AggregateTraffic());
+    const auto act_weeks = split(ActiveAggregate(gw));
+    if (raw_weeks.size() < 2 || act_weeks.size() < 2) continue;
+    raw_cor += CorrelationSimilarity(raw_weeks[0].values(),
+                                     raw_weeks[1].values())
+                   .value;
+    active_cor += CorrelationSimilarity(act_weeks[0].values(),
+                                        act_weeks[1].values())
+                      .value;
+    ++counted;
+  }
+  ASSERT_GT(counted, 3);
+  // Averaged over gateways, active correlation should not be much below raw
+  // (usually above); allow slack for randomness.
+  EXPECT_GT(active_cor / counted, raw_cor / counted - 0.25);
+}
+
+}  // namespace
+}  // namespace homets::core

@@ -1,0 +1,191 @@
+#include "core/motif_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+
+namespace homets::core {
+namespace {
+
+// A deterministic two-gateway world with evening-driver devices, giving
+// motif members something to dominate.
+class MotifAnalysisFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int id = 0; id < 2; ++id) {
+      gateways_[id] = MakeGateway(static_cast<uint64_t>(id) + 1);
+      overall_[id] = FindDominantDevices(gateways_[id]);
+    }
+    // Daily windows at 60-minute bins over 3 days for both gateways.
+    for (int id = 0; id < 2; ++id) {
+      for (int day = 0; day < 3; ++day) {
+        provenance_.push_back({id, day * ts::kMinutesPerDay});
+      }
+    }
+    motif_.members = {0, 1, 2, 3, 4, 5};
+  }
+
+  static simgen::GatewayTrace MakeGateway(uint64_t seed) {
+    Rng rng(seed);
+    const size_t minutes = static_cast<size_t>(3 * ts::kMinutesPerDay);
+    simgen::GatewayTrace gw;
+    std::vector<double> driver(minutes), side(minutes);
+    for (size_t m = 0; m < minutes; ++m) {
+      const int hour = static_cast<int>((m / 60) % 24);
+      driver[m] = (hour >= 18 && hour < 23)
+                      ? rng.LogNormal(std::log(7e5), 0.4)
+                      : rng.LogNormal(std::log(150), 0.4);
+      side[m] = rng.LogNormal(std::log(250), 0.5);
+    }
+    auto make_dev = [&](const std::string& name, std::vector<double> in,
+                        simgen::DeviceType type) {
+      simgen::DeviceTrace dev;
+      dev.name = name;
+      dev.true_type = type;
+      dev.reported_type = type;
+      std::vector<double> out(in.size());
+      for (size_t i = 0; i < in.size(); ++i) out[i] = 0.1 * in[i];
+      dev.incoming = ts::TimeSeries(0, 1, std::move(in));
+      dev.outgoing = ts::TimeSeries(0, 1, std::move(out));
+      return dev;
+    };
+    gw.devices.push_back(
+        make_dev("tv", driver, simgen::DeviceType::kPortable));
+    gw.devices.push_back(make_dev("hub", side, simgen::DeviceType::kFixed));
+    return gw;
+  }
+
+  GatewayProvider Provider() {
+    return [this](int id) -> const simgen::GatewayTrace* {
+      const auto it = gateways_.find(id);
+      return it == gateways_.end() ? nullptr : &it->second;
+    };
+  }
+
+  MotifAnalysisOptions Options() const {
+    MotifAnalysisOptions options;
+    options.granularity_minutes = 60;
+    options.anchor_offset_minutes = 0;
+    options.window_minutes = ts::kMinutesPerDay;
+    return options;
+  }
+
+  std::map<int, simgen::GatewayTrace> gateways_;
+  std::map<int, std::vector<DominantDevice>> overall_;
+  std::vector<WindowProvenance> provenance_;
+  Motif motif_;
+};
+
+TEST_F(MotifAnalysisFixture, BasicCounts) {
+  const auto result =
+      CharacterizeMotif(motif_, provenance_, Provider(), overall_, Options())
+          .value();
+  EXPECT_EQ(result.support, 6u);
+  EXPECT_EQ(result.distinct_gateways, 2u);
+  EXPECT_DOUBLE_EQ(result.within_gateway_fraction, 1.0);
+}
+
+TEST_F(MotifAnalysisFixture, DominantDevicesFoundPerWindow) {
+  const auto result =
+      CharacterizeMotif(motif_, provenance_, Provider(), overall_, Options())
+          .value();
+  size_t windows_with_dominants = 0;
+  for (size_t count = 1; count < result.dominant_count_histogram.size();
+       ++count) {
+    windows_with_dominants += result.dominant_count_histogram[count];
+  }
+  EXPECT_GE(windows_with_dominants, 4u);
+}
+
+TEST_F(MotifAnalysisFixture, DominantTypesReflectDrivers) {
+  const auto result =
+      CharacterizeMotif(motif_, provenance_, Provider(), overall_, Options())
+          .value();
+  // The evening driver is portable in both gateways.
+  const auto it = result.dominant_type_counts.find(
+      simgen::DeviceType::kPortable);
+  ASSERT_NE(it, result.dominant_type_counts.end());
+  EXPECT_GE(it->second, 4u);
+}
+
+TEST_F(MotifAnalysisFixture, WindowDominantsOverlapOverall) {
+  const auto result =
+      CharacterizeMotif(motif_, provenance_, Provider(), overall_, Options())
+          .value();
+  // Overall dominant is the same evening driver, so most windows overlap.
+  size_t with_overlap = 0;
+  for (size_t k = 1; k < result.overlap_count_histogram.size(); ++k) {
+    with_overlap += result.overlap_count_histogram[k];
+  }
+  EXPECT_GE(with_overlap, 4u);
+}
+
+TEST_F(MotifAnalysisFixture, DayMixCountsWeekdays) {
+  const auto result =
+      CharacterizeMotif(motif_, provenance_, Provider(), overall_, Options())
+          .value();
+  // Days 0..2 from the Monday epoch are Mon/Tue/Wed — all workdays.
+  EXPECT_EQ(result.workday_members, 6u);
+  EXPECT_EQ(result.weekend_members, 0u);
+}
+
+TEST_F(MotifAnalysisFixture, WeekendWindowsClassified) {
+  Motif weekend_motif;
+  weekend_motif.members = {0, 1};
+  std::vector<WindowProvenance> weekend_prov{
+      {0, 5 * ts::kMinutesPerDay},  // Saturday
+      {0, 6 * ts::kMinutesPerDay},  // Sunday
+  };
+  // Gateway 0 only spans 3 days; dominance windows will be empty but day
+  // classification still applies.
+  const auto result = CharacterizeMotif(weekend_motif, weekend_prov,
+                                        Provider(), overall_, Options())
+                          .value();
+  EXPECT_EQ(result.weekend_members, 2u);
+  EXPECT_EQ(result.workday_members, 0u);
+}
+
+TEST_F(MotifAnalysisFixture, MissingGatewaySkipped) {
+  std::vector<WindowProvenance> prov{{99, 0}, {0, 0}};
+  Motif motif;
+  motif.members = {0, 1};
+  const auto result =
+      CharacterizeMotif(motif, prov, Provider(), overall_, Options()).value();
+  EXPECT_EQ(result.support, 2u);
+  // Only the member from gateway 0 contributed dominance histograms.
+  size_t histogram_total = 0;
+  for (size_t c : result.dominant_count_histogram) histogram_total += c;
+  EXPECT_EQ(histogram_total, 1u);
+}
+
+TEST_F(MotifAnalysisFixture, ErrorsOnBadInputs) {
+  EXPECT_FALSE(
+      CharacterizeMotif(Motif{}, provenance_, Provider(), overall_, Options())
+          .ok());
+  MotifAnalysisOptions bad = Options();
+  bad.window_minutes = 0;
+  EXPECT_FALSE(
+      CharacterizeMotif(motif_, provenance_, Provider(), overall_, bad).ok());
+  Motif out_of_range;
+  out_of_range.members = {999};
+  EXPECT_FALSE(CharacterizeMotif(out_of_range, provenance_, Provider(),
+                                 overall_, Options())
+                   .ok());
+}
+
+TEST_F(MotifAnalysisFixture, WeeklyWindowsSkipDayMix) {
+  MotifAnalysisOptions weekly = Options();
+  weekly.window_minutes = ts::kMinutesPerWeek;
+  Motif motif;
+  motif.members = {0, 3};
+  const auto result = CharacterizeMotif(motif, provenance_, Provider(),
+                                        overall_, weekly)
+                          .value();
+  EXPECT_EQ(result.workday_members + result.weekend_members, 0u);
+}
+
+}  // namespace
+}  // namespace homets::core

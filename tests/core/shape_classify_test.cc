@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/motif_analysis.h"
+
+namespace homets::core {
+namespace {
+
+std::vector<double> DailyShapeVector(std::initializer_list<int> hot_slots) {
+  std::vector<double> shape(8, -0.5);
+  for (int s : hot_slots) shape[static_cast<size_t>(s)] = 2.0;
+  return shape;
+}
+
+TEST(DailyShapeTest, LateEvening) {
+  EXPECT_EQ(ClassifyDailyShape(DailyShapeVector({6})).value(),
+            DailyShape::kLateEvening);
+  EXPECT_EQ(ClassifyDailyShape(DailyShapeVector({6, 7})).value(),
+            DailyShape::kLateEvening);
+}
+
+TEST(DailyShapeTest, Afternoon) {
+  EXPECT_EQ(ClassifyDailyShape(DailyShapeVector({4, 5})).value(),
+            DailyShape::kAfternoon);
+}
+
+TEST(DailyShapeTest, Morning) {
+  EXPECT_EQ(ClassifyDailyShape(DailyShapeVector({2, 3})).value(),
+            DailyShape::kMorning);
+}
+
+TEST(DailyShapeTest, MorningAndEvening) {
+  EXPECT_EQ(ClassifyDailyShape(DailyShapeVector({2, 7})).value(),
+            DailyShape::kMorningAndEvening);
+}
+
+TEST(DailyShapeTest, AllDay) {
+  EXPECT_EQ(ClassifyDailyShape(DailyShapeVector({1, 2, 3, 4, 5, 6})).value(),
+            DailyShape::kAllDay);
+}
+
+TEST(DailyShapeTest, WrongLengthErrors) {
+  EXPECT_FALSE(ClassifyDailyShape(std::vector<double>(7, 0.0)).ok());
+}
+
+TEST(DailyShapeTest, NamesAreHuman) {
+  EXPECT_EQ(DailyShapeName(DailyShape::kLateEvening), "late evening");
+  EXPECT_EQ(DailyShapeName(DailyShape::kAllDay), "all day");
+}
+
+std::vector<double> WeeklyShapeVector(std::initializer_list<int> hot_days) {
+  std::vector<double> shape(21, -0.5);
+  for (int d : hot_days) {
+    shape[static_cast<size_t>(3 * d + 2)] = 2.0;  // evening slot of the day
+  }
+  return shape;
+}
+
+TEST(WeeklyShapeTest, Everyday) {
+  EXPECT_EQ(
+      ClassifyWeeklyShape(WeeklyShapeVector({0, 1, 2, 3, 4, 5, 6})).value(),
+      WeeklyShape::kEveryday);
+}
+
+TEST(WeeklyShapeTest, WeekendHeavy) {
+  EXPECT_EQ(ClassifyWeeklyShape(WeeklyShapeVector({5, 6})).value(),
+            WeeklyShape::kWeekendHeavy);
+  // A Friday-evening ramp into the weekend still reads as weekend-heavy —
+  // exactly the paper's Figure 11a motif.
+  EXPECT_EQ(ClassifyWeeklyShape(WeeklyShapeVector({4, 5, 6})).value(),
+            WeeklyShape::kWeekendHeavy);
+}
+
+TEST(WeeklyShapeTest, WorkdayHeavy) {
+  EXPECT_EQ(ClassifyWeeklyShape(WeeklyShapeVector({0, 1, 2, 3, 4})).value(),
+            WeeklyShape::kWorkdayHeavy);
+  EXPECT_EQ(ClassifyWeeklyShape(WeeklyShapeVector({1, 2, 3})).value(),
+            WeeklyShape::kWorkdayHeavy);
+}
+
+TEST(WeeklyShapeTest, WrongLengthErrors) {
+  EXPECT_FALSE(ClassifyWeeklyShape(std::vector<double>(20, 0.0)).ok());
+}
+
+TEST(WeeklyShapeTest, Names) {
+  EXPECT_EQ(WeeklyShapeName(WeeklyShape::kWeekendHeavy), "weekend heavy");
+  EXPECT_EQ(WeeklyShapeName(WeeklyShape::kEveryday), "everyday");
+}
+
+}  // namespace
+}  // namespace homets::core

@@ -1,0 +1,123 @@
+#include "correlation/acf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::correlation {
+namespace {
+
+std::vector<double> Ar1Series(double phi, size_t n, uint64_t seed) {
+  homets::Rng rng(seed);
+  std::vector<double> x(n);
+  x[0] = rng.Normal();
+  for (size_t t = 1; t < n; ++t) x[t] = phi * x[t - 1] + rng.Normal();
+  return x;
+}
+
+TEST(AcfTest, LagZeroIsOne) {
+  const auto acf = Acf(Ar1Series(0.5, 500, 1), 10).value();
+  EXPECT_DOUBLE_EQ(acf.acf[0], 1.0);
+}
+
+TEST(AcfTest, Ar1DecaysGeometrically) {
+  const auto acf = Acf(Ar1Series(0.7, 20000, 2), 5).value();
+  EXPECT_NEAR(acf.acf[1], 0.7, 0.03);
+  EXPECT_NEAR(acf.acf[2], 0.49, 0.04);
+  EXPECT_NEAR(acf.acf[3], 0.343, 0.05);
+}
+
+TEST(AcfTest, WhiteNoiseInsideBand) {
+  homets::Rng rng(3);
+  std::vector<double> x(5000);
+  for (auto& v : x) v = rng.Normal();
+  const auto acf = Acf(x, 20).value();
+  size_t inside = 0;
+  for (size_t k = 1; k <= 20; ++k) {
+    if (std::fabs(acf.acf[k]) <= acf.conf_bound) ++inside;
+  }
+  // 95% band: expect nearly all of 20 lags inside.
+  EXPECT_GE(inside, 17u);
+}
+
+TEST(AcfTest, PeriodicSeriesPeaksAtPeriod) {
+  std::vector<double> x(1000);
+  for (size_t t = 0; t < x.size(); ++t) {
+    x[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0);
+  }
+  const auto acf = Acf(x, 30).value();
+  EXPECT_GT(acf.acf[24], 0.9);
+  EXPECT_LT(acf.acf[12], -0.9);
+}
+
+TEST(AcfTest, SignificantLagsDetected) {
+  const auto acf = Acf(Ar1Series(0.8, 5000, 4), 10).value();
+  const auto lags = acf.SignificantLags();
+  ASSERT_FALSE(lags.empty());
+  EXPECT_EQ(lags.front(), 1u);
+}
+
+TEST(AcfTest, MissingValuesImputed) {
+  auto x = Ar1Series(0.6, 1000, 5);
+  for (size_t i = 0; i < x.size(); i += 17) x[i] = std::nan("");
+  EXPECT_TRUE(Acf(x, 5).ok());
+}
+
+TEST(AcfTest, ErrorsOnDegenerateInput) {
+  EXPECT_FALSE(Acf({1.0, 2.0}, 5).ok());  // too short
+  const std::vector<double> constant(100, 3.0);
+  EXPECT_FALSE(Acf(constant, 5).ok());
+  const std::vector<double> all_missing(100, std::nan(""));
+  EXPECT_FALSE(Acf(all_missing, 5).ok());
+}
+
+TEST(CcfTest, SelfCorrelationPeaksAtZeroLag) {
+  const auto x = Ar1Series(0.5, 2000, 6);
+  const auto ccf = Ccf(x, x, 10).value();
+  EXPECT_NEAR(ccf.AtLag(0), 1.0, 1e-9);
+  EXPECT_EQ(ccf.PeakLag(), 0);
+}
+
+TEST(CcfTest, DetectsKnownLead) {
+  // y lags x by 3 steps: x_{t} drives y_{t+3}; ccf correlates x_{t+k} with
+  // y_t, so the peak sits at k = −3.
+  homets::Rng rng(7);
+  const size_t n = 3000;
+  std::vector<double> x(n), y(n, 0.0);
+  for (auto& v : x) v = rng.Normal();
+  for (size_t t = 3; t < n; ++t) y[t] = x[t - 3] + 0.2 * rng.Normal();
+  const auto ccf = Ccf(x, y, 8).value();
+  EXPECT_EQ(ccf.PeakLag(), -3);
+  EXPECT_GT(ccf.AtLag(-3), 0.8);
+}
+
+TEST(CcfTest, SymmetricStorage) {
+  const auto x = Ar1Series(0.4, 500, 8);
+  const auto y = Ar1Series(0.4, 500, 9);
+  const auto ccf = Ccf(x, y, 5).value();
+  EXPECT_EQ(ccf.ccf.size(), 11u);
+  EXPECT_EQ(ccf.max_lag, 5);
+}
+
+TEST(CcfTest, IndependentSeriesLowEverywhere) {
+  const auto x = Ar1Series(0.0, 4000, 10);
+  const auto y = Ar1Series(0.0, 4000, 11);
+  const auto ccf = Ccf(x, y, 5).value();
+  for (int lag = -5; lag <= 5; ++lag) {
+    EXPECT_LT(std::fabs(ccf.AtLag(lag)), 0.08);
+  }
+}
+
+TEST(CcfTest, ErrorsOnBadInput) {
+  const auto x = Ar1Series(0.5, 100, 12);
+  std::vector<double> short_y(50, 1.0);
+  EXPECT_FALSE(Ccf(x, short_y, 5).ok());  // length mismatch
+  EXPECT_FALSE(Ccf(x, x, 99).ok());       // lag too large
+  EXPECT_FALSE(Ccf(x, x, -1).ok());       // negative lag bound
+}
+
+}  // namespace
+}  // namespace homets::correlation

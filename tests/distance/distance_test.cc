@@ -1,0 +1,111 @@
+#include "distance/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace homets::distance {
+namespace {
+
+TEST(EuclideanTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(Euclidean({0, 0}, {3, 4}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanSquared({0, 0}, {3, 4}).value(), 25.0);
+}
+
+TEST(EuclideanTest, IdenticalSeriesZero) {
+  EXPECT_DOUBLE_EQ(Euclidean({1, 2, 3}, {1, 2, 3}).value(), 0.0);
+}
+
+TEST(EuclideanTest, SymmetricAndNonNegative) {
+  const std::vector<double> a{1, 5, -2};
+  const std::vector<double> b{0, 2, 7};
+  EXPECT_DOUBLE_EQ(Euclidean(a, b).value(), Euclidean(b, a).value());
+  EXPECT_GE(Euclidean(a, b).value(), 0.0);
+}
+
+TEST(EuclideanTest, TriangleInequality) {
+  const std::vector<double> a{0, 0, 0};
+  const std::vector<double> b{1, 2, 3};
+  const std::vector<double> c{4, -1, 2};
+  EXPECT_LE(Euclidean(a, c).value(),
+            Euclidean(a, b).value() + Euclidean(b, c).value() + 1e-12);
+}
+
+TEST(EuclideanTest, NanPairsSkipped) {
+  EXPECT_DOUBLE_EQ(
+      Euclidean({1.0, std::nan(""), 4.0}, {1.0, 5.0, 1.0}).value(), 3.0);
+}
+
+TEST(EuclideanTest, Errors) {
+  EXPECT_FALSE(Euclidean({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(Euclidean({}, {}).ok());
+  const std::vector<double> nan2{std::nan(""), std::nan("")};
+  EXPECT_FALSE(Euclidean(nan2, {1.0, 2.0}).ok());
+}
+
+TEST(DtwTest, IdenticalSeriesZero) {
+  EXPECT_DOUBLE_EQ(DynamicTimeWarping({1, 2, 3, 4}, {1, 2, 3, 4}).value(),
+                   0.0);
+}
+
+TEST(DtwTest, AtMostEuclideanForEqualLength) {
+  const std::vector<double> a{1, 3, 2, 8, 5};
+  const std::vector<double> b{2, 2, 4, 7, 4};
+  EXPECT_LE(DynamicTimeWarping(a, b).value(), Euclidean(a, b).value() + 1e-12);
+}
+
+TEST(DtwTest, AbsorbsTimeShift) {
+  // The exact property the paper criticizes: a shifted peak looks similar
+  // under DTW even though the activity happens at a different time.
+  std::vector<double> early(20, 0.0);
+  std::vector<double> late(20, 0.0);
+  early[5] = 10.0;
+  late[12] = 10.0;
+  const double dtw = DynamicTimeWarping(early, late).value();
+  const double euc = Euclidean(early, late).value();
+  EXPECT_LT(dtw, 1e-9);      // warping aligns the peaks perfectly
+  EXPECT_GT(euc, 10.0);      // Euclidean sees two mismatched bursts
+}
+
+TEST(DtwTest, DifferentLengthsAllowed) {
+  const auto d = DynamicTimeWarping({1, 2, 3}, {1, 1, 2, 2, 3, 3});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(DtwTest, BandRestrictsWarping) {
+  std::vector<double> early(20, 0.0);
+  std::vector<double> late(20, 0.0);
+  early[2] = 10.0;
+  late[17] = 10.0;
+  const double unconstrained = DynamicTimeWarping(early, late, -1).value();
+  const double banded = DynamicTimeWarping(early, late, 3).value();
+  EXPECT_LT(unconstrained, 1e-9);
+  EXPECT_GT(banded, 10.0);  // band of 3 cannot bridge a 15-step shift
+}
+
+TEST(DtwTest, BandZeroEqualsEuclideanForEqualLengths) {
+  const std::vector<double> a{1, 4, 2, 9};
+  const std::vector<double> b{2, 3, 5, 7};
+  EXPECT_NEAR(DynamicTimeWarping(a, b, 0).value(), Euclidean(a, b).value(),
+              1e-12);
+}
+
+TEST(DtwTest, SymmetricForEqualLengths) {
+  const std::vector<double> a{1, 5, 3, 7, 2};
+  const std::vector<double> b{2, 4, 4, 6, 1};
+  EXPECT_DOUBLE_EQ(DynamicTimeWarping(a, b).value(),
+                   DynamicTimeWarping(b, a).value());
+}
+
+TEST(DtwTest, Errors) {
+  EXPECT_FALSE(DynamicTimeWarping({}, {1.0}).ok());
+  EXPECT_FALSE(DynamicTimeWarping({1.0}, {}).ok());
+  EXPECT_FALSE(DynamicTimeWarping({std::nan("")}, {1.0}).ok());
+  // Band narrower than the length difference is unsatisfiable.
+  EXPECT_FALSE(DynamicTimeWarping({1, 2, 3, 4, 5, 6}, {1.0}, 2).ok());
+}
+
+}  // namespace
+}  // namespace homets::distance

@@ -1,0 +1,168 @@
+// End-to-end integration tests: run the paper's full analysis pipeline on a
+// small synthetic fleet — background removal → aggregation → stationarity →
+// dominance → motif mining → characterization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/aggregation.h"
+#include "core/background.h"
+#include "core/dominance.h"
+#include "core/motif.h"
+#include "core/motif_analysis.h"
+#include "core/similarity.h"
+#include "simgen/fleet.h"
+
+namespace homets {
+namespace {
+
+simgen::SimConfig PipelineConfig() {
+  simgen::SimConfig config;
+  config.n_gateways = 24;
+  config.weeks = 4;
+  config.seed = 20140317;
+  return config;
+}
+
+TEST(PipelineTest, WeeklyMotifPipelineEndToEnd) {
+  const simgen::SimConfig config = PipelineConfig();
+  simgen::FleetGenerator gen(config);
+
+  // Stage 1: eligibility + background removal + weekly windows @ 8h from 2am.
+  std::vector<ts::TimeSeries> windows;
+  std::vector<core::WindowProvenance> provenance;
+  int eligible = 0;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = gen.Generate(id);
+    if (!gw.HasObservationEveryWeek(0, config.weeks)) continue;
+    ++eligible;
+    const auto active = core::ActiveAggregate(gw);
+    auto aggregated = ts::Aggregate(active, 480, 120, ts::AggKind::kSum);
+    if (!aggregated.ok()) continue;
+    for (auto& window :
+         ts::SliceWindows(*aggregated, ts::kMinutesPerWeek, 120)) {
+      provenance.push_back({id, window.start_minute()});
+      windows.push_back(std::move(window));
+    }
+  }
+  ASSERT_GT(eligible, 10);
+  ASSERT_GT(windows.size(), 20u);
+
+  // Stage 2: motif mining.
+  const auto motifs = core::MotifDiscovery().Discover(windows).value();
+  // Regular homes exist in the fleet, so some weekly motif must appear.
+  ASSERT_FALSE(motifs.empty());
+  EXPECT_GE(motifs[0].support(), 2u);
+
+  // Stage 3: characterization with lazily-provided gateways.
+  std::map<int, simgen::GatewayTrace> cache;
+  auto provider = [&](int id) -> const simgen::GatewayTrace* {
+    auto it = cache.find(id);
+    if (it == cache.end()) it = cache.emplace(id, gen.Generate(id)).first;
+    return &it->second;
+  };
+  std::map<int, std::vector<core::DominantDevice>> overall;
+  for (const auto& p : provenance) {
+    if (!overall.count(p.gateway_id)) {
+      overall[p.gateway_id] = core::FindDominantDevices(*provider(p.gateway_id));
+    }
+  }
+  core::MotifAnalysisOptions options;
+  options.granularity_minutes = 480;
+  options.anchor_offset_minutes = 120;
+  options.window_minutes = ts::kMinutesPerWeek;
+  const auto characterization =
+      core::CharacterizeMotif(motifs[0], provenance, provider, overall,
+                              options)
+          .value();
+  EXPECT_EQ(characterization.support, motifs[0].support());
+  EXPECT_GE(characterization.distinct_gateways, 1u);
+}
+
+TEST(PipelineTest, DominantDevicesExistForMostGateways) {
+  const simgen::SimConfig config = PipelineConfig();
+  simgen::FleetGenerator gen(config);
+  int with_dominant = 0, checked = 0;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = gen.Generate(id);
+    if (!gw.HasObservationEveryWeek(0, config.weeks)) continue;
+    ++checked;
+    if (!core::FindDominantDevices(gw).empty()) ++with_dominant;
+  }
+  ASSERT_GT(checked, 10);
+  // Paper: 149/153 gateways (97%) have at least one dominant device.
+  EXPECT_GT(static_cast<double>(with_dominant) / checked, 0.7);
+}
+
+TEST(PipelineTest, AggregationSweepPrefersCoarseBins) {
+  const simgen::SimConfig config = PipelineConfig();
+  simgen::FleetGenerator gen(config);
+  std::vector<ts::TimeSeries> active_series;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = gen.Generate(id);
+    if (!gw.HasObservationEveryWeek(0, config.weeks)) continue;
+    active_series.push_back(core::ActiveAggregate(gw));
+  }
+  core::AggregationSweepOptions options;
+  options.period = core::PatternPeriod::kWeekly;
+  options.anchor_offset_minutes = 120;
+  const auto sweep =
+      core::SweepAggregations(active_series, {60, 480}, options).value();
+  ASSERT_EQ(sweep.size(), 2u);
+  // Figure 6's shape: coarse bins beat 1-hour bins on average correlation.
+  EXPECT_GT(sweep[1].mean_correlation_all, sweep[0].mean_correlation_all);
+}
+
+TEST(PipelineTest, DailyMotifsMoreNumerousThanWeeklyPerGateway) {
+  // Daily analysis sees 7× more windows per gateway, so per-gateway motif
+  // participation is higher (Figure 10's contrast).
+  const simgen::SimConfig config = PipelineConfig();
+  simgen::FleetGenerator gen(config);
+  std::vector<ts::TimeSeries> weekly_windows, daily_windows;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = gen.Generate(id);
+    if (!gw.HasObservationEveryDay(0, config.weeks * 7)) continue;
+    const auto active = core::ActiveAggregate(gw);
+    auto weekly = ts::Aggregate(active, 480, 120, ts::AggKind::kSum);
+    if (weekly.ok()) {
+      for (auto& w : ts::SliceWindows(*weekly, ts::kMinutesPerWeek, 120)) {
+        weekly_windows.push_back(std::move(w));
+      }
+    }
+    auto daily = ts::Aggregate(active, 180, 0, ts::AggKind::kSum);
+    if (daily.ok()) {
+      for (auto& w : ts::SliceWindows(*daily, ts::kMinutesPerDay, 0)) {
+        daily_windows.push_back(std::move(w));
+      }
+    }
+  }
+  ASSERT_FALSE(weekly_windows.empty());
+  ASSERT_FALSE(daily_windows.empty());
+  EXPECT_GT(daily_windows.size(), 3 * weekly_windows.size());
+}
+
+TEST(PipelineTest, StationaryGatewayFractionIsSmall) {
+  // Section 7: only a small share of gateways is strongly stationary.
+  const simgen::SimConfig config = PipelineConfig();
+  simgen::FleetGenerator gen(config);
+  int stationary = 0, checked = 0;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = gen.Generate(id);
+    if (!gw.HasObservationEveryWeek(0, config.weeks)) continue;
+    const auto active = core::ActiveAggregate(gw);
+    auto aggregated = ts::Aggregate(active, 180, 0, ts::AggKind::kSum);
+    if (!aggregated.ok()) continue;
+    const auto windows =
+        ts::SliceWindows(*aggregated, ts::kMinutesPerWeek, 0);
+    if (windows.size() < 2) continue;
+    ++checked;
+    const auto result = core::CheckStrongStationarity(windows);
+    if (result.ok() && result->strongly_stationary) ++stationary;
+  }
+  ASSERT_GT(checked, 10);
+  EXPECT_LT(static_cast<double>(stationary) / checked, 0.5);
+}
+
+}  // namespace
+}  // namespace homets

@@ -1,0 +1,77 @@
+#include "io/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace homets::io {
+namespace {
+
+TEST(TextTableTest, PrintsHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, ExtraCellsDropped) {
+  TextTable table({"a"});
+  table.AddRow({"x", "IGNORED"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str().find("IGNORED"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlignedToWidestCell) {
+  TextTable table({"h"});
+  table.AddRow({"wide-cell-content"});
+  table.AddRow({"x"});
+  std::ostringstream os;
+  table.Print(os);
+  // All data lines share the same length after padding.
+  std::istringstream is(os.str());
+  std::string header, sep, row1, row2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(row1.find("wide-cell-content"), row2.find("x"));
+}
+
+TEST(AsciiBarTest, ProportionalLength) {
+  EXPECT_EQ(AsciiBar(10.0, 10.0, 20).size(), 20u);
+  EXPECT_EQ(AsciiBar(5.0, 10.0, 20).size(), 10u);
+  EXPECT_EQ(AsciiBar(0.0, 10.0, 20), "");
+  EXPECT_EQ(AsciiBar(10.0, 0.0, 20), "");
+}
+
+TEST(AsciiBarTest, TinyPositiveValueStillVisible) {
+  EXPECT_EQ(AsciiBar(0.001, 100.0, 20).size(), 1u);
+}
+
+TEST(AsciiBarTest, ClampsAtWidth) {
+  EXPECT_EQ(AsciiBar(1000.0, 10.0, 8).size(), 8u);
+}
+
+TEST(PrintSectionTest, WritesTitle) {
+  std::ostringstream os;
+  PrintSection(os, "Figure 4");
+  EXPECT_NE(os.str().find("== Figure 4 =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace homets::io

@@ -1,0 +1,154 @@
+#include "model/autoregressive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::model {
+namespace {
+
+std::vector<double> Ar1Series(double phi, double mean, size_t n,
+                              uint64_t seed) {
+  homets::Rng rng(seed);
+  std::vector<double> x(n);
+  x[0] = mean;
+  for (size_t t = 1; t < n; ++t) {
+    x[t] = mean + phi * (x[t - 1] - mean) + rng.Normal();
+  }
+  return x;
+}
+
+TEST(FitArTest, RecoversAr1Coefficient) {
+  const auto model = FitAr(Ar1Series(0.6, 0.0, 20000, 1), 1).value();
+  ASSERT_EQ(model.phi.size(), 1u);
+  EXPECT_NEAR(model.phi[0], 0.6, 0.02);
+  EXPECT_NEAR(model.noise_variance, 1.0, 0.05);
+}
+
+TEST(FitArTest, RecoversAr2Coefficients) {
+  homets::Rng rng(2);
+  const size_t n = 30000;
+  std::vector<double> x(n, 0.0);
+  for (size_t t = 2; t < n; ++t) {
+    x[t] = 0.5 * x[t - 1] - 0.3 * x[t - 2] + rng.Normal();
+  }
+  const auto model = FitAr(x, 2).value();
+  EXPECT_NEAR(model.phi[0], 0.5, 0.03);
+  EXPECT_NEAR(model.phi[1], -0.3, 0.03);
+}
+
+TEST(FitArTest, MeanCaptured) {
+  const auto model = FitAr(Ar1Series(0.4, 100.0, 10000, 3), 1).value();
+  EXPECT_NEAR(model.mean, 100.0, 0.5);
+}
+
+TEST(FitArTest, OrderZeroIsMeanModel) {
+  const auto model = FitAr({1, 2, 3, 4, 5, 4, 3, 2, 1, 2, 3}, 0).value();
+  EXPECT_TRUE(model.phi.empty());
+  EXPECT_GT(model.noise_variance, 0.0);
+}
+
+TEST(FitArTest, ConstantSeriesErrors) {
+  EXPECT_FALSE(FitAr(std::vector<double>(100, 7.0), 2).ok());
+}
+
+TEST(FitArTest, TooShortErrors) {
+  EXPECT_FALSE(FitAr({1.0, 2.0, 3.0}, 5).ok());
+  EXPECT_FALSE(FitAr({1.0}, 0).ok());
+}
+
+TEST(FitArTest, NansImputed) {
+  auto x = Ar1Series(0.5, 0.0, 5000, 4);
+  for (size_t i = 0; i < x.size(); i += 31) x[i] = std::nan("");
+  EXPECT_TRUE(FitAr(x, 1).ok());
+}
+
+TEST(FitArAicSelectTest, PrefersTrueOrderNeighborhood) {
+  const auto model = FitArAicSelect(Ar1Series(0.7, 0.0, 20000, 5), 8).value();
+  // AIC is known to overselect mildly, but it must find a low order for an
+  // AR(1) process and beat the degenerate mean model.
+  EXPECT_LE(model.order, 6u);
+  EXPECT_GE(model.order, 1u);
+  EXPECT_NEAR(model.phi[0], 0.7, 0.05);
+}
+
+TEST(FitArAicSelectTest, WhiteNoisePrefersLowOrder) {
+  homets::Rng rng(6);
+  std::vector<double> x(20000);
+  for (auto& v : x) v = rng.Normal();
+  const auto model = FitArAicSelect(x, 6).value();
+  EXPECT_LE(model.order, 1u);
+}
+
+TEST(ForecastTest, OneStepPredictionTracksProcess) {
+  const auto series = Ar1Series(0.8, 10.0, 5000, 7);
+  const auto model = FitAr(series, 1).value();
+  // Forecast after a value far above the mean regresses toward the mean.
+  const double high = 20.0;
+  const double pred = model.ForecastOneStep({high});
+  EXPECT_GT(pred, model.mean);
+  EXPECT_LT(pred, high);
+}
+
+TEST(ForecastTest, EmptyHistoryPredictsMean) {
+  const auto model = FitAr(Ar1Series(0.5, 3.0, 1000, 8), 1).value();
+  EXPECT_NEAR(model.ForecastOneStep({}), model.mean, 1e-12);
+}
+
+TEST(BurstForecastTest, LinearModelMissesRareBursts) {
+  // The paper's Section 4.2 point: minute-level traffic bursts are not
+  // predictable with ARIMA-style linear models. Build a background hum with
+  // rare huge spikes and check burst recall is poor.
+  homets::Rng rng(9);
+  std::vector<double> x(20000);
+  for (auto& v : x) {
+    v = rng.LogNormal(std::log(300.0), 0.6);
+    if (rng.Bernoulli(0.003)) v += rng.LogNormal(std::log(1e6), 0.4);
+  }
+  const auto model = FitArAicSelect(x, 5).value();
+  const auto report = EvaluateBurstForecast(model, x, 1e5).value();
+  ASSERT_GT(report.n_bursts, 10u);
+  EXPECT_LT(report.recall, 0.2);
+}
+
+TEST(BurstForecastTest, OscillatoryProcessOnsetsArePredictable) {
+  // Contrast case: an AR(2) cycle with small innovations crosses the
+  // threshold with momentum, so a fitted AR model anticipates the onsets —
+  // showing the low recall on bursty traffic is about the data, not a
+  // defect of the metric.
+  homets::Rng rng(10);
+  const size_t n = 20000;
+  std::vector<double> x(n, 0.0);
+  for (size_t t = 2; t < n; ++t) {
+    x[t] = 1.8 * x[t - 1] - 0.97 * x[t - 2] + 0.05 * rng.Normal();
+  }
+  const auto model = FitAr(x, 2).value();
+  double sd = 0.0;
+  for (double v : x) sd += v * v;
+  sd = std::sqrt(sd / static_cast<double>(n));
+  const auto summary = EvaluateBurstForecast(model, x, 0.5 * sd).value();
+  ASSERT_GT(summary.n_bursts, 100u);
+  EXPECT_GT(summary.recall, 0.5);
+}
+
+TEST(BurstForecastTest, ReportsRmse) {
+  const auto series = Ar1Series(0.5, 0.0, 2000, 11);
+  const auto model = FitAr(series, 1).value();
+  const auto report = EvaluateBurstForecast(model, series, 100.0).value();
+  EXPECT_GT(report.rmse, 0.5);
+  EXPECT_LT(report.rmse, 2.0);  // near the innovation sd of 1
+  EXPECT_GT(report.n_forecasts, 1900u);
+}
+
+TEST(BurstForecastTest, InvalidInputs) {
+  const auto model = FitAr(Ar1Series(0.5, 0.0, 100, 12), 1).value();
+  EXPECT_FALSE(EvaluateBurstForecast(model, {1.0}, 1.0).ok());
+  EXPECT_FALSE(
+      EvaluateBurstForecast(model, Ar1Series(0.5, 0.0, 100, 13), -1.0).ok());
+}
+
+}  // namespace
+}  // namespace homets::model

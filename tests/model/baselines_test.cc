@@ -1,0 +1,75 @@
+#include "model/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace homets::model {
+namespace {
+
+TEST(SeasonalNaiveTest, ForecastsValueOnePeriodBack) {
+  const auto model = SeasonalNaive::Make(3).value();
+  const std::vector<double> values{10, 20, 30, 40, 50, 60};
+  EXPECT_DOUBLE_EQ(model.Forecast(values, 3), 10.0);
+  EXPECT_DOUBLE_EQ(model.Forecast(values, 5), 30.0);
+  EXPECT_TRUE(std::isnan(model.Forecast(values, 2)));
+}
+
+TEST(SeasonalNaiveTest, ZeroPeriodRejected) {
+  EXPECT_FALSE(SeasonalNaive::Make(0).ok());
+}
+
+TEST(CompareBaselinesTest, SeasonalWinsOnPeriodicData) {
+  // Perfect daily pattern (period 24) plus small noise: seasonal-naive must
+  // beat both the last-value and mean baselines.
+  homets::Rng rng(1);
+  std::vector<double> v(24 * 50);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 100.0 + 80.0 * std::sin(2.0 * M_PI * (i % 24) / 24.0) +
+           rng.Normal();
+  }
+  ts::TimeSeries series(0, 60, std::move(v));
+  const auto cmp = CompareBaselines(series, 24).value();
+  EXPECT_LT(cmp.rmse_seasonal_naive, cmp.rmse_last_value);
+  EXPECT_LT(cmp.rmse_seasonal_naive, cmp.rmse_mean);
+  EXPECT_LT(cmp.rmse_seasonal_naive, 3.0);
+}
+
+TEST(CompareBaselinesTest, LastValueWinsOnRandomWalk) {
+  homets::Rng rng(2);
+  std::vector<double> v(2000, 0.0);
+  for (size_t i = 1; i < v.size(); ++i) v[i] = v[i - 1] + rng.Normal();
+  ts::TimeSeries series(0, 1, std::move(v));
+  const auto cmp = CompareBaselines(series, 24).value();
+  EXPECT_LT(cmp.rmse_last_value, cmp.rmse_seasonal_naive);
+  EXPECT_LT(cmp.rmse_last_value, cmp.rmse_mean);
+}
+
+TEST(CompareBaselinesTest, MeanWinsOnWhiteNoise) {
+  homets::Rng rng(3);
+  std::vector<double> v(2000);
+  for (auto& x : v) x = rng.Normal();
+  ts::TimeSeries series(0, 1, std::move(v));
+  const auto cmp = CompareBaselines(series, 24).value();
+  EXPECT_LE(cmp.rmse_mean, cmp.rmse_last_value);
+  EXPECT_LE(cmp.rmse_mean, cmp.rmse_seasonal_naive);
+}
+
+TEST(CompareBaselinesTest, MissingTargetsSkipped) {
+  std::vector<double> v(100, 1.0);
+  v[50] = ts::TimeSeries::Missing();
+  ts::TimeSeries series(0, 1, std::move(v));
+  const auto cmp = CompareBaselines(series, 10).value();
+  EXPECT_EQ(cmp.n_forecasts, 89u);  // 90 candidates minus the missing one
+}
+
+TEST(CompareBaselinesTest, InvalidInputs) {
+  ts::TimeSeries tiny(0, 1, {1.0, 2.0});
+  EXPECT_FALSE(CompareBaselines(tiny, 24).ok());
+  EXPECT_FALSE(CompareBaselines(tiny, 0).ok());
+}
+
+}  // namespace
+}  // namespace homets::model

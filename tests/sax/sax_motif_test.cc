@@ -1,0 +1,109 @@
+#include "sax/sax_motif.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace homets::sax {
+namespace {
+
+// Windows from two planted shapes plus noise windows, 8 bins each (the
+// daily-motif geometry).
+std::vector<ts::TimeSeries> PlantedWindows(size_t per_family, size_t noise,
+                                           uint64_t seed) {
+  homets::Rng rng(seed);
+  std::vector<ts::TimeSeries> windows;
+  auto push = [&](std::vector<double> v) {
+    windows.emplace_back(
+        static_cast<int64_t>(windows.size()) * ts::kMinutesPerDay, 180,
+        std::move(v));
+  };
+  for (size_t w = 0; w < per_family; ++w) {
+    // Evening shape: activity in bins 6-7.
+    std::vector<double> v{0, 0, 0, 0, 0, 0, 5e6, 8e6};
+    for (auto& x : v) x *= rng.LogNormal(0.0, 0.1);
+    push(std::move(v));
+  }
+  for (size_t w = 0; w < per_family; ++w) {
+    // Morning shape: activity in bins 2-3.
+    std::vector<double> v{0, 0, 6e6, 7e6, 0, 0, 0, 0};
+    for (auto& x : v) x *= rng.LogNormal(0.0, 0.1);
+    push(std::move(v));
+  }
+  for (size_t w = 0; w < noise; ++w) {
+    std::vector<double> v(8);
+    for (auto& x : v) x = rng.Uniform(0.0, 1e7);
+    push(std::move(v));
+  }
+  return windows;
+}
+
+TEST(SaxMotifTest, GroupsIdenticalShapes) {
+  const auto windows = PlantedWindows(6, 0, 1);
+  const auto encoder = SaxEncoder::Make(4, 8).value();
+  const auto motifs = DiscoverSaxMotifs(windows, encoder).value();
+  ASSERT_GE(motifs.size(), 2u);
+  EXPECT_EQ(motifs[0].support(), 6u);
+  EXPECT_EQ(motifs[1].support(), 6u);
+  // The two families map to different SAX words.
+  EXPECT_NE(motifs[0].word, motifs[1].word);
+}
+
+TEST(SaxMotifTest, SupportSortedDescending) {
+  const auto windows = PlantedWindows(5, 6, 2);
+  const auto encoder = SaxEncoder::Make(4, 8).value();
+  const auto motifs = DiscoverSaxMotifs(windows, encoder).value();
+  for (size_t i = 1; i < motifs.size(); ++i) {
+    EXPECT_GE(motifs[i - 1].support(), motifs[i].support());
+  }
+}
+
+TEST(SaxMotifTest, MinSupportRespected) {
+  const auto windows = PlantedWindows(3, 8, 3);
+  const auto encoder = SaxEncoder::Make(4, 8).value();
+  const auto motifs = DiscoverSaxMotifs(windows, encoder, 3).value();
+  for (const auto& motif : motifs) EXPECT_GE(motif.support(), 3u);
+}
+
+TEST(SaxMotifTest, MissingBinsTreatedAsZero) {
+  auto windows = PlantedWindows(4, 0, 4);
+  windows[0][1] = ts::TimeSeries::Missing();
+  const auto encoder = SaxEncoder::Make(4, 8).value();
+  EXPECT_TRUE(DiscoverSaxMotifs(windows, encoder).ok());
+}
+
+TEST(SaxMotifTest, EmptyInputErrors) {
+  const auto encoder = SaxEncoder::Make(4, 8).value();
+  EXPECT_FALSE(DiscoverSaxMotifs({}, encoder).ok());
+}
+
+TEST(SaxMotifTest, CoarseAlphabetMergesDistinctBehaviors) {
+  // The paper's criticism made concrete: with Zipfian values, z-normalized
+  // SAX maps very different activity levels to the same word because most
+  // breakpoints sit in the near-zero mass. A high-traffic evening and a
+  // low-traffic evening collapse into one motif, which the correlation
+  // measure would keep apart (it sees magnitudes via the KS condition and
+  // significance, and more bins in real windows).
+  homets::Rng rng(5);
+  std::vector<ts::TimeSeries> windows;
+  for (int w = 0; w < 6; ++w) {
+    std::vector<double> v{0, 0, 0, 0, 0, 0, 5e6, 8e6};  // heavy evening
+    for (auto& x : v) x *= rng.LogNormal(0.0, 0.05);
+    windows.emplace_back(w * ts::kMinutesPerDay, 180, std::move(v));
+  }
+  for (int w = 0; w < 6; ++w) {
+    std::vector<double> v{0, 0, 0, 0, 0, 0, 5e3, 8e3};  // light evening
+    for (auto& x : v) x *= rng.LogNormal(0.0, 0.05);
+    windows.emplace_back((w + 6) * ts::kMinutesPerDay, 180, std::move(v));
+  }
+  const auto encoder = SaxEncoder::Make(4, 8).value();
+  const auto motifs = DiscoverSaxMotifs(windows, encoder).value();
+  // SAX cannot tell the two apart: one motif with all 12 windows.
+  ASSERT_EQ(motifs.size(), 1u);
+  EXPECT_EQ(motifs[0].support(), 12u);
+}
+
+}  // namespace
+}  // namespace homets::sax

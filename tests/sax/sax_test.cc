@@ -1,0 +1,177 @@
+#include "sax/sax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::sax {
+namespace {
+
+TEST(PaaTest, ExactDivision) {
+  const auto paa = Paa({1, 2, 3, 4, 5, 6}, 3).value();
+  ASSERT_EQ(paa.size(), 3u);
+  EXPECT_DOUBLE_EQ(paa[0], 1.5);
+  EXPECT_DOUBLE_EQ(paa[1], 3.5);
+  EXPECT_DOUBLE_EQ(paa[2], 5.5);
+}
+
+TEST(PaaTest, SegmentsEqualLengthIsIdentity) {
+  const std::vector<double> xs{3, 1, 4, 1, 5};
+  const auto paa = Paa(xs, 5).value();
+  for (size_t i = 0; i < xs.size(); ++i) EXPECT_DOUBLE_EQ(paa[i], xs[i]);
+}
+
+TEST(PaaTest, OneSegmentIsMean) {
+  const auto paa = Paa({2, 4, 6, 8}, 1).value();
+  ASSERT_EQ(paa.size(), 1u);
+  EXPECT_DOUBLE_EQ(paa[0], 5.0);
+}
+
+TEST(PaaTest, FractionalWeightingPreservesMean) {
+  // n = 5, segments = 2: segment means must average back to the global mean.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto paa = Paa(xs, 2).value();
+  EXPECT_NEAR((paa[0] + paa[1]) / 2.0, 3.0, 1e-12);
+}
+
+TEST(PaaTest, Errors) {
+  EXPECT_FALSE(Paa({}, 1).ok());
+  EXPECT_FALSE(Paa({1.0}, 0).ok());
+  EXPECT_FALSE(Paa({1.0}, 2).ok());
+  EXPECT_FALSE(Paa({std::nan("")}, 1).ok());
+}
+
+TEST(SaxEncoderTest, BreakpointsAreGaussianQuantiles) {
+  const auto enc = SaxEncoder::Make(4, 8).value();
+  ASSERT_EQ(enc.breakpoints().size(), 3u);
+  EXPECT_NEAR(enc.breakpoints()[0], -0.6745, 1e-3);
+  EXPECT_NEAR(enc.breakpoints()[1], 0.0, 1e-9);
+  EXPECT_NEAR(enc.breakpoints()[2], 0.6745, 1e-3);
+}
+
+TEST(SaxEncoderTest, EncodesMonotoneRampInOrder) {
+  const auto enc = SaxEncoder::Make(4, 4).value();
+  std::vector<double> ramp(64);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  const auto word = enc.Encode(ramp).value();
+  ASSERT_EQ(word.size(), 4u);
+  // Symbols must be non-decreasing for a ramp.
+  for (size_t i = 1; i < word.size(); ++i) EXPECT_LE(word[i - 1], word[i]);
+  EXPECT_EQ(word.front(), 'a');
+  EXPECT_EQ(word.back(), 'd');
+}
+
+TEST(SaxEncoderTest, GaussianDataUsesAlphabetUniformly) {
+  // Identity PAA (16 points, 16 segments) isolates the breakpoint logic: a
+  // z-normalized normal sample uses the alphabet nearly uniformly.
+  homets::Rng rng(1);
+  const auto enc = SaxEncoder::Make(4, 16).value();
+  std::vector<std::string> words;
+  for (int w = 0; w < 400; ++w) {
+    std::vector<double> xs(16);
+    for (auto& x : xs) x = rng.Normal();
+    words.push_back(enc.Encode(xs).value());
+  }
+  // Near-normal data: top-symbol excess over uniform stays small.
+  EXPECT_LT(enc.SymbolDistributionSkew(words), 0.12);
+}
+
+TEST(SaxEncoderTest, ZipfianTrafficBreaksNormalityAssumption) {
+  // The paper's criticism (Section 2): z-normalization does not make Zipfian
+  // traffic normal, so SAX symbols are not uniformly used.
+  homets::Rng rng(2);
+  const auto enc = SaxEncoder::Make(4, 16).value();
+  std::vector<std::string> words;
+  for (int w = 0; w < 400; ++w) {
+    std::vector<double> xs(16);
+    for (auto& x : xs) {
+      x = rng.Bernoulli(0.05) ? rng.LogNormal(std::log(1e6), 0.5)
+                              : rng.LogNormal(std::log(200.0), 0.8);
+    }
+    words.push_back(enc.Encode(xs).value());
+  }
+  EXPECT_GT(enc.SymbolDistributionSkew(words), 0.25);
+}
+
+TEST(SaxEncoderTest, MinDistZeroForAdjacentSymbols) {
+  const auto enc = SaxEncoder::Make(4, 4).value();
+  EXPECT_DOUBLE_EQ(enc.MinDist("aabb", "bbaa", 16).value(), 0.0);
+  EXPECT_DOUBLE_EQ(enc.MinDist("abcd", "abcd", 16).value(), 0.0);
+}
+
+TEST(SaxEncoderTest, MinDistPositiveForDistantSymbols) {
+  const auto enc = SaxEncoder::Make(4, 4).value();
+  const double d = enc.MinDist("aaaa", "dddd", 16).value();
+  EXPECT_GT(d, 0.0);
+  // MINDIST scales with sqrt(n/segments).
+  const double d2 = enc.MinDist("aaaa", "dddd", 64).value();
+  EXPECT_NEAR(d2, 2.0 * d, 1e-9);
+}
+
+TEST(SaxEncoderTest, MinDistLowerBoundsEuclideanOnZNormalizedData) {
+  homets::Rng rng(3);
+  const auto enc = SaxEncoder::Make(6, 8).value();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(64), b(64);
+    for (size_t i = 0; i < 64; ++i) {
+      a[i] = rng.Normal();
+      b[i] = rng.Normal();
+    }
+    // z-normalize both (SAX's own pre-step) then compare.
+    auto znorm = [](std::vector<double> v) {
+      double mean = 0.0;
+      for (double x : v) mean += x;
+      mean /= static_cast<double>(v.size());
+      double ss = 0.0;
+      for (double x : v) ss += (x - mean) * (x - mean);
+      const double sd = std::sqrt(ss / static_cast<double>(v.size() - 1));
+      for (auto& x : v) x = (x - mean) / sd;
+      return v;
+    };
+    const auto az = znorm(a);
+    const auto bz = znorm(b);
+    double euclid = 0.0;
+    for (size_t i = 0; i < 64; ++i) {
+      euclid += (az[i] - bz[i]) * (az[i] - bz[i]);
+    }
+    euclid = std::sqrt(euclid);
+    const auto wa = enc.Encode(a).value();
+    const auto wb = enc.Encode(b).value();
+    EXPECT_LE(enc.MinDist(wa, wb, 64).value(), euclid + 1e-9);
+  }
+}
+
+TEST(SaxEncoderTest, InvalidConfigurations) {
+  EXPECT_FALSE(SaxEncoder::Make(1, 4).ok());
+  EXPECT_FALSE(SaxEncoder::Make(21, 4).ok());
+  EXPECT_FALSE(SaxEncoder::Make(4, 0).ok());
+}
+
+TEST(SaxEncoderTest, EncodeErrors) {
+  const auto enc = SaxEncoder::Make(4, 8).value();
+  EXPECT_FALSE(enc.Encode({1.0, 2.0}).ok());  // shorter than segments
+  std::vector<double> with_nan(16, 1.0);
+  with_nan[3] = std::nan("");
+  EXPECT_FALSE(enc.Encode(with_nan).ok());
+}
+
+TEST(SaxEncoderTest, MinDistErrors) {
+  const auto enc = SaxEncoder::Make(4, 4).value();
+  EXPECT_FALSE(enc.MinDist("aa", "aaaa", 16).ok());
+  EXPECT_FALSE(enc.MinDist("aaaa", "aaaa", 2).ok());
+}
+
+TEST(SaxEncoderTest, ConstantSeriesEncodesToMiddleSymbols) {
+  const auto enc = SaxEncoder::Make(4, 4).value();
+  const auto word = enc.Encode({5, 5, 5, 5, 5, 5, 5, 5}).value();
+  // z-normalized zeros fall in a middle band, not the extremes.
+  for (char c : word) {
+    EXPECT_TRUE(c == 'b' || c == 'c') << word;
+  }
+}
+
+}  // namespace
+}  // namespace homets::sax

@@ -1,0 +1,95 @@
+#include "simgen/behavior.h"
+
+#include <gtest/gtest.h>
+
+namespace homets::simgen {
+namespace {
+
+int64_t MinuteOf(int day, int hour, int minute = 0) {
+  return static_cast<int64_t>(day) * ts::kMinutesPerDay +
+         static_cast<int64_t>(hour) * ts::kMinutesPerHour + minute;
+}
+
+TEST(BehaviorProfileTest, EveningProfileActiveInEveningOnly) {
+  const BehaviorProfile p(ProfileKind::kEvening);
+  EXPECT_GT(p.WeightAt(MinuteOf(0, 19)), 0.9);   // Monday 19:00
+  EXPECT_GT(p.WeightAt(MinuteOf(3, 22)), 0.0);   // Thursday 22:00
+  EXPECT_DOUBLE_EQ(p.WeightAt(MinuteOf(0, 10)), 0.0);  // Monday 10:00
+  EXPECT_DOUBLE_EQ(p.WeightAt(MinuteOf(2, 4)), 0.0);   // Wednesday 04:00
+}
+
+TEST(BehaviorProfileTest, MorningEveningIsBimodal) {
+  const BehaviorProfile p(ProfileKind::kMorningEvening);
+  EXPECT_GT(p.WeightAt(MinuteOf(1, 8)), 0.5);
+  EXPECT_GT(p.WeightAt(MinuteOf(1, 20)), 0.5);
+  EXPECT_DOUBLE_EQ(p.WeightAt(MinuteOf(1, 13)), 0.0);
+}
+
+TEST(BehaviorProfileTest, WorkdayQuietOnWeekends) {
+  const BehaviorProfile p(ProfileKind::kWorkday);
+  EXPECT_GT(p.WeightAt(MinuteOf(2, 11)), 0.9);   // Wednesday work hours
+  EXPECT_LT(p.WeightAt(MinuteOf(5, 11)), 0.3);   // Saturday
+  EXPECT_LT(p.WeightAt(MinuteOf(6, 15)), 0.3);   // Sunday
+}
+
+TEST(BehaviorProfileTest, WeekendHeavyPeaksOnWeekend) {
+  const BehaviorProfile p(ProfileKind::kWeekendHeavy);
+  EXPECT_GT(p.WeightAt(MinuteOf(5, 14)), 0.9);   // Saturday afternoon
+  EXPECT_GT(p.WeightAt(MinuteOf(6, 11)), 0.9);   // Sunday morning
+  EXPECT_LT(p.WeightAt(MinuteOf(1, 14)), 0.3);   // Tuesday afternoon
+}
+
+TEST(BehaviorProfileTest, AllDayProfileCoversDaytime) {
+  const BehaviorProfile p(ProfileKind::kAllDay);
+  int active_hours = 0;
+  for (int h = 0; h < 24; ++h) {
+    if (p.WeightAt(MinuteOf(0, h)) > 0.0) ++active_hours;
+  }
+  EXPECT_GE(active_hours, 16);
+}
+
+TEST(BehaviorProfileTest, NightOwlWrapsMidnight) {
+  const BehaviorProfile p(ProfileKind::kNightOwl);
+  EXPECT_GT(p.WeightAt(MinuteOf(0, 23)), 0.9);
+  EXPECT_GT(p.WeightAt(MinuteOf(1, 1)), 0.5);   // after midnight
+  EXPECT_DOUBLE_EQ(p.WeightAt(MinuteOf(1, 12)), 0.0);
+}
+
+TEST(BehaviorProfileTest, WeightsWithinUnitInterval) {
+  for (int k = 0; k < kProfileKindCount; ++k) {
+    const BehaviorProfile p(static_cast<ProfileKind>(k));
+    for (int d = 0; d < 7; ++d) {
+      for (int h = 0; h < 24; ++h) {
+        const double w = p.WeightAt(MinuteOf(d, h));
+        EXPECT_GE(w, 0.0);
+        EXPECT_LE(w, 1.0);
+      }
+    }
+  }
+}
+
+TEST(BehaviorProfileTest, EveryProfileHasSomeActivity) {
+  for (int k = 0; k < kProfileKindCount; ++k) {
+    const BehaviorProfile p(static_cast<ProfileKind>(k));
+    double total = 0.0;
+    for (int d = 0; d < 7; ++d) {
+      for (int h = 0; h < 24; ++h) total += p.WeightAt(MinuteOf(d, h));
+    }
+    EXPECT_GT(total, 3.0) << ProfileKindName(static_cast<ProfileKind>(k));
+  }
+}
+
+TEST(BehaviorProfileTest, NamesAreDistinct) {
+  EXPECT_EQ(ProfileKindName(ProfileKind::kEvening), "evening");
+  EXPECT_EQ(ProfileKindName(ProfileKind::kWeekendHeavy), "weekend_heavy");
+  EXPECT_EQ(ProfileKindName(ProfileKind::kNightOwl), "night_owl");
+}
+
+TEST(BehaviorProfileTest, WeightStableWithinHour) {
+  const BehaviorProfile p(ProfileKind::kEvening);
+  EXPECT_DOUBLE_EQ(p.WeightAt(MinuteOf(0, 19, 0)),
+                   p.WeightAt(MinuteOf(0, 19, 59)));
+}
+
+}  // namespace
+}  // namespace homets::simgen

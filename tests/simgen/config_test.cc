@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "simgen/fleet.h"
+
+namespace homets::simgen {
+namespace {
+
+TEST(SimConfigTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateSimConfig(SimConfig{}).ok());
+}
+
+TEST(SimConfigTest, HorizonMinutes) {
+  SimConfig config;
+  config.weeks = 2;
+  EXPECT_EQ(config.HorizonMinutes(), 2 * ts::kMinutesPerWeek);
+}
+
+TEST(SimConfigTest, RejectsNonPositiveSizes) {
+  SimConfig config;
+  config.n_gateways = 0;
+  EXPECT_FALSE(ValidateSimConfig(config).ok());
+  config = SimConfig{};
+  config.weeks = -1;
+  EXPECT_FALSE(ValidateSimConfig(config).ok());
+}
+
+TEST(SimConfigTest, RejectsBadProbabilities) {
+  SimConfig config;
+  config.long_outage_prob = -0.1;
+  EXPECT_FALSE(ValidateSimConfig(config).ok());
+  config = SimConfig{};
+  config.unlabeled_prob = 1.5;
+  EXPECT_FALSE(ValidateSimConfig(config).ok());
+  config = SimConfig{};
+  config.regular_home_prob = 2.0;
+  EXPECT_FALSE(ValidateSimConfig(config).ok());
+}
+
+TEST(SimConfigTest, RejectsSurveyLargerThanFleet) {
+  SimConfig config;
+  config.n_gateways = 10;
+  config.surveyed_gateways = 11;
+  EXPECT_FALSE(ValidateSimConfig(config).ok());
+  config.surveyed_gateways = 10;
+  EXPECT_TRUE(ValidateSimConfig(config).ok());
+  config.surveyed_gateways = -1;
+  EXPECT_FALSE(ValidateSimConfig(config).ok());
+}
+
+}  // namespace
+}  // namespace homets::simgen

@@ -1,0 +1,140 @@
+#include "simgen/types.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace homets::simgen {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+DeviceTrace MakeDevice(const std::string& name, std::vector<double> in,
+                       std::vector<double> out,
+                       DeviceType type = DeviceType::kPortable) {
+  DeviceTrace dev;
+  dev.name = name;
+  dev.true_type = type;
+  dev.reported_type = type;
+  dev.incoming = ts::TimeSeries(0, 1, std::move(in));
+  dev.outgoing = ts::TimeSeries(0, 1, std::move(out));
+  return dev;
+}
+
+TEST(DeviceTypeTest, Names) {
+  EXPECT_EQ(DeviceTypeName(DeviceType::kPortable), "portable");
+  EXPECT_EQ(DeviceTypeName(DeviceType::kFixed), "fixed");
+  EXPECT_EQ(DeviceTypeName(DeviceType::kNetworkEquipment),
+            "network_equipment");
+  EXPECT_EQ(DeviceTypeName(DeviceType::kGameConsole), "game_console");
+  EXPECT_EQ(DeviceTypeName(DeviceType::kUnlabeled), "unlabeled");
+}
+
+TEST(DeviceTraceTest, TotalTrafficSumsDirections) {
+  const auto dev = MakeDevice("d", {1.0, 2.0}, {10.0, 20.0});
+  const auto total = dev.TotalTraffic();
+  EXPECT_DOUBLE_EQ(total[0], 11.0);
+  EXPECT_DOUBLE_EQ(total[1], 22.0);
+}
+
+TEST(GatewayTraceTest, AggregateSumsDevices) {
+  GatewayTrace gw;
+  gw.devices.push_back(MakeDevice("a", {1.0, 2.0}, {0.0, 0.0}));
+  gw.devices.push_back(MakeDevice("b", {10.0, 20.0}, {0.0, 0.0}));
+  const auto agg = gw.AggregateTraffic();
+  EXPECT_DOUBLE_EQ(agg[0], 11.0);
+  EXPECT_DOUBLE_EQ(agg[1], 22.0);
+}
+
+TEST(GatewayTraceTest, AggregateTreatsDisconnectedAsAbsent) {
+  GatewayTrace gw;
+  gw.devices.push_back(MakeDevice("a", {1.0, kNaN}, {0.0, kNaN}));
+  gw.devices.push_back(MakeDevice("b", {kNaN, 5.0}, {kNaN, 1.0}));
+  const auto agg = gw.AggregateTraffic();
+  EXPECT_DOUBLE_EQ(agg[0], 1.0);
+  EXPECT_DOUBLE_EQ(agg[1], 6.0);
+}
+
+TEST(GatewayTraceTest, AggregateMissingOnlyWhenAllDevicesMissing) {
+  GatewayTrace gw;
+  gw.devices.push_back(MakeDevice("a", {1.0, kNaN}, {1.0, kNaN}));
+  gw.devices.push_back(MakeDevice("b", {2.0, kNaN}, {2.0, kNaN}));
+  const auto agg = gw.AggregateTraffic();
+  EXPECT_DOUBLE_EQ(agg[0], 6.0);
+  EXPECT_TRUE(ts::TimeSeries::IsMissing(agg[1]));
+}
+
+TEST(GatewayTraceTest, DirectionalAggregates) {
+  GatewayTrace gw;
+  gw.devices.push_back(MakeDevice("a", {3.0}, {7.0}));
+  gw.devices.push_back(MakeDevice("b", {1.0}, {2.0}));
+  EXPECT_DOUBLE_EQ(gw.AggregateIncoming()[0], 4.0);
+  EXPECT_DOUBLE_EQ(gw.AggregateOutgoing()[0], 9.0);
+}
+
+TEST(GatewayTraceTest, ConnectedDeviceCount) {
+  GatewayTrace gw;
+  gw.devices.push_back(MakeDevice("a", {1.0, kNaN, 1.0}, {0.0, kNaN, 0.0}));
+  gw.devices.push_back(MakeDevice("b", {1.0, 1.0, kNaN}, {0.0, 0.0, kNaN}));
+  const auto count = gw.ConnectedDeviceCount();
+  EXPECT_DOUBLE_EQ(count[0], 2.0);
+  EXPECT_DOUBLE_EQ(count[1], 1.0);
+  EXPECT_DOUBLE_EQ(count[2], 1.0);
+}
+
+TEST(GatewayTraceTest, ConnectedDeviceCountMissingWhenOffline) {
+  GatewayTrace gw;
+  gw.devices.push_back(MakeDevice("a", {kNaN, 1.0}, {kNaN, 0.0}));
+  const auto count = gw.ConnectedDeviceCount();
+  EXPECT_TRUE(ts::TimeSeries::IsMissing(count[0]));
+  EXPECT_DOUBLE_EQ(count[1], 1.0);
+}
+
+TEST(GatewayTraceTest, EmptyGatewayYieldsEmptyAggregate) {
+  GatewayTrace gw;
+  EXPECT_TRUE(gw.AggregateTraffic().empty());
+  EXPECT_TRUE(gw.ConnectedDeviceCount().empty());
+  EXPECT_FALSE(gw.HasObservationEveryWeek(0, 1));
+}
+
+TEST(GatewayTraceTest, HasObservationEveryWeek) {
+  GatewayTrace gw;
+  std::vector<double> in(static_cast<size_t>(2 * ts::kMinutesPerWeek), kNaN);
+  in[100] = 1.0;                                          // week 0
+  in[static_cast<size_t>(ts::kMinutesPerWeek) + 7] = 2.0; // week 1
+  gw.devices.push_back(MakeDevice("a", in, std::vector<double>(in.size(), kNaN)));
+  EXPECT_TRUE(gw.HasObservationEveryWeek(0, 2));
+}
+
+TEST(GatewayTraceTest, MissingWeekFailsEligibility) {
+  GatewayTrace gw;
+  std::vector<double> in(static_cast<size_t>(2 * ts::kMinutesPerWeek), kNaN);
+  in[100] = 1.0;  // only week 0 observed
+  gw.devices.push_back(MakeDevice("a", in, std::vector<double>(in.size(), kNaN)));
+  EXPECT_TRUE(gw.HasObservationEveryWeek(0, 1));
+  EXPECT_FALSE(gw.HasObservationEveryWeek(0, 2));
+}
+
+TEST(GatewayTraceTest, HasObservationEveryDay) {
+  GatewayTrace gw;
+  const int days = 3;
+  std::vector<double> in(static_cast<size_t>(days * ts::kMinutesPerDay), kNaN);
+  for (int d = 0; d < days; ++d) {
+    in[static_cast<size_t>(d * ts::kMinutesPerDay) + 30] = 1.0;
+  }
+  gw.devices.push_back(MakeDevice("a", in, std::vector<double>(in.size(), kNaN)));
+  EXPECT_TRUE(gw.HasObservationEveryDay(0, days));
+  EXPECT_FALSE(gw.HasObservationEveryDay(0, days + 1));  // beyond range
+}
+
+TEST(GatewayTraceTest, MissingDayFailsDailyEligibility) {
+  GatewayTrace gw;
+  std::vector<double> in(static_cast<size_t>(3 * ts::kMinutesPerDay), kNaN);
+  in[10] = 1.0;
+  in[static_cast<size_t>(2 * ts::kMinutesPerDay) + 10] = 1.0;  // day 1 missing
+  gw.devices.push_back(MakeDevice("a", in, std::vector<double>(in.size(), kNaN)));
+  EXPECT_FALSE(gw.HasObservationEveryDay(0, 3));
+}
+
+}  // namespace
+}  // namespace homets::simgen

@@ -1,0 +1,98 @@
+#include "stats/boxplot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::stats {
+namespace {
+
+TEST(BoxplotTest, NoOutliersInTightSample) {
+  const auto box = ComputeBoxplot({1, 2, 3, 4, 5, 6, 7, 8}).value();
+  EXPECT_DOUBLE_EQ(box.median, 4.5);
+  EXPECT_TRUE(box.outliers.empty());
+  EXPECT_DOUBLE_EQ(box.lower_whisker, 1.0);
+  EXPECT_DOUBLE_EQ(box.upper_whisker, 8.0);
+}
+
+TEST(BoxplotTest, DetectsHighOutlier) {
+  // The classic home-traffic shape: many low values, one active burst.
+  std::vector<double> xs(100, 10.0);
+  for (size_t i = 0; i < 50; ++i) xs[i] = 12.0;
+  xs.push_back(1e7);
+  const auto box = ComputeBoxplot(xs).value();
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], 1e7);
+  EXPECT_LE(box.upper_whisker, 12.0 + 1.5 * box.iqr);
+}
+
+TEST(BoxplotTest, DetectsLowOutlier) {
+  std::vector<double> xs{-100.0};
+  for (int i = 0; i < 50; ++i) xs.push_back(50.0 + i % 5);
+  const auto box = ComputeBoxplot(xs).value();
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], -100.0);
+  EXPECT_GE(box.lower_whisker, box.q1 - 1.5 * box.iqr);
+}
+
+TEST(BoxplotTest, WhiskersAreDataPoints) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.Normal(0.0, 1.0));
+  const auto box = ComputeBoxplot(xs).value();
+  // Whiskers must coincide with actual observations.
+  EXPECT_NE(std::find(xs.begin(), xs.end(), box.lower_whisker), xs.end());
+  EXPECT_NE(std::find(xs.begin(), xs.end(), box.upper_whisker), xs.end());
+}
+
+TEST(BoxplotTest, IqrConsistency) {
+  const auto box = ComputeBoxplot({1, 2, 3, 4, 5, 100}).value();
+  EXPECT_DOUBLE_EQ(box.iqr, box.q3 - box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+}
+
+TEST(BoxplotTest, ZeroWhiskerFactorMarksEverythingOutsideBox) {
+  const auto box = ComputeBoxplot({1, 2, 3, 4, 5, 6, 7, 8, 9}, 0.0).value();
+  for (double o : box.outliers) {
+    EXPECT_TRUE(o < box.q1 || o > box.q3);
+  }
+}
+
+TEST(BoxplotTest, ConstantSample) {
+  const auto box = ComputeBoxplot({5, 5, 5, 5}).value();
+  EXPECT_DOUBLE_EQ(box.iqr, 0.0);
+  EXPECT_DOUBLE_EQ(box.upper_whisker, 5.0);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(BoxplotTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(ComputeBoxplot({}).ok());
+  EXPECT_FALSE(ComputeBoxplot({1.0}, -1.0).ok());
+}
+
+TEST(BoxplotTest, OutlierFraction) {
+  Boxplot box;
+  box.outliers = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(box.OutlierFraction(100), 0.02);
+  EXPECT_DOUBLE_EQ(box.OutlierFraction(0), 0.0);
+}
+
+TEST(BoxplotTest, ZipfLikeTrafficPutsActiveValuesInOutliers) {
+  // Background-dominated sample: the upper whisker must sit far below the
+  // active-traffic scale, which is exactly how the paper derives τ.
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.LogNormal(std::log(300), 0.8));
+  for (int i = 0; i < 20; ++i) xs.push_back(rng.LogNormal(std::log(5e6), 0.5));
+  const auto box = ComputeBoxplot(xs).value();
+  EXPECT_LT(box.upper_whisker, 1e5);
+  EXPECT_GE(box.outliers.size(), 20u);
+}
+
+}  // namespace
+}  // namespace homets::stats

@@ -1,0 +1,118 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace homets::stats {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({-4.0, 4.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({7.0}).value(), 7.0);
+}
+
+TEST(MeanTest, EmptyIsError) {
+  EXPECT_EQ(Mean({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VarianceTest, SampleVariance) {
+  // var({2,4,4,4,5,5,7,9}) with n−1 = 32/7
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}).value(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(VarianceTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({3.0, 3.0, 3.0}).value(), 0.0);
+}
+
+TEST(VarianceTest, NeedsTwoObservations) {
+  EXPECT_FALSE(Variance({1.0}).ok());
+  EXPECT_FALSE(Variance({}).ok());
+}
+
+TEST(StdDevTest, SquareRootOfVariance) {
+  EXPECT_NEAR(StdDev({1.0, 5.0}).value(), std::sqrt(8.0), 1e-12);
+}
+
+TEST(QuantileTest, Type7Interpolation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25).value(), 1.75);  // R type-7 value
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Quantile({9.0, 1.0, 5.0}, 0.5).value(), 5.0);
+}
+
+TEST(QuantileTest, OutOfRangeQ) {
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}).value(), 2.5);
+}
+
+TEST(MinMaxTest, Basic) {
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}).value(), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}).value(), 3.0);
+  EXPECT_FALSE(Min({}).ok());
+  EXPECT_FALSE(Max({}).ok());
+}
+
+TEST(SkewnessTest, SymmetricIsZero) {
+  EXPECT_NEAR(Skewness({-2, -1, 0, 1, 2}).value(), 0.0, 1e-12);
+}
+
+TEST(SkewnessTest, RightSkewPositive) {
+  // A heavy right tail must give positive skewness — the shape of home
+  // traffic distributions.
+  EXPECT_GT(Skewness({1, 1, 1, 1, 1, 2, 2, 3, 50}).value(), 1.0);
+}
+
+TEST(SkewnessTest, DegenerateErrors) {
+  EXPECT_FALSE(Skewness({1.0, 2.0}).ok());
+  EXPECT_FALSE(Skewness({5.0, 5.0, 5.0}).ok());
+}
+
+TEST(SummarizeTest, AllFieldsConsistent) {
+  const auto s = Summarize({4.0, 1.0, 3.0, 2.0, 5.0}).value();
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummarizeTest, SingleObservation) {
+  const auto s = Summarize({42.0}).value();
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+}
+
+class QuantileOrderTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileOrderTest, QuantilesAreMonotoneInQ) {
+  const std::vector<double> xs{5.0, 2.0, 9.0, 1.0, 7.0, 7.0, 3.0};
+  const double q = GetParam();
+  const double lo = Quantile(xs, q).value();
+  const double hi = Quantile(xs, std::min(1.0, q + 0.2)).value();
+  EXPECT_LE(lo, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileOrderTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.6, 0.8));
+
+}  // namespace
+}  // namespace homets::stats

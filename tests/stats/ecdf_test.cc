@@ -1,0 +1,85 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace homets::stats {
+namespace {
+
+TEST(EcdfTest, StepFunctionValues) {
+  const auto ecdf = Ecdf::Fit({1.0, 2.0, 3.0, 4.0}).value();
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(100.0), 1.0);
+}
+
+TEST(EcdfTest, HandlesTies) {
+  const auto ecdf = Ecdf::Fit({5.0, 5.0, 5.0, 10.0}).value();
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(5.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(4.9), 0.0);
+}
+
+TEST(EcdfTest, DropsNans) {
+  const auto ecdf = Ecdf::Fit({1.0, std::nan(""), 2.0}).value();
+  EXPECT_EQ(ecdf.size(), 2u);
+}
+
+TEST(EcdfTest, EmptyErrors) {
+  EXPECT_FALSE(Ecdf::Fit({}).ok());
+  EXPECT_FALSE(Ecdf::Fit({std::nan("")}).ok());
+}
+
+TEST(EcdfTest, QuantileInvertsEvaluate) {
+  const auto ecdf = Ecdf::Fit({10.0, 20.0, 30.0, 40.0, 50.0}).value();
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.2).value(), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.5).value(), 30.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(1.0).value(), 50.0);
+  EXPECT_FALSE(ecdf.Quantile(0.0).ok());
+  EXPECT_FALSE(ecdf.Quantile(1.5).ok());
+}
+
+TEST(EcdfTest, MinMax) {
+  const auto ecdf = Ecdf::Fit({3.0, 1.0, 2.0}).value();
+  EXPECT_DOUBLE_EQ(ecdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.max(), 3.0);
+}
+
+TEST(EcdfTest, ConvergesToTrueCdf) {
+  Rng rng(1);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.Normal();
+  const auto ecdf = Ecdf::Fit(xs).value();
+  EXPECT_NEAR(ecdf.Evaluate(0.0), 0.5, 0.01);
+  EXPECT_NEAR(ecdf.Evaluate(1.96), 0.975, 0.01);
+}
+
+TEST(EcdfTest, KsStatisticZeroForIdenticalSamples) {
+  const auto a = Ecdf::Fit({1, 2, 3, 4}).value();
+  const auto b = Ecdf::Fit({1, 2, 3, 4}).value();
+  EXPECT_DOUBLE_EQ(a.KsStatistic(b), 0.0);
+}
+
+TEST(EcdfTest, KsStatisticOneForDisjointSupports) {
+  const auto a = Ecdf::Fit({1, 2, 3}).value();
+  const auto b = Ecdf::Fit({10, 11, 12}).value();
+  EXPECT_DOUBLE_EQ(a.KsStatistic(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.KsStatistic(a), 1.0);  // symmetric
+}
+
+TEST(EcdfTest, KsStatisticDetectsShift) {
+  Rng rng(2);
+  std::vector<double> xs(5000), ys(5000);
+  for (auto& x : xs) x = rng.Normal(0.0, 1.0);
+  for (auto& y : ys) y = rng.Normal(0.5, 1.0);
+  const auto a = Ecdf::Fit(xs).value();
+  const auto b = Ecdf::Fit(ys).value();
+  EXPECT_GT(a.KsStatistic(b), 0.1);
+}
+
+}  // namespace
+}  // namespace homets::stats

@@ -1,0 +1,79 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace homets::stats {
+namespace {
+
+TEST(HistogramTest, BasicBinning) {
+  auto hist = Histogram::Make(0.0, 10.0, 5).value();
+  hist.AddAll({0.5, 1.5, 2.5, 3.5, 9.9});
+  EXPECT_EQ(hist.counts()[0], 2u);  // [0,2)
+  EXPECT_EQ(hist.counts()[1], 2u);  // [2,4)
+  EXPECT_EQ(hist.counts()[4], 1u);  // [8,10)
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.underflow(), 0u);
+  EXPECT_EQ(hist.overflow(), 0u);
+}
+
+TEST(HistogramTest, OutOfRangeCounted) {
+  auto hist = Histogram::Make(0.0, 10.0, 2).value();
+  hist.Add(-1.0);
+  hist.Add(10.0);  // hi edge is exclusive
+  hist.Add(100.0);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(HistogramTest, NanCountsAsUnderflow) {
+  auto hist = Histogram::Make(0.0, 1.0, 1).value();
+  hist.Add(std::nan(""));
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.counts()[0], 0u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  auto hist = Histogram::Make(10.0, 20.0, 4).value();
+  EXPECT_DOUBLE_EQ(hist.Width(), 2.5);
+  EXPECT_DOUBLE_EQ(hist.BinLeft(0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.BinLeft(3), 17.5);
+}
+
+TEST(HistogramTest, LeftEdgeInclusive) {
+  auto hist = Histogram::Make(0.0, 4.0, 4).value();
+  hist.Add(0.0);
+  hist.Add(1.0);
+  EXPECT_EQ(hist.counts()[0], 1u);
+  EXPECT_EQ(hist.counts()[1], 1u);
+}
+
+TEST(HistogramTest, CumulativeFraction) {
+  auto hist = Histogram::Make(0.0, 4.0, 4).value();
+  hist.AddAll({0.5, 1.5, 2.5, 3.5});
+  EXPECT_DOUBLE_EQ(hist.CumulativeFraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(hist.CumulativeFraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(hist.CumulativeFraction(3), 1.0);
+}
+
+TEST(HistogramTest, CumulativeFractionIgnoresOutOfRange) {
+  auto hist = Histogram::Make(0.0, 4.0, 2).value();
+  hist.AddAll({1.0, 3.0, 99.0});
+  EXPECT_DOUBLE_EQ(hist.CumulativeFraction(1), 1.0);
+}
+
+TEST(HistogramTest, EmptyHistogramCumulativeIsZero) {
+  auto hist = Histogram::Make(0.0, 1.0, 3).value();
+  EXPECT_DOUBLE_EQ(hist.CumulativeFraction(2), 0.0);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_FALSE(Histogram::Make(1.0, 1.0, 3).ok());
+  EXPECT_FALSE(Histogram::Make(2.0, 1.0, 3).ok());
+  EXPECT_FALSE(Histogram::Make(0.0, 1.0, 0).ok());
+}
+
+}  // namespace
+}  // namespace homets::stats

@@ -1,0 +1,95 @@
+#include "stats/kde.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace homets::stats {
+namespace {
+
+TEST(KdeTest, RequiresTwoPoints) {
+  EXPECT_FALSE(KernelDensity::Fit({1.0}).ok());
+  EXPECT_TRUE(KernelDensity::Fit({1.0, 2.0}).ok());
+}
+
+TEST(KdeTest, SilvermanBandwidthPositive) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Normal());
+  const auto kde = KernelDensity::Fit(xs).value();
+  EXPECT_GT(kde.bandwidth(), 0.0);
+  EXPECT_LT(kde.bandwidth(), 1.0);  // n^{−1/5} shrinkage
+}
+
+TEST(KdeTest, ExplicitBandwidthRespected) {
+  const auto kde = KernelDensity::Fit({0.0, 1.0, 2.0}, 0.5).value();
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.5);
+}
+
+TEST(KdeTest, DensityPeaksAtDataMass) {
+  std::vector<double> xs;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.Normal(0.0, 1.0));
+  const auto kde = KernelDensity::Fit(xs).value();
+  EXPECT_GT(kde.Evaluate(0.0), kde.Evaluate(3.0));
+  EXPECT_GT(kde.Evaluate(0.0), kde.Evaluate(-3.0));
+}
+
+TEST(KdeTest, ApproximatesStandardNormalDensity) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Normal());
+  const auto kde = KernelDensity::Fit(xs).value();
+  const double phi0 = 1.0 / std::sqrt(2.0 * M_PI);
+  EXPECT_NEAR(kde.Evaluate(0.0), phi0, 0.02);
+  EXPECT_NEAR(kde.Evaluate(1.0), phi0 * std::exp(-0.5), 0.02);
+}
+
+TEST(KdeTest, IntegratesToOne) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.Normal(5.0, 2.0));
+  const auto kde = KernelDensity::Fit(xs).value();
+  // Trapezoidal integration over a wide grid.
+  const auto grid = kde.EvaluateGrid(2001);
+  double integral = 0.0;
+  for (size_t i = 1; i < grid.size(); ++i) {
+    integral += 0.5 * (grid[i].second + grid[i - 1].second) *
+                (grid[i].first - grid[i - 1].first);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdeTest, ZipfianTrafficMassConcentratesNearZero) {
+  // The Figure 1a shape: almost all density at low traffic values.
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.LogNormal(std::log(500), 1.0));
+  for (int i = 0; i < 30; ++i) xs.push_back(rng.LogNormal(std::log(1e7), 0.4));
+  const auto kde = KernelDensity::Fit(xs).value();
+  EXPECT_GT(kde.Evaluate(500.0), 100.0 * kde.Evaluate(1e7));
+}
+
+TEST(KdeTest, GridCoversSampleRange) {
+  const auto kde = KernelDensity::Fit({0.0, 10.0}, 1.0).value();
+  const auto grid = kde.EvaluateGrid(11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_LE(grid.front().first, 0.0);
+  EXPECT_GE(grid.back().first, 10.0);
+}
+
+TEST(KdeTest, EmptyGridRequest) {
+  const auto kde = KernelDensity::Fit({0.0, 1.0}).value();
+  EXPECT_TRUE(kde.EvaluateGrid(0).empty());
+}
+
+TEST(KdeTest, ConstantSampleGetsFallbackBandwidth) {
+  const auto kde = KernelDensity::Fit({5.0, 5.0, 5.0, 5.0}).value();
+  EXPECT_GT(kde.bandwidth(), 0.0);
+  EXPECT_GT(kde.Evaluate(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace homets::stats

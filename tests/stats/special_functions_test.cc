@@ -1,0 +1,138 @@
+#include "stats/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace homets::stats {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(LogGamma(10.0), std::log(362880.0), 1e-8);
+}
+
+TEST(LogGammaTest, RecurrenceHolds) {
+  // ln Γ(x+1) = ln Γ(x) + ln x
+  for (double x : {0.3, 1.7, 4.2, 11.5, 99.0}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), LogGamma(x) + std::log(x), 1e-9)
+        << "x = " << x;
+  }
+}
+
+TEST(RegularizedGammaPTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e9), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaPTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 − e^{−x}
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(RegularizedGammaPTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.5) {
+    const double p = RegularizedGammaP(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(IncompleteBetaTest, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a, b) = 1 − I_{1−x}(b, a)
+  for (double x : {0.1, 0.35, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, x),
+                1.0 - RegularizedIncompleteBeta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x
+  for (double x : {0.05, 0.3, 0.77}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, KnownValue) {
+  // I_{0.5}(2, 2) = 0.5 by symmetry.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-10);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+}
+
+TEST(StudentTCdfTest, SymmetryAndCenter) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  for (double t : {0.5, 1.3, 2.8}) {
+    EXPECT_NEAR(StudentTCdf(t, 7.0) + StudentTCdf(-t, 7.0), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, ConvergesToNormalForLargeDof) {
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), NormalCdf(1.96), 1e-4);
+}
+
+TEST(StudentTCdfTest, KnownQuantile) {
+  // t_{0.975, 10} ≈ 2.228139
+  EXPECT_NEAR(StudentTCdf(2.228139, 10.0), 0.975, 1e-5);
+}
+
+TEST(StudentTTwoSidedPValueTest, MatchesCdf) {
+  for (double t : {0.7, 1.5, 2.5}) {
+    const double p = StudentTTwoSidedPValue(t, 12.0);
+    EXPECT_NEAR(p, 2.0 * (1.0 - StudentTCdf(t, 12.0)), 1e-10);
+    EXPECT_NEAR(StudentTTwoSidedPValue(-t, 12.0), p, 1e-12);
+  }
+}
+
+TEST(ChiSquaredCdfTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 3.0), 0.0);
+  // χ²(0.95, 1 dof) critical value ≈ 3.841459
+  EXPECT_NEAR(ChiSquaredCdf(3.841459, 1.0), 0.95, 1e-5);
+  // χ²(0.95, 5 dof) critical value ≈ 11.0705
+  EXPECT_NEAR(ChiSquaredCdf(11.0705, 5.0), 0.95, 1e-5);
+}
+
+TEST(KolmogorovQTest, LimitsAndKnownValues) {
+  EXPECT_DOUBLE_EQ(KolmogorovQ(0.0), 1.0);
+  EXPECT_NEAR(KolmogorovQ(10.0), 0.0, 1e-12);
+  // Q(1.3581) ≈ 0.05 (the classic 5% point).
+  EXPECT_NEAR(KolmogorovQ(1.3581), 0.05, 5e-4);
+  // Q(1.2238) ≈ 0.10
+  EXPECT_NEAR(KolmogorovQ(1.2238), 0.10, 5e-4);
+}
+
+TEST(KolmogorovQTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double lambda = 0.2; lambda < 3.0; lambda += 0.1) {
+    const double q = KolmogorovQ(lambda);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace homets::stats

@@ -1,0 +1,69 @@
+#include "stats/zipf_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::stats {
+namespace {
+
+TEST(ZipfFitTest, RecognizesZipfianSample) {
+  Rng rng(1);
+  std::vector<double> xs;
+  // Values drawn as Zipf ranks scaled: rank-frequency curve is a power law.
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(100.0 * rng.Zipf(500, 1.3));
+  }
+  const auto fit = FitZipfRankFrequency(xs).value();
+  EXPECT_GT(fit.exponent, 0.4);
+  EXPECT_GT(fit.r_squared, 0.7);
+  EXPECT_GE(fit.ranks_used, 3u);
+}
+
+TEST(ZipfFitTest, HeavyTailedLogNormalAlsoSkewed) {
+  // Home traffic is approximately Zipfian; a wide log-normal should still
+  // show a clearly decaying rank-frequency curve.
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.LogNormal(std::log(500), 1.6));
+  const auto fit = FitZipfRankFrequency(xs).value();
+  EXPECT_GT(fit.exponent, 0.0);
+}
+
+TEST(ZipfFitTest, UniformSampleFitsPoorlyOrFlat) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Uniform(1.0, 2.0));
+  const auto fit = FitZipfRankFrequency(xs, 32);
+  if (fit.ok()) {
+    // Uniform data: either a shallow slope or a bad fit — never a confident
+    // steep power law.
+    EXPECT_TRUE(fit->exponent < 0.8 || fit->r_squared < 0.8)
+        << "exponent=" << fit->exponent << " r2=" << fit->r_squared;
+  }
+}
+
+TEST(ZipfFitTest, IgnoresZerosAndNaNs) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(100.0 * rng.Zipf(100, 1.2));
+    xs.push_back(0.0);
+    xs.push_back(std::nan(""));
+  }
+  EXPECT_TRUE(FitZipfRankFrequency(xs).ok());
+}
+
+TEST(ZipfFitTest, ErrorsOnDegenerateInput) {
+  EXPECT_FALSE(FitZipfRankFrequency({}).ok());
+  EXPECT_FALSE(FitZipfRankFrequency({1, 2, 3}).ok());  // too few positives
+  const std::vector<double> constant(100, 5.0);
+  EXPECT_FALSE(FitZipfRankFrequency(constant).ok());  // degenerate support
+  EXPECT_FALSE(FitZipfRankFrequency(constant, 2).ok());  // too few bins
+}
+
+}  // namespace
+}  // namespace homets::stats

@@ -1,0 +1,105 @@
+#include "stattests/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::stattests {
+namespace {
+
+std::vector<double> NormalSample(double mean, double sd, size_t n,
+                                 uint64_t seed) {
+  homets::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.Normal(mean, sd);
+  return xs;
+}
+
+TEST(KsTest, SameDistributionNotRejected) {
+  const auto a = NormalSample(0.0, 1.0, 500, 1);
+  const auto b = NormalSample(0.0, 1.0, 500, 2);
+  const auto test = KolmogorovSmirnov(a, b).value();
+  EXPECT_FALSE(test.Rejected());
+  EXPECT_LT(test.statistic, 0.1);
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  const auto a = NormalSample(0.0, 1.0, 500, 3);
+  const auto b = NormalSample(1.0, 1.0, 500, 4);
+  const auto test = KolmogorovSmirnov(a, b).value();
+  EXPECT_TRUE(test.Rejected());
+  EXPECT_GT(test.statistic, 0.3);
+  EXPECT_LT(test.p_value, 1e-6);
+}
+
+TEST(KsTest, DifferentScaleRejected) {
+  const auto a = NormalSample(0.0, 1.0, 800, 5);
+  const auto b = NormalSample(0.0, 3.0, 800, 6);
+  EXPECT_TRUE(KolmogorovSmirnov(a, b)->Rejected());
+}
+
+TEST(KsTest, IdenticalSamplesStatZero) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const auto test = KolmogorovSmirnov(a, a).value();
+  EXPECT_DOUBLE_EQ(test.statistic, 0.0);
+  EXPECT_NEAR(test.p_value, 1.0, 1e-9);
+}
+
+TEST(KsTest, DisjointSupportsStatOne) {
+  const std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> b{100, 101, 102, 103, 104, 105, 106, 107};
+  const auto test = KolmogorovSmirnov(a, b).value();
+  EXPECT_DOUBLE_EQ(test.statistic, 1.0);
+  EXPECT_TRUE(test.Rejected());
+}
+
+TEST(KsTest, KnownSmallSampleStatistic) {
+  // a = {1,2,3}, b = {1.5, 2.5, 3.5}: max ECDF gap is 1/3.
+  const auto test = KolmogorovSmirnov({1, 2, 3}, {1.5, 2.5, 3.5}).value();
+  EXPECT_NEAR(test.statistic, 1.0 / 3.0, 1e-12);
+}
+
+TEST(KsTest, TiesAcrossSamplesHandled) {
+  const auto test =
+      KolmogorovSmirnov({1, 1, 2, 2, 3}, {1, 2, 2, 3, 3}).value();
+  EXPECT_GE(test.statistic, 0.0);
+  EXPECT_LE(test.statistic, 1.0);
+  EXPECT_FALSE(test.Rejected());
+}
+
+TEST(KsTest, NansDropped) {
+  std::vector<double> a{1, 2, 3, std::nan(""), 4};
+  std::vector<double> b{1.1, 2.1, 2.9, 4.2};
+  const auto test = KolmogorovSmirnov(a, b).value();
+  EXPECT_EQ(test.n1, 4u);
+  EXPECT_EQ(test.n2, 4u);
+}
+
+TEST(KsTest, TooFewObservationsError) {
+  EXPECT_FALSE(KolmogorovSmirnov({1.0}, {1.0, 2.0}).ok());
+  const std::vector<double> all_nan{std::nan(""), std::nan("")};
+  EXPECT_FALSE(KolmogorovSmirnov(all_nan, {1.0, 2.0}).ok());
+}
+
+TEST(KsTest, UnbalancedSampleSizes) {
+  const auto a = NormalSample(0.0, 1.0, 2000, 7);
+  const auto b = NormalSample(0.0, 1.0, 50, 8);
+  EXPECT_FALSE(KolmogorovSmirnov(a, b)->Rejected());
+}
+
+TEST(KsTest, PowerGrowsWithSampleSize) {
+  // A small shift: undetectable at n = 30, detected at n = 3000.
+  const auto small_a = NormalSample(0.0, 1.0, 30, 9);
+  const auto small_b = NormalSample(0.2, 1.0, 30, 10);
+  const auto big_a = NormalSample(0.0, 1.0, 3000, 11);
+  const auto big_b = NormalSample(0.2, 1.0, 3000, 12);
+  EXPECT_GT(KolmogorovSmirnov(small_a, small_b)->p_value,
+            KolmogorovSmirnov(big_a, big_b)->p_value);
+  EXPECT_TRUE(KolmogorovSmirnov(big_a, big_b)->Rejected());
+}
+
+}  // namespace
+}  // namespace homets::stattests

@@ -1,0 +1,108 @@
+#include "stattests/ols.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::stattests {
+namespace {
+
+TEST(OlsTest, RecoversExactLinearModel) {
+  // y = 2 + 3x, no noise.
+  const size_t n = 20;
+  std::vector<double> design;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; ++i) {
+    design.push_back(1.0);
+    design.push_back(static_cast<double>(i));
+    y.push_back(2.0 + 3.0 * static_cast<double>(i));
+  }
+  const auto fit = FitOls(design, n, 2, y).value();
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.rss, 0.0, 1e-9);
+}
+
+TEST(OlsTest, RecoversNoisyModelWithinError) {
+  homets::Rng rng(1);
+  const size_t n = 2000;
+  std::vector<double> design;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; ++i) {
+    const double x1 = rng.Normal();
+    const double x2 = rng.Normal();
+    design.push_back(1.0);
+    design.push_back(x1);
+    design.push_back(x2);
+    y.push_back(1.5 - 2.0 * x1 + 0.5 * x2 + 0.3 * rng.Normal());
+  }
+  const auto fit = FitOls(design, n, 3, y).value();
+  EXPECT_NEAR(fit.coefficients[0], 1.5, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], -2.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[2], 0.5, 0.05);
+  EXPECT_NEAR(std::sqrt(fit.sigma2), 0.3, 0.02);
+}
+
+TEST(OlsTest, TStatLargeForRealEffectSmallForNull) {
+  homets::Rng rng(2);
+  const size_t n = 500;
+  std::vector<double> design;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; ++i) {
+    const double x1 = rng.Normal();
+    const double x2 = rng.Normal();  // no effect
+    design.push_back(1.0);
+    design.push_back(x1);
+    design.push_back(x2);
+    y.push_back(2.0 * x1 + rng.Normal());
+  }
+  const auto fit = FitOls(design, n, 3, y).value();
+  EXPECT_GT(std::fabs(fit.TStat(1)), 10.0);
+  EXPECT_LT(std::fabs(fit.TStat(2)), 4.0);
+}
+
+TEST(OlsTest, StandardErrorsMatchKnownFormulaSimpleRegression) {
+  // For y on {1, x}: se(b1) = s / sqrt(Σ(x−x̄)²).
+  homets::Rng rng(3);
+  const size_t n = 300;
+  std::vector<double> design, y, xs;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    xs.push_back(x);
+    design.push_back(1.0);
+    design.push_back(x);
+    y.push_back(1.0 + 0.5 * x + rng.Normal());
+  }
+  const auto fit = FitOls(design, n, 2, y).value();
+  double mean_x = 0.0;
+  for (double x : xs) mean_x += x;
+  mean_x /= static_cast<double>(n);
+  double sxx = 0.0;
+  for (double x : xs) sxx += (x - mean_x) * (x - mean_x);
+  const double expected_se = std::sqrt(fit.sigma2 / sxx);
+  EXPECT_NEAR(fit.standard_errors[1], expected_se, 1e-9);
+}
+
+TEST(OlsTest, SingularDesignRejected) {
+  // Second column duplicates the first.
+  std::vector<double> design;
+  std::vector<double> y;
+  for (size_t i = 0; i < 10; ++i) {
+    design.push_back(1.0);
+    design.push_back(1.0);
+    y.push_back(static_cast<double>(i));
+  }
+  EXPECT_FALSE(FitOls(design, 10, 2, y).ok());
+}
+
+TEST(OlsTest, ShapeValidation) {
+  EXPECT_FALSE(FitOls({1.0, 2.0}, 2, 1, {1.0}).ok());        // y wrong size
+  EXPECT_FALSE(FitOls({1.0, 2.0}, 2, 2, {1.0, 2.0}).ok());   // n_rows <= cols
+  EXPECT_FALSE(FitOls({}, 0, 0, {}).ok());
+}
+
+}  // namespace
+}  // namespace homets::stattests

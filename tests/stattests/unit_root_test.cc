@@ -1,0 +1,136 @@
+#include "stattests/unit_root.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace homets::stattests {
+namespace {
+
+std::vector<double> StationaryAr1(double phi, size_t n, uint64_t seed) {
+  homets::Rng rng(seed);
+  std::vector<double> x(n);
+  x[0] = rng.Normal();
+  for (size_t t = 1; t < n; ++t) x[t] = phi * x[t - 1] + rng.Normal();
+  return x;
+}
+
+std::vector<double> RandomWalk(size_t n, uint64_t seed) {
+  homets::Rng rng(seed);
+  std::vector<double> x(n);
+  x[0] = 0.0;
+  for (size_t t = 1; t < n; ++t) x[t] = x[t - 1] + rng.Normal();
+  return x;
+}
+
+TEST(AdfTest, StationarySeriesRejectsUnitRoot) {
+  const auto test = AugmentedDickeyFuller(StationaryAr1(0.3, 600, 1)).value();
+  EXPECT_TRUE(test.StationaryAt5pct());
+  EXPECT_LT(test.statistic, test.crit_5pct);
+}
+
+TEST(AdfTest, RandomWalkKeepsUnitRoot) {
+  const auto test = AugmentedDickeyFuller(RandomWalk(600, 2)).value();
+  EXPECT_FALSE(test.StationaryAt5pct());
+}
+
+TEST(AdfTest, CriticalValuesOrdered) {
+  const auto test = AugmentedDickeyFuller(StationaryAr1(0.5, 300, 3)).value();
+  EXPECT_LT(test.crit_1pct, test.crit_5pct);
+  EXPECT_LT(test.crit_5pct, test.crit_10pct);
+  // Near the asymptotic constants for a decent sample.
+  EXPECT_NEAR(test.crit_5pct, -2.87, 0.05);
+}
+
+TEST(AdfTest, ExplicitLagOrderUsed) {
+  const auto test =
+      AugmentedDickeyFuller(StationaryAr1(0.4, 400, 4), 3).value();
+  EXPECT_EQ(test.lags, 3u);
+}
+
+TEST(AdfTest, SchwertRuleDefaultLags) {
+  const auto test = AugmentedDickeyFuller(StationaryAr1(0.4, 400, 5)).value();
+  // ⌊12 (400/100)^{1/4}⌋ = ⌊16.97⌋ = 16
+  EXPECT_EQ(test.lags, 16u);
+}
+
+TEST(AdfTest, TooShortSeriesErrors) {
+  EXPECT_FALSE(AugmentedDickeyFuller({1, 2, 3, 4, 5}).ok());
+}
+
+TEST(AdfTest, NansImputed) {
+  auto x = StationaryAr1(0.3, 500, 6);
+  x[10] = std::nan("");
+  x[200] = std::nan("");
+  EXPECT_TRUE(AugmentedDickeyFuller(x).ok());
+}
+
+TEST(KpssTest, StationarySeriesNotRejected) {
+  const auto test = Kpss(StationaryAr1(0.2, 800, 7)).value();
+  EXPECT_FALSE(test.RejectedAt5pct());
+  EXPECT_LT(test.statistic, test.crit_5pct);
+}
+
+TEST(KpssTest, RandomWalkRejected) {
+  const auto test = Kpss(RandomWalk(800, 8)).value();
+  EXPECT_TRUE(test.RejectedAt5pct());
+  EXPECT_GT(test.statistic, test.crit_1pct);
+}
+
+TEST(KpssTest, CriticalValuesAreKpss1992Table) {
+  const KpssTest test;
+  EXPECT_DOUBLE_EQ(test.crit_10pct, 0.347);
+  EXPECT_DOUBLE_EQ(test.crit_5pct, 0.463);
+  EXPECT_DOUBLE_EQ(test.crit_2_5pct, 0.574);
+  EXPECT_DOUBLE_EQ(test.crit_1pct, 0.739);
+}
+
+TEST(KpssTest, BandwidthRule) {
+  const auto test = Kpss(StationaryAr1(0.2, 400, 9)).value();
+  // ⌊4 (400/100)^{1/4}⌋ = ⌊5.65⌋ = 5
+  EXPECT_EQ(test.bandwidth, 5u);
+}
+
+TEST(KpssTest, ExplicitBandwidth) {
+  const auto test = Kpss(StationaryAr1(0.2, 400, 10), 12).value();
+  EXPECT_EQ(test.bandwidth, 12u);
+}
+
+TEST(KpssTest, TooShortErrors) { EXPECT_FALSE(Kpss({1, 2, 3}).ok()); }
+
+TEST(AdfKpssAgreement, OppositeNullsAgreeOnClearCases) {
+  // Stationary: ADF rejects unit root, KPSS keeps stationarity.
+  const auto stationary = StationaryAr1(0.3, 1000, 11);
+  EXPECT_TRUE(AugmentedDickeyFuller(stationary)->StationaryAt5pct());
+  EXPECT_FALSE(Kpss(stationary)->RejectedAt5pct());
+  // Unit root: ADF keeps, KPSS rejects.
+  const auto walk = RandomWalk(1000, 12);
+  EXPECT_FALSE(AugmentedDickeyFuller(walk)->StationaryAt5pct());
+  EXPECT_TRUE(Kpss(walk)->RejectedAt5pct());
+}
+
+TEST(LjungBoxTest, WhiteNoiseNotRejected) {
+  homets::Rng rng(13);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = rng.Normal();
+  const auto test = LjungBox(x, 10).value();
+  EXPECT_FALSE(test.Rejected());
+  EXPECT_EQ(test.lags, 10u);
+}
+
+TEST(LjungBoxTest, AutocorrelatedSeriesRejected) {
+  const auto test = LjungBox(StationaryAr1(0.6, 2000, 14), 10).value();
+  EXPECT_TRUE(test.Rejected());
+  EXPECT_LT(test.p_value, 1e-6);
+}
+
+TEST(LjungBoxTest, InvalidInputs) {
+  EXPECT_FALSE(LjungBox({1, 2, 3}, 0).ok());
+  EXPECT_FALSE(LjungBox({1, 2, 3}, 5).ok());
+}
+
+}  // namespace
+}  // namespace homets::stattests

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace homets::ts {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TimeSeries MinuteRamp(int64_t start, size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return TimeSeries(start, 1, std::move(v));
+}
+
+TEST(AggregateTest, SumBinning) {
+  TimeSeries s(0, 1, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  const auto agg = Aggregate(s, 3, 0, AggKind::kSum);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->size(), 2u);
+  EXPECT_DOUBLE_EQ((*agg)[0], 6.0);
+  EXPECT_DOUBLE_EQ((*agg)[1], 15.0);
+  EXPECT_EQ(agg->step_minutes(), 3);
+}
+
+TEST(AggregateTest, MeanAndMaxKinds) {
+  TimeSeries s(0, 1, {1.0, 2.0, 3.0, 4.0});
+  const auto mean = Aggregate(s, 2, 0, AggKind::kMean);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ((*mean)[0], 1.5);
+  const auto max = Aggregate(s, 2, 0, AggKind::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ((*max)[1], 4.0);
+}
+
+TEST(AggregateTest, AnchorOffsetShiftsWindows) {
+  // 2am-anchored 8h windows: the paper's weekly-pattern binning.
+  const int64_t two_am = 2 * kMinutesPerHour;
+  TimeSeries s = MinuteRamp(0, static_cast<size_t>(kMinutesPerDay));
+  const auto agg = Aggregate(s, 8 * kMinutesPerHour, two_am, AggKind::kSum);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->start_minute(), two_am);
+  // One full day starting 2am only fits 2 complete 8h windows before 1440.
+  EXPECT_EQ(agg->size(), 2u);
+}
+
+TEST(AggregateTest, PartialEdgesDropped) {
+  TimeSeries s(0, 1, {1.0, 1.0, 1.0, 1.0, 1.0});
+  const auto agg = Aggregate(s, 2, 0, AggKind::kSum);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->size(), 2u);  // fifth value belongs to an incomplete window
+}
+
+TEST(AggregateTest, MissingInputSkippedInsideWindow) {
+  TimeSeries s(0, 1, {1.0, kNaN, kNaN, kNaN});
+  const auto agg = Aggregate(s, 2, 0, AggKind::kSum);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ((*agg)[0], 1.0);             // partial observation kept
+  EXPECT_TRUE(TimeSeries::IsMissing((*agg)[1]));  // all-missing → missing
+}
+
+TEST(AggregateTest, GranularityMustDivideEvenly) {
+  TimeSeries s(0, 2, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(Aggregate(s, 3, 0, AggKind::kSum).ok());
+  EXPECT_TRUE(Aggregate(s, 4, 0, AggKind::kSum).ok());
+}
+
+TEST(AggregateTest, NonPositiveGranularityRejected) {
+  TimeSeries s(0, 1, {1.0});
+  EXPECT_FALSE(Aggregate(s, 0, 0, AggKind::kSum).ok());
+  EXPECT_FALSE(Aggregate(s, -5, 0, AggKind::kSum).ok());
+}
+
+TEST(AggregateTest, TotalMassPreservedWhenAligned) {
+  TimeSeries s = MinuteRamp(0, 120);
+  const auto agg = Aggregate(s, 30, 0, AggKind::kSum);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->Sum(), s.Sum());
+}
+
+TEST(SliceWindowsTest, WeeklyWindows) {
+  const size_t two_weeks = static_cast<size_t>(2 * kMinutesPerWeek);
+  TimeSeries s = MinuteRamp(0, two_weeks);
+  const auto windows = SliceWindows(s, kMinutesPerWeek, 0);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].start_minute(), 0);
+  EXPECT_EQ(windows[1].start_minute(), kMinutesPerWeek);
+  EXPECT_EQ(windows[0].size(), static_cast<size_t>(kMinutesPerWeek));
+}
+
+TEST(SliceWindowsTest, AnchoredWindowsSkipLeadingPartial) {
+  TimeSeries s = MinuteRamp(0, static_cast<size_t>(3 * kMinutesPerDay));
+  const int64_t two_am = 2 * kMinutesPerHour;
+  const auto windows = SliceWindows(s, kMinutesPerDay, two_am);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].start_minute(), two_am);
+  EXPECT_EQ(windows[1].start_minute(), two_am + kMinutesPerDay);
+}
+
+TEST(SliceWindowsTest, DailyWindowsOnAggregatedSeries) {
+  TimeSeries s = MinuteRamp(0, static_cast<size_t>(2 * kMinutesPerDay));
+  const auto agg = Aggregate(s, 180, 0, AggKind::kSum);
+  ASSERT_TRUE(agg.ok());
+  const auto windows = SliceWindows(*agg, kMinutesPerDay, 0);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].size(), 8u);  // 24h / 3h
+}
+
+TEST(SliceWindowsTest, WindowNotMultipleOfStepYieldsNothing) {
+  TimeSeries s(0, 7, std::vector<double>(100, 1.0));
+  EXPECT_TRUE(SliceWindows(s, 10, 0).empty());
+}
+
+TEST(SliceWindowsTest, EmptyOrShortSeries) {
+  TimeSeries empty;
+  EXPECT_TRUE(SliceWindows(empty, kMinutesPerDay, 0).empty());
+  TimeSeries tiny(0, 1, {1.0, 2.0});
+  EXPECT_TRUE(SliceWindows(tiny, kMinutesPerDay, 0).empty());
+}
+
+TEST(SliceWindowsTest, WindowsPartitionTheAlignedRange) {
+  TimeSeries s = MinuteRamp(0, static_cast<size_t>(5 * kMinutesPerDay));
+  const auto windows = SliceWindows(s, kMinutesPerDay, 0);
+  ASSERT_EQ(windows.size(), 5u);
+  double total = 0.0;
+  for (const auto& w : windows) total += w.Sum();
+  EXPECT_DOUBLE_EQ(total, s.Sum());
+}
+
+}  // namespace
+}  // namespace homets::ts

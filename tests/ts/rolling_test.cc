@@ -1,0 +1,135 @@
+#include "ts/rolling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace homets::ts {
+namespace {
+
+TEST(RollingMomentsTest, KnownValues) {
+  TimeSeries s(0, 1, {1.0, 2.0, 3.0, 4.0});
+  const auto rolling = ComputeRollingMoments(s, 2).value();
+  ASSERT_EQ(rolling.mean.size(), 3u);
+  EXPECT_DOUBLE_EQ(rolling.mean[0], 1.5);
+  EXPECT_DOUBLE_EQ(rolling.mean[2], 3.5);
+  EXPECT_DOUBLE_EQ(rolling.variance[0], 0.5);
+}
+
+TEST(RollingMomentsTest, ConstantSeriesIsStable) {
+  TimeSeries s(0, 1, std::vector<double>(200, 7.0));
+  const auto rolling = ComputeRollingMoments(s, 20).value();
+  EXPECT_DOUBLE_EQ(rolling.MeanInstability(), 0.0);
+  for (double v : rolling.variance) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RollingMomentsTest, StationaryProcessHasLowInstability) {
+  Rng rng(1);
+  std::vector<double> v(5000);
+  for (auto& x : v) x = rng.Normal(100.0, 5.0);
+  TimeSeries s(0, 1, std::move(v));
+  const auto rolling = ComputeRollingMoments(s, 500).value();
+  EXPECT_LT(rolling.MeanInstability(), 0.02);
+  EXPECT_LT(rolling.VarianceInstability(), 0.2);
+}
+
+TEST(RollingMomentsTest, LevelShiftShowsAsMeanInstability) {
+  // The paper's Section 4.2 diagnosis: home-traffic moments wander in a
+  // sliding window. A mid-series regime change must register.
+  Rng rng(2);
+  std::vector<double> v(4000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    const double level = i < 2000 ? 100.0 : 500.0;
+    v[i] = rng.Normal(level, 5.0);
+  }
+  TimeSeries s(0, 1, std::move(v));
+  const auto rolling = ComputeRollingMoments(s, 400).value();
+  EXPECT_GT(rolling.MeanInstability(), 0.3);
+}
+
+TEST(RollingMomentsTest, MissingHandling) {
+  std::vector<double> v(10, 1.0);
+  v[3] = TimeSeries::Missing();
+  TimeSeries s(0, 1, std::move(v));
+  const auto rolling = ComputeRollingMoments(s, 3).value();
+  // Window [2,3,4] still has 2 observations → defined.
+  EXPECT_FALSE(TimeSeries::IsMissing(rolling.mean[2]));
+}
+
+TEST(RollingMomentsTest, SparseWindowIsMissing) {
+  std::vector<double> v(10, TimeSeries::Missing());
+  v[0] = 1.0;
+  TimeSeries s(0, 1, std::move(v));
+  const auto rolling = ComputeRollingMoments(s, 3).value();
+  EXPECT_TRUE(TimeSeries::IsMissing(rolling.mean[0]));  // 1 observation only
+}
+
+TEST(RollingMomentsTest, InvalidArguments) {
+  TimeSeries s(0, 1, {1.0, 2.0});
+  EXPECT_FALSE(ComputeRollingMoments(s, 1).ok());
+  EXPECT_FALSE(ComputeRollingMoments(s, 5).ok());
+}
+
+TEST(RollingCorrelationTest, TracksChangingRelationship) {
+  // First half: y follows x; second half: independent. Rolling correlation
+  // must be high early and near zero late.
+  Rng rng(3);
+  const size_t n = 2000;
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = i < n / 2 ? x[i] + 0.2 * rng.Normal() : rng.Normal();
+  }
+  TimeSeries xs(0, 1, std::move(x));
+  TimeSeries ys(0, 1, std::move(y));
+  const auto rolling = RollingCorrelation(xs, ys, 200).value();
+  EXPECT_GT(rolling.front(), 0.9);
+  EXPECT_LT(std::fabs(rolling.back()), 0.3);
+}
+
+TEST(RollingCorrelationTest, PerfectRelationIsOneEverywhere) {
+  std::vector<double> x(100), y(100);
+  Rng rng(4);
+  for (size_t i = 0; i < 100; ++i) {
+    x[i] = rng.Normal();
+    y[i] = 3.0 * x[i] + 1.0;
+  }
+  TimeSeries xs(0, 1, std::move(x));
+  TimeSeries ys(0, 1, std::move(y));
+  const auto rolling = RollingCorrelation(xs, ys, 10).value();
+  for (double r : rolling) {
+    EXPECT_NEAR(r, 1.0, 1e-9);
+  }
+}
+
+TEST(RollingCorrelationTest, ConstantWindowIsMissing) {
+  TimeSeries xs(0, 1, {1.0, 1.0, 1.0, 1.0, 2.0});
+  TimeSeries ys(0, 1, {1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto rolling = RollingCorrelation(xs, ys, 4).value();
+  EXPECT_TRUE(TimeSeries::IsMissing(rolling[0]));  // constant x window
+  EXPECT_FALSE(TimeSeries::IsMissing(rolling[1]));
+}
+
+TEST(RollingCorrelationTest, UsesOverlapOfOffsetSeries) {
+  std::vector<double> base(50);
+  Rng rng(5);
+  for (auto& v : base) v = rng.Normal();
+  TimeSeries xs(0, 1, base);
+  TimeSeries ys(10, 1, std::vector<double>(base.begin() + 10, base.end()));
+  const auto overlap_rolling = RollingCorrelation(xs, ys, 10).value();
+  for (double r : overlap_rolling) EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+TEST(RollingCorrelationTest, InvalidArguments) {
+  TimeSeries a(0, 1, std::vector<double>(20, 1.0));
+  TimeSeries b(0, 2, std::vector<double>(20, 1.0));
+  EXPECT_FALSE(RollingCorrelation(a, b, 5).ok());       // step mismatch
+  EXPECT_FALSE(RollingCorrelation(a, a, 2).ok());       // window too small
+  TimeSeries far(1000, 1, std::vector<double>(20, 1.0));
+  EXPECT_FALSE(RollingCorrelation(a, far, 5).ok());     // no overlap
+}
+
+}  // namespace
+}  // namespace homets::ts

@@ -1,0 +1,171 @@
+#include "ts/seasonal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace homets::ts {
+namespace {
+
+// Hourly series with a clean daily pattern plus noise.
+TimeSeries DailyPattern(size_t days, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(days * 24);
+  for (size_t i = 0; i < v.size(); ++i) {
+    const double hour = static_cast<double>(i % 24);
+    v[i] = 100.0 + 50.0 * std::sin(2.0 * M_PI * hour / 24.0) +
+           noise * rng.Normal();
+  }
+  return TimeSeries(0, kMinutesPerHour, std::move(v));
+}
+
+TEST(SeasonalProfileTest, RecoversDailyMeans) {
+  const auto series = DailyPattern(20, 1.0, 1);
+  const auto profile =
+      EstimateSeasonalProfile(series, kMinutesPerDay).value();
+  ASSERT_EQ(profile.means.size(), 24u);
+  for (size_t h = 0; h < 24; ++h) {
+    const double expected =
+        100.0 + 50.0 * std::sin(2.0 * M_PI * static_cast<double>(h) / 24.0);
+    EXPECT_NEAR(profile.means[h], expected, 2.0) << "hour " << h;
+    EXPECT_EQ(profile.counts[h], 20u);
+  }
+}
+
+TEST(SeasonalProfileTest, MeanAtWrapsPhases) {
+  const auto series = DailyPattern(10, 0.5, 2);
+  const auto profile =
+      EstimateSeasonalProfile(series, kMinutesPerDay).value();
+  EXPECT_NEAR(profile.MeanAt(0), profile.MeanAt(3 * kMinutesPerDay), 1e-12);
+  EXPECT_NEAR(profile.MeanAt(-kMinutesPerDay + 60),
+              profile.MeanAt(60), 1e-12);
+}
+
+TEST(SeasonalProfileTest, EmptyPhaseGetsOverallMean) {
+  // Two observations in one phase bin only.
+  std::vector<double> v(48, TimeSeries::Missing());
+  v[0] = 10.0;
+  v[24] = 20.0;  // same hour next day
+  TimeSeries series(0, kMinutesPerHour, std::move(v));
+  const auto profile =
+      EstimateSeasonalProfile(series, kMinutesPerDay).value();
+  EXPECT_DOUBLE_EQ(profile.means[0], 15.0);
+  EXPECT_DOUBLE_EQ(profile.means[5], 15.0);  // overall mean fallback
+  EXPECT_EQ(profile.counts[5], 0u);
+}
+
+TEST(SeasonalProfileTest, InvalidArguments) {
+  const auto series = DailyPattern(5, 1.0, 3);
+  EXPECT_FALSE(EstimateSeasonalProfile(series, 0).ok());
+  EXPECT_FALSE(EstimateSeasonalProfile(series, 90).ok());  // not multiple
+  TimeSeries empty(0, 60, std::vector<double>(24, TimeSeries::Missing()));
+  EXPECT_FALSE(EstimateSeasonalProfile(empty, kMinutesPerDay).ok());
+}
+
+TEST(DeseasonalizeTest, RemovesPattern) {
+  const auto series = DailyPattern(20, 0.5, 4);
+  const auto profile =
+      EstimateSeasonalProfile(series, kMinutesPerDay).value();
+  const auto residual = Deseasonalize(series, profile).value();
+  double mean = 0.0;
+  for (double v : residual.values()) mean += v;
+  mean /= static_cast<double>(residual.size());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  // Residual variance far below the seasonal amplitude.
+  double ss = 0.0;
+  for (double v : residual.values()) ss += (v - mean) * (v - mean);
+  EXPECT_LT(std::sqrt(ss / static_cast<double>(residual.size())), 2.0);
+}
+
+TEST(DeseasonalizeTest, KeepsMissing) {
+  auto series = DailyPattern(5, 0.5, 5);
+  series[7] = TimeSeries::Missing();
+  const auto profile =
+      EstimateSeasonalProfile(series, kMinutesPerDay).value();
+  const auto residual = Deseasonalize(series, profile).value();
+  EXPECT_TRUE(TimeSeries::IsMissing(residual[7]));
+}
+
+TEST(SeasonalStrengthTest, HighForSeasonalLowForNoise) {
+  const auto seasonal_series = DailyPattern(20, 1.0, 6);
+  const auto profile =
+      EstimateSeasonalProfile(seasonal_series, kMinutesPerDay).value();
+  EXPECT_GT(SeasonalStrength(seasonal_series, profile).value(), 0.9);
+
+  Rng rng(7);
+  std::vector<double> noise(480);
+  for (auto& v : noise) v = rng.Normal();
+  TimeSeries noise_series(0, kMinutesPerHour, std::move(noise));
+  const auto noise_profile =
+      EstimateSeasonalProfile(noise_series, kMinutesPerDay).value();
+  EXPECT_LT(SeasonalStrength(noise_series, noise_profile).value(), 0.3);
+}
+
+TEST(BurstinessTest, RegularSignalIsNegative) {
+  // Events every 10 minutes exactly: B → −1.
+  std::vector<double> v(1000, 0.0);
+  for (size_t i = 0; i < v.size(); i += 10) v[i] = 100.0;
+  TimeSeries series(0, 1, std::move(v));
+  EXPECT_NEAR(Burstiness(series, 50.0).value(), -1.0, 1e-9);
+}
+
+TEST(BurstinessTest, PoissonEventsNearZero) {
+  Rng rng(8);
+  std::vector<double> v(200000, 0.0);
+  for (auto& x : v) {
+    if (rng.Bernoulli(0.01)) x = 100.0;
+  }
+  TimeSeries series(0, 1, std::move(v));
+  // Geometric inter-event gaps: B ≈ 0 (slightly below for discrete time).
+  EXPECT_NEAR(Burstiness(series, 50.0).value(), 0.0, 0.05);
+}
+
+TEST(BurstinessTest, BurstyTrainIsPositive) {
+  // Clustered events: long silences separating dense bursts — the home
+  // traffic shape the paper describes.
+  Rng rng(9);
+  std::vector<double> v(100000, 0.0);
+  size_t i = 0;
+  while (i < v.size()) {
+    // burst of 20 consecutive events, then a long heavy-tailed silence
+    for (size_t k = 0; k < 20 && i < v.size(); ++k, ++i) v[i] = 100.0;
+    i += static_cast<size_t>(rng.Pareto(200.0, 1.2));
+  }
+  TimeSeries series(0, 1, std::move(v));
+  EXPECT_GT(Burstiness(series, 50.0).value(), 0.3);
+}
+
+TEST(BurstinessTest, DeseasonedHomeTrafficStaysBursty) {
+  // The paper's Section 2 claim (via Jo et al.): removing daily seasonality
+  // does not remove burstiness — human activity itself is bursty.
+  Rng rng(10);
+  std::vector<double> v(60 * 24 * 28, 0.0);  // 28 days of minutes
+  for (size_t i = 0; i < v.size(); ++i) {
+    const int hour = static_cast<int>((i / 60) % 24);
+    const double evening_boost = (hour >= 18 && hour < 23) ? 5.0 : 0.3;
+    if (rng.Bernoulli(0.002 * evening_boost)) {
+      // bursty session
+      for (size_t k = 0; k < 30 && i < v.size(); ++k, ++i) {
+        v[i] = rng.LogNormal(std::log(4e5), 0.5);
+      }
+    }
+  }
+  TimeSeries series(0, 1, std::move(v));
+  const auto profile =
+      EstimateSeasonalProfile(series, kMinutesPerDay).value();
+  const auto residual = Deseasonalize(series, profile).value();
+  // Events = residuals far above the seasonal mean.
+  const auto b = Burstiness(residual, 1e5);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(*b, 0.2);
+}
+
+TEST(BurstinessTest, TooFewEventsErrors) {
+  TimeSeries series(0, 1, {0.0, 100.0, 0.0});
+  EXPECT_FALSE(Burstiness(series, 50.0).ok());
+}
+
+}  // namespace
+}  // namespace homets::ts

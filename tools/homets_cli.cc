@@ -1,0 +1,191 @@
+// homets command-line tool: generate synthetic fleets, profile gateway
+// traces, and mine motifs — the framework's operations without writing C++.
+//
+//   homets_cli generate --out DIR [--gateways N] [--weeks W] [--seed S]
+//   homets_cli profile TRACE.csv
+//   homets_cli motifs [--period daily|weekly] TRACE.csv [TRACE.csv ...]
+//
+// Traces use the WriteGatewayCsv long format
+// (device,true_type,reported_type,minute,incoming,outgoing).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/background.h"
+#include "core/motif.h"
+#include "core/profiling.h"
+#include "io/csv.h"
+#include "io/table.h"
+#include "simgen/fleet.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: tool binary
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  homets_cli generate --out DIR [--gateways N] [--weeks W] "
+         "[--seed S]\n"
+         "  homets_cli profile TRACE.csv\n"
+         "  homets_cli motifs [--period daily|weekly] TRACE.csv [...]\n";
+  return 2;
+}
+
+// Minimal flag parsing: --key value pairs plus positional arguments.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--") && i + 1 < argc) {
+      args.flags[arg.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int64_t FlagInt(const Args& args, const std::string& key, int64_t fallback) {
+  const auto it = args.flags.find(key);
+  return it == args.flags.end() ? fallback : std::stoll(it->second);
+}
+
+int RunGenerate(const Args& args) {
+  const auto out_it = args.flags.find("out");
+  if (out_it == args.flags.end()) {
+    std::cerr << "generate: --out DIR is required\n";
+    return 2;
+  }
+  simgen::SimConfig config;
+  config.n_gateways = static_cast<int>(FlagInt(args, "gateways", 8));
+  config.weeks = static_cast<int>(FlagInt(args, "weeks", 4));
+  config.seed = static_cast<uint64_t>(FlagInt(args, "seed", 20140317));
+  config.surveyed_gateways =
+      std::min(config.surveyed_gateways, config.n_gateways);
+  const Status valid = simgen::ValidateSimConfig(config);
+  if (!valid.ok()) {
+    std::cerr << "generate: " << valid.ToString() << "\n";
+    return 2;
+  }
+  simgen::FleetGenerator generator(config);
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto gw = generator.Generate(id);
+    const std::string path =
+        StrFormat("%s/gateway_%03d.csv", out_it->second.c_str(), id);
+    const Status status = io::WriteGatewayCsv(path, gw);
+    if (!status.ok()) {
+      std::cerr << "write failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << path << ": " << gw.devices.size() << " devices, "
+              << gw.AggregateTraffic().CountObserved()
+              << " observed minutes\n";
+  }
+  return 0;
+}
+
+int RunProfile(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::cerr << "profile: exactly one TRACE.csv expected\n";
+    return 2;
+  }
+  const auto gw = io::ReadGatewayCsv(args.positional[0]);
+  if (!gw.ok()) {
+    std::cerr << "read failed: " << gw.status().ToString() << "\n";
+    return 1;
+  }
+  const auto profile = core::ProfileGateway(*gw);
+  if (!profile.ok()) {
+    std::cerr << "profiling failed: " << profile.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << core::FormatProfile(*profile);
+  return 0;
+}
+
+int RunMotifs(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "motifs: at least one TRACE.csv expected\n";
+    return 2;
+  }
+  const std::string period =
+      args.flags.count("period") ? args.flags.at("period") : "daily";
+  const bool weekly = period == "weekly";
+  if (!weekly && period != "daily") {
+    std::cerr << "motifs: --period must be daily or weekly\n";
+    return 2;
+  }
+  const int64_t granularity = weekly ? 480 : 180;
+  const int64_t anchor = weekly ? 120 : 0;
+  const int64_t window = weekly ? ts::kMinutesPerWeek : ts::kMinutesPerDay;
+
+  std::vector<ts::TimeSeries> windows;
+  std::vector<core::WindowProvenance> provenance;
+  int next_id = 0;
+  for (const std::string& path : args.positional) {
+    const auto gw = io::ReadGatewayCsv(path);
+    if (!gw.ok()) {
+      std::cerr << "skipping " << path << ": " << gw.status().ToString()
+                << "\n";
+      continue;
+    }
+    const int id = next_id++;
+    const auto active = core::ActiveAggregate(*gw);
+    const auto aggregated =
+        ts::Aggregate(active, granularity, anchor, ts::AggKind::kSum);
+    if (!aggregated.ok()) continue;
+    for (auto& w : ts::SliceWindows(*aggregated, window, anchor)) {
+      provenance.push_back({id, w.start_minute()});
+      windows.push_back(std::move(w));
+    }
+  }
+  if (windows.empty()) {
+    std::cerr << "motifs: no usable windows\n";
+    return 1;
+  }
+  const auto motifs = core::MotifDiscovery().Discover(windows);
+  if (!motifs.ok()) {
+    std::cerr << "mining failed: " << motifs.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << motifs->size() << " " << period << " motifs from "
+            << windows.size() << " windows of " << next_id << " gateways\n";
+  io::TextTable table({"motif", "support", "gateways", "recurrence_%"});
+  for (size_t m = 0; m < motifs->size() && m < 20; ++m) {
+    const auto& motif = (*motifs)[m];
+    std::map<int, bool> gws;
+    for (size_t member : motif.members) {
+      gws[provenance[member].gateway_id] = true;
+    }
+    table.AddRow({StrFormat("%zu", m + 1),
+                  StrFormat("%zu", motif.support()),
+                  StrFormat("%zu", gws.size()),
+                  StrFormat("%.0f", 100.0 * core::WithinGatewayFraction(
+                                                motif, provenance))});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (command == "generate") return RunGenerate(args);
+  if (command == "profile") return RunProfile(args);
+  if (command == "motifs") return RunMotifs(args);
+  return Usage();
+}
