@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sax_motifs.dir/abl_sax_motifs.cc.o"
+  "CMakeFiles/abl_sax_motifs.dir/abl_sax_motifs.cc.o.d"
+  "abl_sax_motifs"
+  "abl_sax_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sax_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_similarity_measures.dir/abl_similarity_measures.cc.o"
+  "CMakeFiles/abl_similarity_measures.dir/abl_similarity_measures.cc.o.d"
+  "abl_similarity_measures"
+  "abl_similarity_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_similarity_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_streaming_motifs.dir/ext_streaming_motifs.cc.o"
+  "CMakeFiles/ext_streaming_motifs.dir/ext_streaming_motifs.cc.o.d"
+  "ext_streaming_motifs"
+  "ext_streaming_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_streaming_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_troubleshooting.dir/ext_troubleshooting.cc.o"
+  "CMakeFiles/ext_troubleshooting.dir/ext_troubleshooting.cc.o.d"
+  "ext_troubleshooting"
+  "ext_troubleshooting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_troubleshooting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_distribution.dir/fig01_distribution.cc.o"
+  "CMakeFiles/fig01_distribution.dir/fig01_distribution.cc.o.d"
+  "fig01_distribution"
+  "fig01_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_autocorrelation.dir/fig02_autocorrelation.cc.o"
+  "CMakeFiles/fig02_autocorrelation.dir/fig02_autocorrelation.cc.o.d"
+  "fig02_autocorrelation"
+  "fig02_autocorrelation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_autocorrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_clustering.dir/fig03_clustering.cc.o"
+  "CMakeFiles/fig03_clustering.dir/fig03_clustering.cc.o.d"
+  "fig03_clustering"
+  "fig03_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

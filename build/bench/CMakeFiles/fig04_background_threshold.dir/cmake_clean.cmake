@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_background_threshold.dir/fig04_background_threshold.cc.o"
+  "CMakeFiles/fig04_background_threshold.dir/fig04_background_threshold.cc.o.d"
+  "fig04_background_threshold"
+  "fig04_background_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_background_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

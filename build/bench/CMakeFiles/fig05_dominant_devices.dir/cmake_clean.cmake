@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dominant_devices.dir/fig05_dominant_devices.cc.o"
+  "CMakeFiles/fig05_dominant_devices.dir/fig05_dominant_devices.cc.o.d"
+  "fig05_dominant_devices"
+  "fig05_dominant_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dominant_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_weekly_aggregation.dir/fig06_weekly_aggregation.cc.o"
+  "CMakeFiles/fig06_weekly_aggregation.dir/fig06_weekly_aggregation.cc.o.d"
+  "fig06_weekly_aggregation"
+  "fig06_weekly_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_weekly_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

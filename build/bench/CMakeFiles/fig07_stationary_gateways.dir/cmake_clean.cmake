@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_stationary_gateways.dir/fig07_stationary_gateways.cc.o"
+  "CMakeFiles/fig07_stationary_gateways.dir/fig07_stationary_gateways.cc.o.d"
+  "fig07_stationary_gateways"
+  "fig07_stationary_gateways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_stationary_gateways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

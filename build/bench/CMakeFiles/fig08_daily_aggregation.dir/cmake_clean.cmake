@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_daily_aggregation.dir/fig08_daily_aggregation.cc.o"
+  "CMakeFiles/fig08_daily_aggregation.dir/fig08_daily_aggregation.cc.o.d"
+  "fig08_daily_aggregation"
+  "fig08_daily_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_daily_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

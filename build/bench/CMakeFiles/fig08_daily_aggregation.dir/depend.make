@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_daily_aggregation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_motif_support.dir/fig09_10_motif_support.cc.o"
+  "CMakeFiles/fig09_10_motif_support.dir/fig09_10_motif_support.cc.o.d"
+  "fig09_10_motif_support"
+  "fig09_10_motif_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_motif_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_13_weekly_motifs.dir/fig11_13_weekly_motifs.cc.o"
+  "CMakeFiles/fig11_13_weekly_motifs.dir/fig11_13_weekly_motifs.cc.o.d"
+  "fig11_13_weekly_motifs"
+  "fig11_13_weekly_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_13_weekly_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

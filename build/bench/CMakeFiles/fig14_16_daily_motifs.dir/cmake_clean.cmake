@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_16_daily_motifs.dir/fig14_16_daily_motifs.cc.o"
+  "CMakeFiles/fig14_16_daily_motifs.dir/fig14_16_daily_motifs.cc.o.d"
+  "fig14_16_daily_motifs"
+  "fig14_16_daily_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_16_daily_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec20_deseasoning.dir/sec20_deseasoning.cc.o"
+  "CMakeFiles/sec20_deseasoning.dir/sec20_deseasoning.cc.o.d"
+  "sec20_deseasoning"
+  "sec20_deseasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec20_deseasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec20_deseasoning.
+# This may be replaced when dependencies are built.

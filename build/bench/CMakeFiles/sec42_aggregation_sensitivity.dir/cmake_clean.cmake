@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_aggregation_sensitivity.dir/sec42_aggregation_sensitivity.cc.o"
+  "CMakeFiles/sec42_aggregation_sensitivity.dir/sec42_aggregation_sensitivity.cc.o.d"
+  "sec42_aggregation_sensitivity"
+  "sec42_aggregation_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_aggregation_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_devices_correlation.dir/sec42_devices_correlation.cc.o"
+  "CMakeFiles/sec42_devices_correlation.dir/sec42_devices_correlation.cc.o.d"
+  "sec42_devices_correlation"
+  "sec42_devices_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_devices_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

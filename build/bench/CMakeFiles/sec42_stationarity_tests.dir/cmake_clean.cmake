@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_stationarity_tests.dir/sec42_stationarity_tests.cc.o"
+  "CMakeFiles/sec42_stationarity_tests.dir/sec42_stationarity_tests.cc.o.d"
+  "sec42_stationarity_tests"
+  "sec42_stationarity_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_stationarity_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_dominance_baselines.dir/sec62_dominance_baselines.cc.o"
+  "CMakeFiles/sec62_dominance_baselines.dir/sec62_dominance_baselines.cc.o.d"
+  "sec62_dominance_baselines"
+  "sec62_dominance_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_dominance_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_residents.dir/sec62_residents.cc.o"
+  "CMakeFiles/sec62_residents.dir/sec62_residents.cc.o.d"
+  "sec62_residents"
+  "sec62_residents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_residents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

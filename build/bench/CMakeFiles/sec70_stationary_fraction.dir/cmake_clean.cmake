@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec70_stationary_fraction.dir/sec70_stationary_fraction.cc.o"
+  "CMakeFiles/sec70_stationary_fraction.dir/sec70_stationary_fraction.cc.o.d"
+  "sec70_stationary_fraction"
+  "sec70_stationary_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec70_stationary_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec70_stationary_fraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_classifier.dir/device_classifier.cpp.o"
+  "CMakeFiles/device_classifier.dir/device_classifier.cpp.o.d"
+  "device_classifier"
+  "device_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

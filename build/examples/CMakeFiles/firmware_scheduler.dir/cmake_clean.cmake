@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_scheduler.dir/firmware_scheduler.cpp.o"
+  "CMakeFiles/firmware_scheduler.dir/firmware_scheduler.cpp.o.d"
+  "firmware_scheduler"
+  "firmware_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_detection.dir/guest_detection.cpp.o"
+  "CMakeFiles/guest_detection.dir/guest_detection.cpp.o.d"
+  "guest_detection"
+  "guest_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

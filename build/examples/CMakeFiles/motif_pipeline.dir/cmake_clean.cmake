@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_pipeline.dir/motif_pipeline.cpp.o"
+  "CMakeFiles/motif_pipeline.dir/motif_pipeline.cpp.o.d"
+  "motif_pipeline"
+  "motif_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ts")
+subdirs("stats")
+subdirs("correlation")
+subdirs("stattests")
+subdirs("distance")
+subdirs("sax")
+subdirs("model")
+subdirs("cluster")
+subdirs("simgen")
+subdirs("io")
+subdirs("core")

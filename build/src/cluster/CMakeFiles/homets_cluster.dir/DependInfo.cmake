@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/hierarchical.cc" "src/cluster/CMakeFiles/homets_cluster.dir/hierarchical.cc.o" "gcc" "src/cluster/CMakeFiles/homets_cluster.dir/hierarchical.cc.o.d"
+  "/root/repo/src/cluster/rand_index.cc" "src/cluster/CMakeFiles/homets_cluster.dir/rand_index.cc.o" "gcc" "src/cluster/CMakeFiles/homets_cluster.dir/rand_index.cc.o.d"
+  "/root/repo/src/cluster/silhouette.cc" "src/cluster/CMakeFiles/homets_cluster.dir/silhouette.cc.o" "gcc" "src/cluster/CMakeFiles/homets_cluster.dir/silhouette.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

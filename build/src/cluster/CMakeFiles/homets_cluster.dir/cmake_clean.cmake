@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_cluster.dir/hierarchical.cc.o"
+  "CMakeFiles/homets_cluster.dir/hierarchical.cc.o.d"
+  "CMakeFiles/homets_cluster.dir/rand_index.cc.o"
+  "CMakeFiles/homets_cluster.dir/rand_index.cc.o.d"
+  "CMakeFiles/homets_cluster.dir/silhouette.cc.o"
+  "CMakeFiles/homets_cluster.dir/silhouette.cc.o.d"
+  "libhomets_cluster.a"
+  "libhomets_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_common.dir/random.cc.o"
+  "CMakeFiles/homets_common.dir/random.cc.o.d"
+  "CMakeFiles/homets_common.dir/status.cc.o"
+  "CMakeFiles/homets_common.dir/status.cc.o.d"
+  "CMakeFiles/homets_common.dir/strings.cc.o"
+  "CMakeFiles/homets_common.dir/strings.cc.o.d"
+  "libhomets_common.a"
+  "libhomets_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/homets_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/anomaly.cc" "src/core/CMakeFiles/homets_core.dir/anomaly.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/anomaly.cc.o.d"
+  "/root/repo/src/core/background.cc" "src/core/CMakeFiles/homets_core.dir/background.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/background.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/core/CMakeFiles/homets_core.dir/dominance.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/dominance.cc.o.d"
+  "/root/repo/src/core/motif.cc" "src/core/CMakeFiles/homets_core.dir/motif.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/motif.cc.o.d"
+  "/root/repo/src/core/motif_analysis.cc" "src/core/CMakeFiles/homets_core.dir/motif_analysis.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/motif_analysis.cc.o.d"
+  "/root/repo/src/core/profiling.cc" "src/core/CMakeFiles/homets_core.dir/profiling.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/profiling.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/homets_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/stationarity.cc" "src/core/CMakeFiles/homets_core.dir/stationarity.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/stationarity.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/homets_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/homets_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/homets_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/correlation/CMakeFiles/homets_correlation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stattests/CMakeFiles/homets_stattests.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/homets_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/homets_simgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_core.dir/aggregation.cc.o"
+  "CMakeFiles/homets_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/homets_core.dir/anomaly.cc.o"
+  "CMakeFiles/homets_core.dir/anomaly.cc.o.d"
+  "CMakeFiles/homets_core.dir/background.cc.o"
+  "CMakeFiles/homets_core.dir/background.cc.o.d"
+  "CMakeFiles/homets_core.dir/dominance.cc.o"
+  "CMakeFiles/homets_core.dir/dominance.cc.o.d"
+  "CMakeFiles/homets_core.dir/motif.cc.o"
+  "CMakeFiles/homets_core.dir/motif.cc.o.d"
+  "CMakeFiles/homets_core.dir/motif_analysis.cc.o"
+  "CMakeFiles/homets_core.dir/motif_analysis.cc.o.d"
+  "CMakeFiles/homets_core.dir/profiling.cc.o"
+  "CMakeFiles/homets_core.dir/profiling.cc.o.d"
+  "CMakeFiles/homets_core.dir/similarity.cc.o"
+  "CMakeFiles/homets_core.dir/similarity.cc.o.d"
+  "CMakeFiles/homets_core.dir/stationarity.cc.o"
+  "CMakeFiles/homets_core.dir/stationarity.cc.o.d"
+  "CMakeFiles/homets_core.dir/streaming.cc.o"
+  "CMakeFiles/homets_core.dir/streaming.cc.o.d"
+  "libhomets_core.a"
+  "libhomets_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/correlation/acf.cc" "src/correlation/CMakeFiles/homets_correlation.dir/acf.cc.o" "gcc" "src/correlation/CMakeFiles/homets_correlation.dir/acf.cc.o.d"
+  "/root/repo/src/correlation/coefficients.cc" "src/correlation/CMakeFiles/homets_correlation.dir/coefficients.cc.o" "gcc" "src/correlation/CMakeFiles/homets_correlation.dir/coefficients.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/homets_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

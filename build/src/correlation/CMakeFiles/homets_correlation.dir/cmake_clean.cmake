@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_correlation.dir/acf.cc.o"
+  "CMakeFiles/homets_correlation.dir/acf.cc.o.d"
+  "CMakeFiles/homets_correlation.dir/coefficients.cc.o"
+  "CMakeFiles/homets_correlation.dir/coefficients.cc.o.d"
+  "libhomets_correlation.a"
+  "libhomets_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

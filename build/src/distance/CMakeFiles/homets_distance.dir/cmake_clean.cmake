@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_distance.dir/distance.cc.o"
+  "CMakeFiles/homets_distance.dir/distance.cc.o.d"
+  "libhomets_distance.a"
+  "libhomets_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_io.dir/csv.cc.o"
+  "CMakeFiles/homets_io.dir/csv.cc.o.d"
+  "CMakeFiles/homets_io.dir/table.cc.o"
+  "CMakeFiles/homets_io.dir/table.cc.o.d"
+  "libhomets_io.a"
+  "libhomets_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

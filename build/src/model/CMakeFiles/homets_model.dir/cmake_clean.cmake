@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_model.dir/autoregressive.cc.o"
+  "CMakeFiles/homets_model.dir/autoregressive.cc.o.d"
+  "CMakeFiles/homets_model.dir/baselines.cc.o"
+  "CMakeFiles/homets_model.dir/baselines.cc.o.d"
+  "libhomets_model.a"
+  "libhomets_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_sax.dir/sax.cc.o"
+  "CMakeFiles/homets_sax.dir/sax.cc.o.d"
+  "CMakeFiles/homets_sax.dir/sax_motif.cc.o"
+  "CMakeFiles/homets_sax.dir/sax_motif.cc.o.d"
+  "libhomets_sax.a"
+  "libhomets_sax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_sax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhomets_sax.a"
+)

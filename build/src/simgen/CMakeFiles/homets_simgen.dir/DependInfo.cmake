@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgen/behavior.cc" "src/simgen/CMakeFiles/homets_simgen.dir/behavior.cc.o" "gcc" "src/simgen/CMakeFiles/homets_simgen.dir/behavior.cc.o.d"
+  "/root/repo/src/simgen/fleet.cc" "src/simgen/CMakeFiles/homets_simgen.dir/fleet.cc.o" "gcc" "src/simgen/CMakeFiles/homets_simgen.dir/fleet.cc.o.d"
+  "/root/repo/src/simgen/types.cc" "src/simgen/CMakeFiles/homets_simgen.dir/types.cc.o" "gcc" "src/simgen/CMakeFiles/homets_simgen.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/homets_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_simgen.dir/behavior.cc.o"
+  "CMakeFiles/homets_simgen.dir/behavior.cc.o.d"
+  "CMakeFiles/homets_simgen.dir/fleet.cc.o"
+  "CMakeFiles/homets_simgen.dir/fleet.cc.o.d"
+  "CMakeFiles/homets_simgen.dir/types.cc.o"
+  "CMakeFiles/homets_simgen.dir/types.cc.o.d"
+  "libhomets_simgen.a"
+  "libhomets_simgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_simgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/boxplot.cc" "src/stats/CMakeFiles/homets_stats.dir/boxplot.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/boxplot.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/homets_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/homets_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/homets_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kde.cc" "src/stats/CMakeFiles/homets_stats.dir/kde.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/kde.cc.o.d"
+  "/root/repo/src/stats/ranks.cc" "src/stats/CMakeFiles/homets_stats.dir/ranks.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/ranks.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/homets_stats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/special_functions.cc.o.d"
+  "/root/repo/src/stats/zipf_fit.cc" "src/stats/CMakeFiles/homets_stats.dir/zipf_fit.cc.o" "gcc" "src/stats/CMakeFiles/homets_stats.dir/zipf_fit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_stats.dir/boxplot.cc.o"
+  "CMakeFiles/homets_stats.dir/boxplot.cc.o.d"
+  "CMakeFiles/homets_stats.dir/descriptive.cc.o"
+  "CMakeFiles/homets_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/homets_stats.dir/ecdf.cc.o"
+  "CMakeFiles/homets_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/homets_stats.dir/histogram.cc.o"
+  "CMakeFiles/homets_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/homets_stats.dir/kde.cc.o"
+  "CMakeFiles/homets_stats.dir/kde.cc.o.d"
+  "CMakeFiles/homets_stats.dir/ranks.cc.o"
+  "CMakeFiles/homets_stats.dir/ranks.cc.o.d"
+  "CMakeFiles/homets_stats.dir/special_functions.cc.o"
+  "CMakeFiles/homets_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/homets_stats.dir/zipf_fit.cc.o"
+  "CMakeFiles/homets_stats.dir/zipf_fit.cc.o.d"
+  "libhomets_stats.a"
+  "libhomets_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

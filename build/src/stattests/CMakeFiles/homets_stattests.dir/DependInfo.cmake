@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stattests/ks_test.cc" "src/stattests/CMakeFiles/homets_stattests.dir/ks_test.cc.o" "gcc" "src/stattests/CMakeFiles/homets_stattests.dir/ks_test.cc.o.d"
+  "/root/repo/src/stattests/mann_whitney.cc" "src/stattests/CMakeFiles/homets_stattests.dir/mann_whitney.cc.o" "gcc" "src/stattests/CMakeFiles/homets_stattests.dir/mann_whitney.cc.o.d"
+  "/root/repo/src/stattests/ols.cc" "src/stattests/CMakeFiles/homets_stattests.dir/ols.cc.o" "gcc" "src/stattests/CMakeFiles/homets_stattests.dir/ols.cc.o.d"
+  "/root/repo/src/stattests/unit_root.cc" "src/stattests/CMakeFiles/homets_stattests.dir/unit_root.cc.o" "gcc" "src/stattests/CMakeFiles/homets_stattests.dir/unit_root.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/homets_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/correlation/CMakeFiles/homets_correlation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

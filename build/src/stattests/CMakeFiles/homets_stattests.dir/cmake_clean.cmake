@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_stattests.dir/ks_test.cc.o"
+  "CMakeFiles/homets_stattests.dir/ks_test.cc.o.d"
+  "CMakeFiles/homets_stattests.dir/mann_whitney.cc.o"
+  "CMakeFiles/homets_stattests.dir/mann_whitney.cc.o.d"
+  "CMakeFiles/homets_stattests.dir/ols.cc.o"
+  "CMakeFiles/homets_stattests.dir/ols.cc.o.d"
+  "CMakeFiles/homets_stattests.dir/unit_root.cc.o"
+  "CMakeFiles/homets_stattests.dir/unit_root.cc.o.d"
+  "libhomets_stattests.a"
+  "libhomets_stattests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_stattests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

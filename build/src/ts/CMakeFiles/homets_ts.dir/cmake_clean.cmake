@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_ts.dir/rolling.cc.o"
+  "CMakeFiles/homets_ts.dir/rolling.cc.o.d"
+  "CMakeFiles/homets_ts.dir/seasonal.cc.o"
+  "CMakeFiles/homets_ts.dir/seasonal.cc.o.d"
+  "CMakeFiles/homets_ts.dir/time_series.cc.o"
+  "CMakeFiles/homets_ts.dir/time_series.cc.o.d"
+  "libhomets_ts.a"
+  "libhomets_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

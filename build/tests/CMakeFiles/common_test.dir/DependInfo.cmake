@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/strings_test.cc" "tests/CMakeFiles/common_test.dir/common/strings_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/strings_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/homets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/homets_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sax/CMakeFiles/homets_sax.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/homets_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/homets_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stattests/CMakeFiles/homets_stattests.dir/DependInfo.cmake"
+  "/root/repo/build/src/correlation/CMakeFiles/homets_correlation.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/homets_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/homets_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/homets_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/homets_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

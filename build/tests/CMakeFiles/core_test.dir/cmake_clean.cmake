@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/aggregation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/aggregation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/anomaly_test.cc.o"
+  "CMakeFiles/core_test.dir/core/anomaly_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/background_test.cc.o"
+  "CMakeFiles/core_test.dir/core/background_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dominance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dominance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/motif_analysis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/motif_analysis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/motif_test.cc.o"
+  "CMakeFiles/core_test.dir/core/motif_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/profiling_test.cc.o"
+  "CMakeFiles/core_test.dir/core/profiling_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/shape_classify_test.cc.o"
+  "CMakeFiles/core_test.dir/core/shape_classify_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/similarity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/similarity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/stationarity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/stationarity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/streaming_test.cc.o"
+  "CMakeFiles/core_test.dir/core/streaming_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_test.dir/simgen/behavior_test.cc.o"
+  "CMakeFiles/simgen_test.dir/simgen/behavior_test.cc.o.d"
+  "CMakeFiles/simgen_test.dir/simgen/config_test.cc.o"
+  "CMakeFiles/simgen_test.dir/simgen/config_test.cc.o.d"
+  "CMakeFiles/simgen_test.dir/simgen/fleet_test.cc.o"
+  "CMakeFiles/simgen_test.dir/simgen/fleet_test.cc.o.d"
+  "CMakeFiles/simgen_test.dir/simgen/types_test.cc.o"
+  "CMakeFiles/simgen_test.dir/simgen/types_test.cc.o.d"
+  "simgen_test"
+  "simgen_test.pdb"
+  "simgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stattests_test.dir/stattests/ks_test_test.cc.o"
+  "CMakeFiles/stattests_test.dir/stattests/ks_test_test.cc.o.d"
+  "CMakeFiles/stattests_test.dir/stattests/mann_whitney_test.cc.o"
+  "CMakeFiles/stattests_test.dir/stattests/mann_whitney_test.cc.o.d"
+  "CMakeFiles/stattests_test.dir/stattests/ols_test.cc.o"
+  "CMakeFiles/stattests_test.dir/stattests/ols_test.cc.o.d"
+  "CMakeFiles/stattests_test.dir/stattests/unit_root_test.cc.o"
+  "CMakeFiles/stattests_test.dir/stattests/unit_root_test.cc.o.d"
+  "stattests_test"
+  "stattests_test.pdb"
+  "stattests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stattests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

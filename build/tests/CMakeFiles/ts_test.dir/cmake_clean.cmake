@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_test.dir/ts/aggregate_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/aggregate_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/rolling_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/rolling_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/seasonal_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/seasonal_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/time_series_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/time_series_test.cc.o.d"
+  "ts_test"
+  "ts_test.pdb"
+  "ts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

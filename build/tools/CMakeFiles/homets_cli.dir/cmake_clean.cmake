@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homets_cli.dir/homets_cli.cc.o"
+  "CMakeFiles/homets_cli.dir/homets_cli.cc.o.d"
+  "homets_cli"
+  "homets_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homets_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
