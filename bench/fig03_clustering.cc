@@ -7,7 +7,7 @@
 #include "cluster/hierarchical.h"
 #include "cluster/silhouette.h"
 #include "core/background.h"
-#include "core/similarity.h"
+#include "core/similarity_engine.h"
 #include "io/table.h"
 #include "ts/time_series.h"
 
@@ -31,14 +31,15 @@ void Run() {
     fleet.Evict(id);
   }
 
-  auto dist = cluster::DistanceMatrix::Make(series.size()).value();
-  for (size_t i = 0; i < series.size(); ++i) {
-    for (size_t j = i + 1; j < series.size(); ++j) {
-      dist.Set(i, j,
-               core::CorrelationDistance(series[i].values(),
-                                         series[j].values()));
-    }
-  }
+  // All pairwise 1 − cor(·,·) distances through the similarity engine: each
+  // gateway series is profiled once, pairs run in parallel, and the condensed
+  // result feeds the clustering matrix directly.
+  const core::SimilarityEngine engine;
+  const core::SimilarityMatrix sims =
+      engine.Pairwise(core::SimilarityEngine::PrepareWindows(series));
+  auto dist = cluster::DistanceMatrix::FromCondensed(
+                  series.size(), sims.CondensedDistances())
+                  .value();
 
   const auto tree =
       cluster::AgglomerativeCluster(dist, cluster::Linkage::kAverage).value();

@@ -1,14 +1,29 @@
 // google-benchmark microbenchmarks for the framework's algorithmic kernels:
 // correlation coefficients, the Definition 1 similarity, KS, DTW vs cor,
 // aggregation, KDE, motif mining and fleet generation.
+//
+// Before the registered benchmarks run, main() executes the pairwise
+// similarity scenario (1000 weekly windows, all ~500k pairs: legacy per-pair
+// path vs the SimilarityEngine at several thread counts) and writes the
+// machine-readable BENCH_similarity.json. Flags:
+//   --similarity_json=PATH  output path (default BENCH_similarity.json)
+//   --similarity_only       skip the google-benchmark suite
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/motif.h"
 #include "core/similarity.h"
+#include "core/similarity_engine.h"
 #include "correlation/coefficients.h"
 #include "distance/distance.h"
 #include "sax/sax.h"
@@ -158,6 +173,32 @@ void BM_MotifDiscovery(benchmark::State& state) {
 }
 BENCHMARK(BM_MotifDiscovery)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_SimilarityEnginePairwise(benchmark::State& state) {
+  // Arg 0: windows; arg 1: engine threads. Windows are weekly series at
+  // 3-hour bins (56 values), the Figure 3 / stationarity workload shape.
+  const size_t n_windows = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> windows;
+  windows.reserve(n_windows);
+  for (size_t w = 0; w < n_windows; ++w) {
+    windows.push_back(RandomSeries(56, 1000 + w));
+  }
+  const auto prepared = core::SimilarityEngine::PrepareVectors(windows);
+  core::SimilarityEngineOptions options;
+  options.threads = static_cast<int>(state.range(1));
+  const core::SimilarityEngine engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Pairwise(prepared));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(n_windows * (n_windows - 1) / 2));
+}
+BENCHMARK(BM_SimilarityEnginePairwise)
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
+
 void BM_FleetGenerateGateway(benchmark::State& state) {
   simgen::SimConfig config;
   config.n_gateways = 4;
@@ -172,6 +213,144 @@ void BM_FleetGenerateGateway(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetGenerateGateway)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// The acceptance scenario: all pairs of 1000 weekly windows (56 bins,
+// 499,500 pairs). Times the legacy per-pair vector path against the
+// SimilarityEngine at several thread counts, verifies the engine output is
+// bit-identical to the legacy path and across thread counts, and writes the
+// numbers to `path` as JSON.
+void RunSimilarityScenario(const std::string& path) {
+  constexpr size_t kWindows = 1000;
+  constexpr size_t kBins = 56;
+  std::vector<std::vector<double>> windows;
+  windows.reserve(kWindows);
+  for (size_t w = 0; w < kWindows; ++w) {
+    windows.push_back(RandomSeries(kBins, 1000 + w));
+  }
+  const size_t n_pairs = kWindows * (kWindows - 1) / 2;
+
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+
+  // Legacy path: every pair re-ranks and re-sorts both windows from scratch.
+  std::vector<double> legacy(n_pairs);
+  const auto legacy_start = Clock::now();
+  {
+    size_t k = 0;
+    for (size_t i = 0; i < kWindows; ++i) {
+      for (size_t j = i + 1; j < kWindows; ++j) {
+        legacy[k++] =
+            core::CorrelationSimilarity(windows[i], windows[j]).value;
+      }
+    }
+  }
+  const double legacy_seconds = seconds_since(legacy_start);
+
+  const int hardware = ResolveThreadCount(0);
+  std::vector<int> thread_counts = {1, 4};
+  if (hardware != 1 && hardware != 4) thread_counts.push_back(hardware);
+
+  bool deterministic = true;
+  bool matches_legacy = true;
+  std::vector<core::SimilarityResult> reference;
+  std::vector<std::string> engine_entries;
+  double best_speedup = 0.0;
+  for (const int threads : thread_counts) {
+    core::SimilarityEngineOptions options;
+    options.threads = threads;
+    const core::SimilarityEngine engine(options);
+    // Prepare is inside the timed region: the legacy path pays its profiling
+    // per pair, so the engine must pay its one-time profiling here too.
+    const auto start = Clock::now();
+    const auto prepared = core::SimilarityEngine::PrepareVectors(windows);
+    const core::SimilarityMatrix matrix = engine.Pairwise(prepared);
+    const double engine_seconds = seconds_since(start);
+
+    for (size_t k = 0; k < n_pairs; ++k) {
+      if (!same_bits(matrix.cells()[k].value, legacy[k])) {
+        matches_legacy = false;
+        break;
+      }
+    }
+    if (reference.empty()) {
+      reference = matrix.cells();
+    } else {
+      for (size_t k = 0; k < n_pairs; ++k) {
+        if (!same_bits(matrix.cells()[k].value, reference[k].value) ||
+            matrix.cells()[k].source != reference[k].source) {
+          deterministic = false;
+          break;
+        }
+      }
+    }
+
+    const double speedup = legacy_seconds / engine_seconds;
+    best_speedup = std::max(best_speedup, speedup);
+    bench::JsonWriter entry;
+    entry.Set("threads", threads)
+        .Set("seconds", engine_seconds)
+        .Set("pairs_per_sec", static_cast<double>(n_pairs) / engine_seconds)
+        .Set("speedup_vs_legacy", speedup);
+    engine_entries.push_back(entry.Inline());
+  }
+
+  bench::JsonWriter legacy_entry;
+  legacy_entry.Set("seconds", legacy_seconds)
+      .Set("pairs_per_sec", static_cast<double>(n_pairs) / legacy_seconds);
+
+  bench::JsonWriter json;
+  json.Set("scenario", "pairwise_correlation_similarity")
+      .Set("windows", kWindows)
+      .Set("bins_per_window", kBins)
+      .Set("pairs", n_pairs)
+      .Set("hardware_threads", hardware)
+      .SetRaw("legacy_per_pair", legacy_entry.Inline())
+      .SetRaw("engine", bench::JsonWriter::Array(engine_entries))
+      .Set("best_speedup_vs_legacy", best_speedup)
+      .Set("engine_matches_legacy_bitwise", matches_legacy)
+      .Set("deterministic_across_threads", deterministic);
+
+  std::ofstream out(path);
+  out << json.Dump();
+  std::cout << "similarity scenario: " << n_pairs << " pairs, legacy "
+            << bench::Fmt(legacy_seconds) << " s, best engine speedup "
+            << bench::Fmt(best_speedup, 2) << "x, deterministic="
+            << (deterministic ? "yes" : "no") << ", matches_legacy="
+            << (matches_legacy ? "yes" : "no") << " -> " << path << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_similarity.json";
+  bool similarity_only = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--similarity_json=", 0) == 0) {
+      json_path = arg.substr(std::string("--similarity_json=").size());
+    } else if (arg == "--similarity_only") {
+      similarity_only = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // Validate flags before the multi-second scenario run so a typo'd flag
+  // fails fast instead of overwriting the JSON artifact first.
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  RunSimilarityScenario(json_path);
+  if (similarity_only) return 0;
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -206,4 +206,5 @@ bench/CMakeFiles/abl_similarity_measures.dir/abl_similarity_measures.cc.o: \
  /root/repo/src/simgen/behavior.h /usr/include/c++/12/array \
  /root/repo/src/core/similarity.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/distance/distance.h /root/repo/src/io/table.h

@@ -202,4 +202,6 @@ bench/CMakeFiles/ext_streaming_motifs.dir/ext_streaming_motifs.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/simgen/behavior.h \
  /usr/include/c++/12/array /root/repo/src/core/streaming.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/io/table.h
+ /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/correlation/prepared_series.h \
+ /root/repo/src/correlation/coefficients.h /root/repo/src/io/table.h

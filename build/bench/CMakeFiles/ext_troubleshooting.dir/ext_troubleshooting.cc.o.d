@@ -196,7 +196,11 @@ bench/CMakeFiles/ext_troubleshooting.dir/ext_troubleshooting.cc.o: \
  /root/repo/src/simgen/fleet.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cstddef /root/repo/src/simgen/behavior.h \
  /usr/include/c++/12/array /root/repo/src/core/anomaly.h \
- /root/repo/src/core/profiling.h /root/repo/src/core/dominance.h \
- /root/repo/src/core/similarity.h \
+ /root/repo/src/core/profiling.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/dominance.h /root/repo/src/core/similarity.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/core/stationarity.h /root/repo/src/io/table.h

@@ -196,5 +196,7 @@ bench/CMakeFiles/fig03_clustering.dir/fig03_clustering.cc.o: \
  /root/repo/src/simgen/fleet.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cstddef /root/repo/src/simgen/behavior.h \
  /usr/include/c++/12/array /root/repo/src/cluster/hierarchical.h \
- /root/repo/src/cluster/silhouette.h /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h /root/repo/src/io/table.h
+ /root/repo/src/cluster/silhouette.h \
+ /root/repo/src/core/similarity_engine.h /root/repo/src/core/similarity.h \
+ /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h /root/repo/src/io/table.h

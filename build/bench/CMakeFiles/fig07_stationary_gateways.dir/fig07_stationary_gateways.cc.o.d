@@ -197,4 +197,5 @@ bench/CMakeFiles/fig07_stationary_gateways.dir/fig07_stationary_gateways.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/simgen/behavior.h \
  /usr/include/c++/12/array /root/repo/src/core/aggregation.h \
  /root/repo/src/core/stationarity.h /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h /root/repo/src/io/table.h
+ /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h /root/repo/src/io/table.h

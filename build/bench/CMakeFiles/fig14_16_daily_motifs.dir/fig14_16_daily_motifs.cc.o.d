@@ -198,6 +198,7 @@ bench/CMakeFiles/fig14_16_daily_motifs.dir/fig14_16_daily_motifs.cc.o: \
  /usr/include/c++/12/array /root/repo/src/core/dominance.h \
  /root/repo/src/core/similarity.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/core/motif_analysis.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -196,5 +196,6 @@ bench/CMakeFiles/sec42_aggregation_sensitivity.dir/sec42_aggregation_sensitivity
  /root/repo/src/simgen/fleet.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cstddef /root/repo/src/simgen/behavior.h \
  /usr/include/c++/12/array /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h /root/repo/src/io/table.h \
+ /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h /root/repo/src/io/table.h \
  /root/repo/src/stattests/ks_test.h

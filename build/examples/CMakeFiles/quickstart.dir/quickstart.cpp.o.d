@@ -186,6 +186,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/dominance.h \
  /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h /root/repo/src/simgen/fleet.h \
- /root/repo/src/common/random.h /usr/include/c++/12/cstddef \
- /root/repo/src/simgen/behavior.h /usr/include/c++/12/array
+ /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
+ /root/repo/src/simgen/fleet.h /root/repo/src/common/random.h \
+ /usr/include/c++/12/cstddef /root/repo/src/simgen/behavior.h \
+ /usr/include/c++/12/array

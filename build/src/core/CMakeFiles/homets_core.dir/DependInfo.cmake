@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/motif_analysis.cc" "src/core/CMakeFiles/homets_core.dir/motif_analysis.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/motif_analysis.cc.o.d"
   "/root/repo/src/core/profiling.cc" "src/core/CMakeFiles/homets_core.dir/profiling.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/profiling.cc.o.d"
   "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/homets_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/similarity_engine.cc" "src/core/CMakeFiles/homets_core.dir/similarity_engine.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/similarity_engine.cc.o.d"
   "/root/repo/src/core/stationarity.cc" "src/core/CMakeFiles/homets_core.dir/stationarity.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/stationarity.cc.o.d"
   "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/homets_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/homets_core.dir/streaming.cc.o.d"
   )

@@ -130,6 +130,7 @@ src/core/CMakeFiles/homets_core.dir/aggregation.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/stationarity.h \
  /root/repo/src/core/similarity.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/ts/time_series.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -162,4 +163,5 @@ src/core/CMakeFiles/homets_core.dir/aggregation.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/core/similarity_engine.h

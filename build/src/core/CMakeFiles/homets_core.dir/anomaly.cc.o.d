@@ -171,4 +171,5 @@ src/core/CMakeFiles/homets_core.dir/anomaly.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h
+ /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h

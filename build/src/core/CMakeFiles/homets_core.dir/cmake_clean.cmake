@@ -15,6 +15,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/homets_core.dir/profiling.cc.o.d"
   "CMakeFiles/homets_core.dir/similarity.cc.o"
   "CMakeFiles/homets_core.dir/similarity.cc.o.d"
+  "CMakeFiles/homets_core.dir/similarity_engine.cc.o"
+  "CMakeFiles/homets_core.dir/similarity_engine.cc.o.d"
   "CMakeFiles/homets_core.dir/stationarity.cc.o"
   "CMakeFiles/homets_core.dir/stationarity.cc.o.d"
   "CMakeFiles/homets_core.dir/streaming.cc.o"

@@ -172,4 +172,6 @@ src/core/CMakeFiles/homets_core.dir/motif.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h
+ /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
+ /root/repo/src/core/similarity_engine.h

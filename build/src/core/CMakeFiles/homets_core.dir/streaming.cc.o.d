@@ -159,7 +159,9 @@ src/core/CMakeFiles/homets_core.dir/streaming.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/correlation/prepared_series.h \
+ /root/repo/src/correlation/coefficients.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -170,5 +172,4 @@ src/core/CMakeFiles/homets_core.dir/streaming.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/strings.h /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h
+ /root/repo/src/common/strings.h /root/repo/src/core/similarity.h

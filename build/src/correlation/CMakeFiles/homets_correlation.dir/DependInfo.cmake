@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/correlation/acf.cc" "src/correlation/CMakeFiles/homets_correlation.dir/acf.cc.o" "gcc" "src/correlation/CMakeFiles/homets_correlation.dir/acf.cc.o.d"
   "/root/repo/src/correlation/coefficients.cc" "src/correlation/CMakeFiles/homets_correlation.dir/coefficients.cc.o" "gcc" "src/correlation/CMakeFiles/homets_correlation.dir/coefficients.cc.o.d"
+  "/root/repo/src/correlation/prepared_series.cc" "src/correlation/CMakeFiles/homets_correlation.dir/prepared_series.cc.o" "gcc" "src/correlation/CMakeFiles/homets_correlation.dir/prepared_series.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/homets_correlation.dir/acf.cc.o.d"
   "CMakeFiles/homets_correlation.dir/coefficients.cc.o"
   "CMakeFiles/homets_correlation.dir/coefficients.cc.o.d"
+  "CMakeFiles/homets_correlation.dir/prepared_series.cc.o"
+  "CMakeFiles/homets_correlation.dir/prepared_series.cc.o.d"
   "libhomets_correlation.a"
   "libhomets_correlation.pdb"
 )

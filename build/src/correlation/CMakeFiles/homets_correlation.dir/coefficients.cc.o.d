@@ -160,8 +160,5 @@ src/correlation/CMakeFiles/homets_correlation.dir/coefficients.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/stats/ranks.h /usr/include/c++/12/cstddef \
- /root/repo/src/stats/special_functions.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/correlation/prepared_series.h

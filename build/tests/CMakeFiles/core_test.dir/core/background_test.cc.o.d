@@ -318,5 +318,6 @@ tests/CMakeFiles/core_test.dir/core/background_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/random.h /root/repo/src/core/similarity.h \
- /root/repo/src/correlation/coefficients.h /root/repo/src/simgen/fleet.h \
- /root/repo/src/simgen/behavior.h
+ /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
+ /root/repo/src/simgen/fleet.h /root/repo/src/simgen/behavior.h

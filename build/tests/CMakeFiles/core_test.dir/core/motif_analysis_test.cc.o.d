@@ -145,6 +145,7 @@ tests/CMakeFiles/core_test.dir/core/motif_analysis_test.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/dominance.h \
  /root/repo/src/core/similarity.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/ts/time_series.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/correlation/acf_test.cc" "tests/CMakeFiles/correlation_test.dir/correlation/acf_test.cc.o" "gcc" "tests/CMakeFiles/correlation_test.dir/correlation/acf_test.cc.o.d"
   "/root/repo/tests/correlation/coefficients_test.cc" "tests/CMakeFiles/correlation_test.dir/correlation/coefficients_test.cc.o" "gcc" "tests/CMakeFiles/correlation_test.dir/correlation/coefficients_test.cc.o.d"
+  "/root/repo/tests/correlation/prepared_series_test.cc" "tests/CMakeFiles/correlation_test.dir/correlation/prepared_series_test.cc.o" "gcc" "tests/CMakeFiles/correlation_test.dir/correlation/prepared_series_test.cc.o.d"
   )
 
 # Targets to which this target links.

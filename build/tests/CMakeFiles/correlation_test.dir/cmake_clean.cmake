@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/correlation_test.dir/correlation/acf_test.cc.o.d"
   "CMakeFiles/correlation_test.dir/correlation/coefficients_test.cc.o"
   "CMakeFiles/correlation_test.dir/correlation/coefficients_test.cc.o.d"
+  "CMakeFiles/correlation_test.dir/correlation/prepared_series_test.cc.o"
+  "CMakeFiles/correlation_test.dir/correlation/prepared_series_test.cc.o.d"
   "correlation_test"
   "correlation_test.pdb"
   "correlation_test[1]_tests.cmake"

@@ -318,6 +318,7 @@ tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o: \
  /root/repo/src/core/aggregation.h /root/repo/src/common/status.h \
  /root/repo/src/core/stationarity.h /root/repo/src/core/similarity.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/ts/time_series.h /root/repo/src/core/background.h \
  /root/repo/src/simgen/types.h /root/repo/src/core/dominance.h \
  /root/repo/src/core/motif.h /root/repo/src/core/motif_analysis.h \

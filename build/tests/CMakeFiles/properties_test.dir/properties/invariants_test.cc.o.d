@@ -318,6 +318,7 @@ tests/CMakeFiles/properties_test.dir/properties/invariants_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/random.h \
  /root/repo/src/core/similarity.h /root/repo/src/common/status.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/ts/time_series.h /root/repo/src/distance/distance.h \
  /root/repo/src/stattests/ks_test.h \
  /root/repo/src/stattests/mann_whitney.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/threading_test.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/threading_test.dir/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/core/similarity_engine_test.cc" "tests/CMakeFiles/threading_test.dir/core/similarity_engine_test.cc.o" "gcc" "tests/CMakeFiles/threading_test.dir/core/similarity_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/homets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stattests/CMakeFiles/homets_stattests.dir/DependInfo.cmake"
+  "/root/repo/build/src/correlation/CMakeFiles/homets_correlation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/homets_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/homets_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/homets_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/homets_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/homets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

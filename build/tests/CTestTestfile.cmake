@@ -17,4 +17,5 @@ include("/root/repo/build/tests/simgen_test[1]_include.cmake")
 include("/root/repo/build/tests/io_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/threading_test[1]_include.cmake")
 include("/root/repo/build/tests/properties_test[1]_include.cmake")

@@ -204,9 +204,13 @@ tools/CMakeFiles/homets_cli.dir/homets_cli.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/motif.h \
- /root/repo/src/core/profiling.h /root/repo/src/core/dominance.h \
- /root/repo/src/core/similarity.h \
+ /root/repo/src/core/profiling.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/dominance.h /root/repo/src/core/similarity.h \
  /root/repo/src/correlation/coefficients.h \
+ /root/repo/src/correlation/prepared_series.h \
  /root/repo/src/core/stationarity.h /root/repo/src/io/csv.h \
  /root/repo/src/io/table.h /root/repo/src/simgen/fleet.h \
  /root/repo/src/common/random.h /usr/include/c++/12/cstddef \

@@ -11,6 +11,21 @@ Result<DistanceMatrix> DistanceMatrix::Make(size_t n) {
   return DistanceMatrix(n);
 }
 
+Result<DistanceMatrix> DistanceMatrix::FromCondensed(
+    size_t n, const std::vector<double>& condensed) {
+  if (n == 0) return Status::InvalidArgument("DistanceMatrix: n must be >= 1");
+  if (condensed.size() != n * (n - 1) / 2) {
+    return Status::InvalidArgument(
+        "DistanceMatrix: condensed size must be n(n-1)/2");
+  }
+  DistanceMatrix matrix(n);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) matrix.Set(i, j, condensed[k++]);
+  }
+  return matrix;
+}
+
 std::vector<size_t> Dendrogram::CutAt(double threshold) const {
   // Union-find over leaves; apply merges with distance <= threshold.
   std::vector<size_t> parent(n_leaves);

@@ -14,6 +14,12 @@ class DistanceMatrix {
   /// Creates an n×n matrix with zero diagonal; requires n >= 1.
   static Result<DistanceMatrix> Make(size_t n);
 
+  /// Creates the matrix from a condensed upper triangle in row-major pair
+  /// order — the layout produced by core::SimilarityMatrix::
+  /// CondensedDistances. Requires `condensed.size() == n(n−1)/2`.
+  static Result<DistanceMatrix> FromCondensed(
+      size_t n, const std::vector<double>& condensed);
+
   size_t size() const { return n_; }
 
   double At(size_t i, size_t j) const { return data_[i * n_ + j]; }

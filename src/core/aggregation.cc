@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/similarity.h"
+#include "core/similarity_engine.h"
 
 namespace homets::core {
 
@@ -32,11 +33,12 @@ Result<std::vector<ts::TimeSeries>> MakeWindows(const ts::TimeSeries& series,
   return windows;
 }
 
-// Mean pairwise cor(·,·); for kDaily only same-weekday pairs count.
+// Mean pairwise cor(·,·); for kDaily only same-weekday pairs count. Windows
+// are profiled once and only the comparable pairs are computed (for kDaily
+// that skips the ~6/7 cross-weekday pairs entirely).
 Result<double> MeanPairCorrelation(const std::vector<ts::TimeSeries>& windows,
                                    PatternPeriod period) {
-  double sum = 0.0;
-  size_t pairs = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
   for (size_t i = 0; i < windows.size(); ++i) {
     for (size_t j = i + 1; j < windows.size(); ++j) {
       if (period == PatternPeriod::kDaily &&
@@ -44,15 +46,18 @@ Result<double> MeanPairCorrelation(const std::vector<ts::TimeSeries>& windows,
               ts::DayOfWeekAt(windows[j].start_minute())) {
         continue;
       }
-      sum += CorrelationSimilarity(windows[i].values(), windows[j].values())
-                 .value;
-      ++pairs;
+      pairs.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
     }
   }
-  if (pairs == 0) {
+  if (pairs.empty()) {
     return Status::InvalidArgument("no comparable window pairs");
   }
-  return sum / static_cast<double>(pairs);
+  const SimilarityEngine engine;
+  const std::vector<SimilarityResult> sims =
+      engine.PairwiseSelected(SimilarityEngine::PrepareWindows(windows), pairs);
+  double sum = 0.0;
+  for (const SimilarityResult& sim : sims) sum += sim.value;
+  return sum / static_cast<double>(pairs.size());
 }
 
 }  // namespace

@@ -12,31 +12,45 @@ namespace {
 // The paper compares every device on the gateway's full observation grid
 // (Section 6.2 uses one n for all devices of a gateway): minutes where the
 // gateway reported but the device did not are zero traffic, not missing.
-// Only gateway-offline minutes are dropped.
-void AlignOnAggregateGrid(const ts::TimeSeries& device_total,
-                          const ts::TimeSeries& aggregate,
-                          std::vector<double>* device_values,
-                          std::vector<double>* aggregate_values) {
-  device_values->clear();
-  aggregate_values->clear();
-  device_values->reserve(aggregate.size());
-  aggregate_values->reserve(aggregate.size());
-  const int64_t step = aggregate.step_minutes();
+// Only gateway-offline minutes are dropped. The grid — and with it the
+// aggregate side's similarity profile — is identical for every device of a
+// gateway, so it is built (and prepared) once and reused across devices.
+struct AggregateGrid {
+  std::vector<int64_t> minutes;  ///< observed aggregate bins, in order
+  std::vector<double> values;    ///< aggregate traffic at those bins
+  int64_t step = 1;
+};
+
+AggregateGrid MakeAggregateGrid(const ts::TimeSeries& aggregate) {
+  AggregateGrid grid;
+  grid.step = aggregate.step_minutes();
+  grid.minutes.reserve(aggregate.size());
+  grid.values.reserve(aggregate.size());
   for (size_t i = 0; i < aggregate.size(); ++i) {
     const double agg = aggregate[i];
     if (ts::TimeSeries::IsMissing(agg)) continue;
-    const int64_t minute = aggregate.MinuteAt(i);
+    grid.minutes.push_back(aggregate.MinuteAt(i));
+    grid.values.push_back(agg);
+  }
+  return grid;
+}
+
+void DeviceOnGrid(const ts::TimeSeries& device_total,
+                  const AggregateGrid& grid,
+                  std::vector<double>* device_values) {
+  device_values->clear();
+  device_values->reserve(grid.minutes.size());
+  for (const int64_t minute : grid.minutes) {
     double dev = 0.0;
     if (minute >= device_total.start_minute() &&
         minute < device_total.EndMinute() &&
-        (minute - device_total.start_minute()) % step == 0) {
+        (minute - device_total.start_minute()) % grid.step == 0) {
       const size_t idx = static_cast<size_t>(
-          (minute - device_total.start_minute()) / step);
+          (minute - device_total.start_minute()) / grid.step);
       const double v = device_total[idx];
       if (!ts::TimeSeries::IsMissing(v)) dev = v;
     }
     device_values->push_back(dev);
-    aggregate_values->push_back(agg);
   }
 }
 
@@ -63,13 +77,17 @@ std::vector<DominantDevice> FindDominantDevices(
   if (aggregate.empty()) return {};
   SimilarityOptions sim_options;
   sim_options.alpha = options.alpha;
+  const AggregateGrid grid = MakeAggregateGrid(aggregate);
+  const correlation::PreparedSeries prepared_aggregate =
+      correlation::PreparedSeries::Make(grid.values);
   std::vector<DominantDevice> candidates;
-  std::vector<double> device_values, aggregate_values;
+  std::vector<double> device_values;
+  correlation::PairWorkspace workspace;
   for (size_t d = 0; d < gateway.devices.size(); ++d) {
-    AlignOnAggregateGrid(gateway.devices[d].TotalTraffic(), aggregate,
-                         &device_values, &aggregate_values);
-    const SimilarityResult sim =
-        CorrelationSimilarity(device_values, aggregate_values, sim_options);
+    DeviceOnGrid(gateway.devices[d].TotalTraffic(), grid, &device_values);
+    const SimilarityResult sim = CorrelationSimilarity(
+        correlation::PreparedSeries::Make(device_values), prepared_aggregate,
+        sim_options, &workspace);
     DominantDevice candidate;
     candidate.device_index = d;
     candidate.similarity = sim.value;
@@ -99,16 +117,20 @@ std::vector<DominantDevice> FindDominantDevicesInWindow(
   if (agg_window.empty()) return {};
   SimilarityOptions sim_options;
   sim_options.alpha = options.alpha;
+  const AggregateGrid grid = MakeAggregateGrid(agg_window);
+  const correlation::PreparedSeries prepared_aggregate =
+      correlation::PreparedSeries::Make(grid.values);
   std::vector<DominantDevice> candidates;
-  std::vector<double> device_values, aggregate_values;
+  std::vector<double> device_values;
+  correlation::PairWorkspace workspace;
   for (size_t d = 0; d < gateway.devices.size(); ++d) {
     const ts::TimeSeries dev_window =
         window_of(gateway.devices[d].TotalTraffic());
     if (dev_window.empty()) continue;
-    AlignOnAggregateGrid(dev_window, agg_window, &device_values,
-                         &aggregate_values);
-    const SimilarityResult sim =
-        CorrelationSimilarity(device_values, aggregate_values, sim_options);
+    DeviceOnGrid(dev_window, grid, &device_values);
+    const SimilarityResult sim = CorrelationSimilarity(
+        correlation::PreparedSeries::Make(device_values), prepared_aggregate,
+        sim_options, &workspace);
     DominantDevice candidate;
     candidate.device_index = d;
     candidate.similarity = sim.value;
@@ -121,8 +143,9 @@ std::vector<DominantDevice> FindDominantDevicesInWindow(
 std::vector<size_t> RankDevicesByEuclidean(
     const simgen::GatewayTrace& gateway) {
   const ts::TimeSeries aggregate = gateway.AggregateTraffic();
+  const AggregateGrid grid = MakeAggregateGrid(aggregate);
   std::vector<std::pair<double, size_t>> keyed;
-  std::vector<double> device_values, aggregate_values;
+  std::vector<double> device_values;
   for (size_t d = 0; d < gateway.devices.size(); ++d) {
     const ts::TimeSeries total = gateway.devices[d].TotalTraffic();
     double key = std::numeric_limits<double>::infinity();
@@ -130,9 +153,8 @@ std::vector<size_t> RankDevicesByEuclidean(
       // Same grid convention as FindDominantDevices: the paper compares all
       // devices over the gateway's full observation window, with
       // non-reporting minutes as zero traffic.
-      AlignOnAggregateGrid(total, aggregate, &device_values,
-                           &aggregate_values);
-      auto dist = distance::Euclidean(device_values, aggregate_values);
+      DeviceOnGrid(total, grid, &device_values);
+      auto dist = distance::Euclidean(device_values, grid.values);
       if (dist.ok()) key = *dist;
     }
     keyed.emplace_back(key, d);

@@ -6,17 +6,19 @@
 #include <unordered_map>
 
 #include "core/similarity.h"
+#include "core/similarity_engine.h"
 
 namespace homets::core {
 
 namespace {
 
 // Pairwise cor(·,·) cache; motif mining revisits pairs during the merge
-// phase.
+// phase. Every window is profiled once up front so repeated comparisons pay
+// only the per-pair kernel cost, never a re-rank or re-sort.
 class SimilarityCache {
  public:
   SimilarityCache(const std::vector<ts::TimeSeries>& windows, double alpha)
-      : windows_(windows) {
+      : prepared_(SimilarityEngine::PrepareWindows(windows)) {
     options_.alpha = alpha;
   }
 
@@ -27,16 +29,17 @@ class SimilarityCache {
     const auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
     const double value =
-        CorrelationSimilarity(windows_[i].values(), windows_[j].values(),
-                              options_)
+        CorrelationSimilarity(prepared_[i], prepared_[j], options_,
+                              &workspace_)
             .value;
     cache_.emplace(key, value);
     return value;
   }
 
  private:
-  const std::vector<ts::TimeSeries>& windows_;
+  std::vector<correlation::PreparedSeries> prepared_;
   SimilarityOptions options_;
+  correlation::PairWorkspace workspace_;
   std::unordered_map<uint64_t, double> cache_;
 };
 
@@ -131,9 +134,12 @@ Result<std::vector<Motif>> MotifDiscovery::Discover(
       reported.push_back(std::move(motif));
     }
   }
+  // Descending support; equal-support motifs tie-break on the earliest
+  // member index so the reported order is a pure function of the input.
   std::sort(reported.begin(), reported.end(),
             [](const Motif& x, const Motif& y) {
-              return x.support() > y.support();
+              if (x.support() != y.support()) return x.support() > y.support();
+              return x.members.front() < y.members.front();
             });
   return reported;
 }

@@ -1,6 +1,9 @@
 #ifndef HOMETS_CORE_PROFILING_H_
 #define HOMETS_CORE_PROFILING_H_
 
+#include <chrono>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,6 +14,57 @@
 #include "simgen/types.h"
 
 namespace homets::core {
+
+/// \brief Wall-clock accumulator for named computation phases.
+///
+/// The SimilarityEngine (and future batch pipelines) record how long each
+/// phase ("prepare", "pairwise", ...) took so benches and ops tooling can
+/// attribute time. Recording happens from the coordinating thread only;
+/// the type is not thread-safe.
+class PhaseTimings {
+ public:
+  void Record(const std::string& phase, uint64_t ns) { phases_[phase] += ns; }
+
+  /// Accumulated nanoseconds for `phase` (0 when never recorded).
+  uint64_t TotalNs(const std::string& phase) const {
+    const auto it = phases_.find(phase);
+    return it == phases_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, uint64_t>& phases() const { return phases_; }
+
+  /// One "phase: 1.234 ms" line per phase, sorted by phase name.
+  std::string Report() const;
+
+ private:
+  std::map<std::string, uint64_t> phases_;
+};
+
+/// \brief RAII timer: records the elapsed wall time into a PhaseTimings on
+/// destruction. A null sink makes it a no-op, so call sites stay branch-free.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseTimings* sink, std::string phase)
+      : sink_(sink),
+        phase_(std::move(phase)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  ~ScopedPhaseTimer() {
+    if (sink_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->Record(phase_, static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  PhaseTimings* sink_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// \brief High-level profile of one gateway — the "high level profiling of
 /// gateways" the paper says dominant-device knowledge enables for ISPs

@@ -18,11 +18,14 @@ std::string SimilaritySourceName(SimilaritySource source) {
   return "none";
 }
 
-SimilarityResult CorrelationSimilarity(const std::vector<double>& x,
-                                       const std::vector<double>& y,
-                                       const SimilarityOptions& options) {
-  SimilarityResult result;
+namespace {
 
+// Definition 1 over any pair of coefficient results: the maximum
+// statistically significant coefficient wins.
+template <typename TestFn>
+SimilarityResult MaxSignificantCoefficient(const SimilarityOptions& options,
+                                           TestFn&& run) {
+  SimilarityResult result;
   const auto consider = [&](Result<correlation::CorrelationTest> test,
                             SimilaritySource source) {
     if (!test.ok()) return;  // degenerate inputs: treated as not significant
@@ -35,19 +38,45 @@ SimilarityResult CorrelationSimilarity(const std::vector<double>& x,
     }
     result.significant = true;
   };
-
-  consider(correlation::Pearson(x, y), SimilaritySource::kPearson);
-  consider(correlation::Spearman(x, y), SimilaritySource::kSpearman);
-  consider(correlation::Kendall(x, y), SimilaritySource::kKendall);
+  run(consider);
   return result;
+}
+
+}  // namespace
+
+SimilarityResult CorrelationSimilarity(const std::vector<double>& x,
+                                       const std::vector<double>& y,
+                                       const SimilarityOptions& options) {
+  return MaxSignificantCoefficient(options, [&](const auto& consider) {
+    consider(correlation::Pearson(x, y), SimilaritySource::kPearson);
+    consider(correlation::Spearman(x, y), SimilaritySource::kSpearman);
+    consider(correlation::Kendall(x, y), SimilaritySource::kKendall);
+  });
+}
+
+SimilarityResult CorrelationSimilarity(const correlation::PreparedSeries& x,
+                                       const correlation::PreparedSeries& y,
+                                       const SimilarityOptions& options,
+                                       correlation::PairWorkspace* workspace) {
+  return MaxSignificantCoefficient(options, [&](const auto& consider) {
+    consider(correlation::Pearson(x, y, workspace),
+             SimilaritySource::kPearson);
+    consider(correlation::Spearman(x, y, workspace),
+             SimilaritySource::kSpearman);
+    consider(correlation::Kendall(x, y, workspace),
+             SimilaritySource::kKendall);
+  });
 }
 
 SimilarityResult CorrelationSimilarity(const ts::TimeSeries& x,
                                        const ts::TimeSeries& y,
                                        const SimilarityOptions& options) {
-  if (x.step_minutes() != y.step_minutes() ||
+  if (x.step_minutes() <= 0 || y.step_minutes() <= 0 ||
+      x.step_minutes() != y.step_minutes() ||
       (x.start_minute() - y.start_minute()) % x.step_minutes() != 0) {
-    return SimilarityResult{};  // misaligned grids share no aligned bins
+    // Misaligned or degenerate grids share no aligned bins; the step guard
+    // keeps a default-constructed series from hitting modulo-by-zero UB.
+    return SimilarityResult{};
   }
   const int64_t begin = std::max(x.start_minute(), y.start_minute());
   const int64_t end = std::min(x.EndMinute(), y.EndMinute());

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "correlation/coefficients.h"
+#include "correlation/prepared_series.h"
 #include "ts/time_series.h"
 
 namespace homets::core {
@@ -42,7 +43,22 @@ SimilarityResult CorrelationSimilarity(const std::vector<double>& x,
                                        const std::vector<double>& y,
                                        const SimilarityOptions& options = {});
 
+/// \brief Prepared-series form: reuses each side's one-time profile
+/// (correlation::PreparedSeries) so a window compared against many partners
+/// is never re-ranked or re-sorted. Bit-identical to the vector overload on
+/// the same values. `workspace` (optional) avoids per-pair allocations in
+/// batch loops; see correlation::PairWorkspace.
+SimilarityResult CorrelationSimilarity(
+    const correlation::PreparedSeries& x, const correlation::PreparedSeries& y,
+    const SimilarityOptions& options = {},
+    correlation::PairWorkspace* workspace = nullptr);
+
 /// \brief TimeSeries overload; compares the overlapping aligned bins.
+///
+/// Precondition: both series use the same positive `step_minutes` and their
+/// start minutes differ by a multiple of it (aligned bin grids). Misaligned
+/// or degenerate grids — including a zero/negative step on either side —
+/// share no aligned bins and yield the zero result, never UB.
 SimilarityResult CorrelationSimilarity(const ts::TimeSeries& x,
                                        const ts::TimeSeries& y,
                                        const SimilarityOptions& options = {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/similarity_engine.h"
 #include "stattests/ks_test.h"
 
 namespace homets::core {
@@ -17,13 +18,17 @@ Result<StationarityResult> CheckStrongStationarity(
   result.min_pair_similarity = 1.0;
   result.correlation_ok = true;
   result.distribution_ok = true;
-  SimilarityOptions sim_options;
-  sim_options.alpha = options.alpha;
+  // Each window is profiled once; Definition 2's all-pairs comparison then
+  // runs on the prepared kernels (parallel for large window sets).
+  SimilarityEngineOptions engine_options;
+  engine_options.similarity.alpha = options.alpha;
+  const SimilarityEngine engine(engine_options);
+  const SimilarityMatrix sims =
+      engine.Pairwise(SimilarityEngine::PrepareWindows(windows));
   for (size_t i = 0; i < windows.size(); ++i) {
     for (size_t j = i + 1; j < windows.size(); ++j) {
       ++result.window_pairs;
-      const SimilarityResult sim = CorrelationSimilarity(
-          windows[i].values(), windows[j].values(), sim_options);
+      const SimilarityResult& sim = sims.At(i, j);
       result.min_pair_similarity =
           std::min(result.min_pair_similarity, sim.value);
       if (!(sim.value > options.phi)) result.correlation_ok = false;

@@ -93,11 +93,12 @@ StreamingMotifMiner::StreamingMotifMiner(MotifOptions options,
     : options_(options),
       horizon_windows_(horizon_windows == 0 ? 1 : horizon_windows) {}
 
-double StreamingMotifMiner::Similarity(const ts::TimeSeries& a,
-                                       const ts::TimeSeries& b) const {
+double StreamingMotifMiner::Similarity(
+    const correlation::PreparedSeries& a,
+    const correlation::PreparedSeries& b) const {
   SimilarityOptions sim;
   sim.alpha = options_.alpha;
-  return CorrelationSimilarity(a.values(), b.values(), sim).value;
+  return CorrelationSimilarity(a, b, sim, &workspace_).value;
 }
 
 Result<size_t> StreamingMotifMiner::AddWindow(int gateway_id,
@@ -109,14 +110,19 @@ Result<size_t> StreamingMotifMiner::AddWindow(int gateway_id,
   }
   const size_t index = next_index_++;
   provenance_.push_back({gateway_id, window.start_minute()});
-  retained_.push_back({index, window});
+  // Profile the window once on arrival; every comparison it participates in
+  // across its retained lifetime reuses the prepared form.
+  retained_.push_back(
+      {index, window, correlation::PreparedSeries::Make(window.values())});
+  const correlation::PreparedSeries& arrived = retained_.back().prepared;
 
-  auto window_by_index = [this](size_t idx) -> const ts::TimeSeries* {
+  auto window_by_index =
+      [this](size_t idx) -> const correlation::PreparedSeries* {
     // retained_ is ordered by arrival index.
     if (retained_.empty()) return nullptr;
     const size_t first = retained_.front().index;
     if (idx < first || idx > retained_.back().index) return nullptr;
-    return &retained_[idx - first].window;
+    return &retained_[idx - first].prepared;
   };
 
   // Greedy Definition 5 assignment against retained members.
@@ -129,9 +135,9 @@ Result<size_t> StreamingMotifMiner::AddWindow(int gateway_id,
     double sum = 0.0;
     size_t counted = 0;
     for (size_t member : motifs_[m].members) {
-      const ts::TimeSeries* other = window_by_index(member);
+      const correlation::PreparedSeries* other = window_by_index(member);
       if (other == nullptr) continue;
-      const double cor = Similarity(window, *other);
+      const double cor = Similarity(arrived, *other);
       if (cor >= options_.phi) individual = true;
       if (cor < group_threshold) {
         group = false;
@@ -164,11 +170,12 @@ Result<size_t> StreamingMotifMiner::AddWindow(int gateway_id,
 }
 
 void StreamingMotifMiner::TryMerge() {
-  auto window_by_index = [this](size_t idx) -> const ts::TimeSeries* {
+  auto window_by_index =
+      [this](size_t idx) -> const correlation::PreparedSeries* {
     if (retained_.empty()) return nullptr;
     const size_t first = retained_.front().index;
     if (idx < first || idx > retained_.back().index) return nullptr;
-    return &retained_[idx - first].window;
+    return &retained_[idx - first].prepared;
   };
   bool merged = true;
   while (merged) {
@@ -177,10 +184,10 @@ void StreamingMotifMiner::TryMerge() {
       for (size_t b = a + 1; b < motifs_.size() && !merged; ++b) {
         bool all_high = true;
         for (size_t ma : motifs_[a].members) {
-          const ts::TimeSeries* wa = window_by_index(ma);
+          const correlation::PreparedSeries* wa = window_by_index(ma);
           if (wa == nullptr) continue;
           for (size_t mb : motifs_[b].members) {
-            const ts::TimeSeries* wb = window_by_index(mb);
+            const correlation::PreparedSeries* wb = window_by_index(mb);
             if (wb == nullptr) continue;
             if (Similarity(*wa, *wb) < options_.merge_threshold) {
               all_high = false;
@@ -231,8 +238,11 @@ std::vector<Motif> StreamingMotifMiner::CurrentMotifs() const {
     motif.members = state.members;
     out.push_back(std::move(motif));
   }
+  // Same deterministic order as MotifDiscovery::Discover: descending
+  // support, ties broken by the earliest member index.
   std::sort(out.begin(), out.end(), [](const Motif& a, const Motif& b) {
-    return a.support() > b.support();
+    if (a.support() != b.support()) return a.support() > b.support();
+    return a.members.front() < b.members.front();
   });
   return out;
 }

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/motif.h"
+#include "correlation/prepared_series.h"
 #include "ts/time_series.h"
 
 namespace homets::core {
@@ -93,13 +94,17 @@ class StreamingMotifMiner {
   struct StoredWindow {
     size_t index;  ///< arrival index
     ts::TimeSeries window;
+    /// One-time similarity profile of `window`; every comparison this window
+    /// participates in over its retained lifetime reuses it.
+    correlation::PreparedSeries prepared;
   };
   struct MotifState {
     size_t id;
     std::vector<size_t> members;  ///< arrival indices, retained only
   };
 
-  double Similarity(const ts::TimeSeries& a, const ts::TimeSeries& b) const;
+  double Similarity(const correlation::PreparedSeries& a,
+                    const correlation::PreparedSeries& b) const;
   void Evict();
   void TryMerge();
 
@@ -110,6 +115,7 @@ class StreamingMotifMiner {
   std::deque<StoredWindow> retained_;
   std::vector<MotifState> motifs_;
   std::vector<WindowProvenance> provenance_;  ///< by arrival index
+  mutable correlation::PairWorkspace workspace_;  ///< per-pair scratch
 };
 
 }  // namespace homets::core

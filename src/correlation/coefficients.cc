@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
-#include <numeric>
 
-#include "stats/ranks.h"
-#include "stats/special_functions.h"
+#include "correlation/prepared_series.h"
 
 namespace homets::correlation {
 
@@ -46,197 +43,27 @@ void CompletePairs(const std::vector<double>& x, const std::vector<double>& y,
   }
 }
 
-namespace {
-
-// Raw Pearson product-moment coefficient; NaN-free equal-length inputs.
-Result<double> PearsonCoefficient(const std::vector<double>& x,
-                                  const std::vector<double>& y) {
-  const size_t n = x.size();
-  double mx = 0.0, my = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    mx += x[i];
-    my += y[i];
-  }
-  mx /= static_cast<double>(n);
-  my /= static_cast<double>(n);
-  double sxy = 0.0, sxx = 0.0, syy = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double dx = x[i] - mx;
-    const double dy = y[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
-  }
-  if (sxx <= 0.0 || syy <= 0.0) {
-    return Status::ComputeError("Pearson: constant input series");
-  }
-  double r = sxy / std::sqrt(sxx * syy);
-  // Clamp numerical overshoot.
-  r = std::clamp(r, -1.0, 1.0);
-  return r;
-}
-
-// Two-sided p-value via the t transform, dof = n - 2.
-double PearsonPValue(double r, size_t n) {
-  const double dof = static_cast<double>(n) - 2.0;
-  if (std::fabs(r) >= 1.0) return 0.0;
-  const double t = r * std::sqrt(dof / (1.0 - r * r));
-  return stats::StudentTTwoSidedPValue(t, dof);
-}
-
-// Merge-sort inversion counter used by Knight's algorithm: sorts `y` in
-// place and returns the number of exchanges (discordant pairs).
-uint64_t CountSwaps(std::vector<double>* y, std::vector<double>* buffer) {
-  const size_t n = y->size();
-  uint64_t swaps = 0;
-  for (size_t width = 1; width < n; width *= 2) {
-    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
-      const size_t mid = lo + width;
-      const size_t hi = std::min(lo + 2 * width, n);
-      size_t i = lo, j = mid, k = lo;
-      while (i < mid && j < hi) {
-        if ((*y)[j] < (*y)[i]) {
-          swaps += mid - i;  // element jumps over the rest of the left run
-          (*buffer)[k++] = (*y)[j++];
-        } else {
-          (*buffer)[k++] = (*y)[i++];
-        }
-      }
-      while (i < mid) (*buffer)[k++] = (*y)[i++];
-      while (j < hi) (*buffer)[k++] = (*y)[j++];
-      std::copy(buffer->begin() + lo, buffer->begin() + hi, y->begin() + lo);
-    }
-  }
-  return swaps;
-}
-
-// Sum over tie groups of t*(t-1)/2, t*(t-1)*(t-2), t*(t-1)*(2t+5) given
-// group sizes.
-struct TieSums {
-  double pairs = 0.0;    // Σ t(t−1)/2
-  double triple = 0.0;   // Σ t(t−1)(t−2)
-  double weighted = 0.0; // Σ t(t−1)(2t+5)
-  double pair_raw = 0.0; // Σ t(t−1)
-};
-
-TieSums ComputeTieSums(const std::vector<size_t>& groups) {
-  TieSums s;
-  for (size_t g : groups) {
-    const double t = static_cast<double>(g);
-    s.pairs += t * (t - 1.0) / 2.0;
-    s.triple += t * (t - 1.0) * (t - 2.0);
-    s.weighted += t * (t - 1.0) * (2.0 * t + 5.0);
-    s.pair_raw += t * (t - 1.0);
-  }
-  return s;
-}
-
-}  // namespace
+// The vector API is a thin wrapper over the prepared-series kernels
+// (correlation/prepared_series.h): each call profiles both inputs with just
+// the profile its coefficient needs, so one-shot costs match the historical
+// direct implementation while batch callers share profiles across pairs.
 
 Result<CorrelationTest> Pearson(const std::vector<double>& x,
                                 const std::vector<double>& y) {
-  std::vector<double> xc, yc;
-  CompletePairs(x, y, &xc, &yc);
-  if (xc.size() < 3) {
-    return Status::InvalidArgument("Pearson: need >= 3 complete pairs");
-  }
-  HOMETS_ASSIGN_OR_RETURN(const double r, PearsonCoefficient(xc, yc));
-  CorrelationTest test;
-  test.coefficient = r;
-  test.n = xc.size();
-  test.p_value = PearsonPValue(r, xc.size());
-  return test;
+  return Pearson(PreparedSeries::Make(x, kMomentProfile),
+                 PreparedSeries::Make(y, kMomentProfile));
 }
 
 Result<CorrelationTest> Spearman(const std::vector<double>& x,
                                  const std::vector<double>& y) {
-  std::vector<double> xc, yc;
-  CompletePairs(x, y, &xc, &yc);
-  if (xc.size() < 3) {
-    return Status::InvalidArgument("Spearman: need >= 3 complete pairs");
-  }
-  const std::vector<double> rx = stats::AverageRanks(xc);
-  const std::vector<double> ry = stats::AverageRanks(yc);
-  HOMETS_ASSIGN_OR_RETURN(const double rho, PearsonCoefficient(rx, ry));
-  CorrelationTest test;
-  test.coefficient = rho;
-  test.n = xc.size();
-  test.p_value = PearsonPValue(rho, xc.size());
-  return test;
+  return Spearman(PreparedSeries::Make(x, kRankProfile),
+                  PreparedSeries::Make(y, kRankProfile));
 }
 
 Result<CorrelationTest> Kendall(const std::vector<double>& x,
                                 const std::vector<double>& y) {
-  std::vector<double> xc, yc;
-  CompletePairs(x, y, &xc, &yc);
-  const size_t n = xc.size();
-  if (n < 3) {
-    return Status::InvalidArgument("Kendall: need >= 3 complete pairs");
-  }
-
-  // Knight's algorithm: sort by (x, y), count y-inversions.
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (xc[a] != xc[b]) return xc[a] < xc[b];
-    return yc[a] < yc[b];
-  });
-  std::vector<double> ys(n);
-  for (size_t i = 0; i < n; ++i) ys[i] = yc[order[i]];
-
-  // Joint ties: consecutive equal (x, y) pairs in the sorted order.
-  double joint_pairs = 0.0;
-  {
-    size_t i = 0;
-    while (i < n) {
-      size_t j = i;
-      while (j + 1 < n && xc[order[j + 1]] == xc[order[i]] &&
-             yc[order[j + 1]] == yc[order[i]]) {
-        ++j;
-      }
-      const double t = static_cast<double>(j - i + 1);
-      joint_pairs += t * (t - 1.0) / 2.0;
-      i = j + 1;
-    }
-  }
-
-  const TieSums tx = ComputeTieSums(stats::TieGroupSizes(xc));
-  const TieSums ty = ComputeTieSums(stats::TieGroupSizes(yc));
-
-  std::vector<double> buffer(n);
-  const uint64_t swaps = CountSwaps(&ys, &buffer);
-
-  const double nf = static_cast<double>(n);
-  const double n0 = nf * (nf - 1.0) / 2.0;
-  const double denom_x = n0 - tx.pairs;
-  const double denom_y = n0 - ty.pairs;
-  if (denom_x <= 0.0 || denom_y <= 0.0) {
-    return Status::ComputeError("Kendall: constant input series");
-  }
-  const double concordant_minus_discordant =
-      n0 - tx.pairs - ty.pairs + joint_pairs -
-      2.0 * static_cast<double>(swaps);
-  double tau = concordant_minus_discordant / std::sqrt(denom_x * denom_y);
-  tau = std::clamp(tau, -1.0, 1.0);
-
-  // Tie-adjusted normal approximation for the null variance of (nc − nd)
-  // (the form used by standard statistical packages).
-  const double v0 = nf * (nf - 1.0) * (2.0 * nf + 5.0);
-  double var = (v0 - tx.weighted - ty.weighted) / 18.0;
-  var += tx.pair_raw * ty.pair_raw / (2.0 * nf * (nf - 1.0));
-  if (n > 2) {
-    var += tx.triple * ty.triple / (9.0 * nf * (nf - 1.0) * (nf - 2.0));
-  }
-  CorrelationTest test;
-  test.coefficient = tau;
-  test.n = n;
-  if (var <= 0.0) {
-    test.p_value = 1.0;
-  } else {
-    const double z = concordant_minus_discordant / std::sqrt(var);
-    test.p_value = 2.0 * (1.0 - stats::NormalCdf(std::fabs(z)));
-  }
-  return test;
+  return Kendall(PreparedSeries::Make(x, kSortProfile),
+                 PreparedSeries::Make(y, kSortProfile));
 }
 
 }  // namespace homets::correlation

@@ -37,6 +37,27 @@ TEST(DistanceMatrixTest, ZeroSizeRejected) {
   EXPECT_FALSE(DistanceMatrix::Make(0).ok());
 }
 
+TEST(DistanceMatrixTest, FromCondensedFillsUpperTriangleRowMajor) {
+  // Condensed layout over n=4: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3).
+  const std::vector<double> condensed = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const auto dist = DistanceMatrix::FromCondensed(4, condensed).value();
+  EXPECT_DOUBLE_EQ(dist.At(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(dist.At(0, 2), 0.2);
+  EXPECT_DOUBLE_EQ(dist.At(0, 3), 0.3);
+  EXPECT_DOUBLE_EQ(dist.At(1, 2), 0.4);
+  EXPECT_DOUBLE_EQ(dist.At(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(dist.At(2, 3), 0.6);
+  EXPECT_DOUBLE_EQ(dist.At(3, 1), 0.5);  // symmetric
+  EXPECT_DOUBLE_EQ(dist.At(2, 2), 0.0);  // zero diagonal
+}
+
+TEST(DistanceMatrixTest, FromCondensedRejectsBadSizes) {
+  EXPECT_FALSE(DistanceMatrix::FromCondensed(0, {}).ok());
+  EXPECT_FALSE(DistanceMatrix::FromCondensed(4, {0.1, 0.2}).ok());
+  EXPECT_TRUE(DistanceMatrix::FromCondensed(1, {}).ok());
+  EXPECT_TRUE(DistanceMatrix::FromCondensed(3, {0.1, 0.2, 0.3}).ok());
+}
+
 TEST(AgglomerativeTest, ProducesNMinusOneMerges) {
   const auto tree =
       AgglomerativeCluster(TwoClusterMatrix(), Linkage::kAverage).value();

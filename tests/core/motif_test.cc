@@ -90,6 +90,30 @@ TEST(MotifDiscoveryTest, SupportSortedDescending) {
   }
 }
 
+TEST(MotifDiscoveryTest, EqualSupportTieBreaksOnFirstMemberIndex) {
+  // Three planted families of identical size -> three equal-support motifs.
+  // The reported order must be deterministic: descending support, ties
+  // broken by the earliest member index.
+  const auto planted = MakePlanted(3, 4, 0, 24, 1.0, 17);
+  const auto motifs = MotifDiscovery().Discover(planted.windows).value();
+  ASSERT_GE(motifs.size(), 2u);
+  for (size_t i = 1; i < motifs.size(); ++i) {
+    const auto& prev = motifs[i - 1];
+    const auto& cur = motifs[i];
+    if (prev.support() == cur.support()) {
+      EXPECT_LT(prev.members.front(), cur.members.front());
+    } else {
+      EXPECT_GT(prev.support(), cur.support());
+    }
+  }
+  // Repeated discovery over the same input returns the same order.
+  const auto again = MotifDiscovery().Discover(planted.windows).value();
+  ASSERT_EQ(again.size(), motifs.size());
+  for (size_t i = 0; i < motifs.size(); ++i) {
+    EXPECT_EQ(again[i].members, motifs[i].members);
+  }
+}
+
 TEST(MotifDiscoveryTest, MinSupportFiltersSingletons) {
   const auto planted = MakePlanted(1, 3, 5, 24, 2.0, 4);
   const auto motifs = MotifDiscovery().Discover(planted.windows).value();

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "common/random.h"
+#include "correlation/prepared_series.h"
 
 namespace homets::core {
 namespace {
@@ -130,6 +132,36 @@ TEST(CorrelationSimilarityTest, DisjointSeriesYieldZero) {
   ts::TimeSeries a(0, 1, {1.0, 2.0});
   ts::TimeSeries b(100, 1, {1.0, 2.0});
   EXPECT_DOUBLE_EQ(CorrelationSimilarity(a, b).value, 0.0);
+}
+
+TEST(CorrelationSimilarityTest, ZeroStepSeriesYieldZeroNotUB) {
+  // Regression: a default-constructed (empty, step 0) series used to hit
+  // modulo-by-zero in the grid-alignment check.
+  const ts::TimeSeries empty;
+  ts::TimeSeries real(0, 1, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(CorrelationSimilarity(empty, real).value, 0.0);
+  EXPECT_DOUBLE_EQ(CorrelationSimilarity(real, empty).value, 0.0);
+  EXPECT_DOUBLE_EQ(CorrelationSimilarity(empty, empty).value, 0.0);
+  EXPECT_FALSE(CorrelationSimilarity(empty, real).significant);
+}
+
+TEST(CorrelationSimilarityTest, PreparedOverloadMatchesVectorOverloadBitwise) {
+  Rng rng(21);
+  std::vector<double> x(56), y(56);
+  for (size_t i = 0; i < 56; ++i) {
+    x[i] = rng.LogNormal(std::log(500.0), 1.0);
+    y[i] = 0.7 * x[i] + rng.Normal() * 50.0;
+  }
+  const auto px = correlation::PreparedSeries::Make(x);
+  const auto py = correlation::PreparedSeries::Make(y);
+  correlation::PairWorkspace workspace;
+  const SimilarityResult prepared =
+      CorrelationSimilarity(px, py, {}, &workspace);
+  const SimilarityResult legacy = CorrelationSimilarity(x, y);
+  EXPECT_EQ(std::memcmp(&prepared.value, &legacy.value, sizeof(double)), 0);
+  EXPECT_EQ(prepared.source, legacy.source);
+  EXPECT_EQ(prepared.significant, legacy.significant);
+  EXPECT_EQ(prepared.n, legacy.n);
 }
 
 TEST(CorrelationDistanceTest, ComplementOfSimilarity) {

@@ -1,0 +1,228 @@
+#include "correlation/prepared_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "core/background.h"
+#include "simgen/fleet.h"
+#include "ts/time_series.h"
+
+namespace homets::correlation {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// Golden parity check: the profiled fast path, the gather fallback (the
+// legacy algorithm verbatim, forced via profiles = 0) and the public vector
+// API must agree bit-for-bit — same coefficient/p-value/n bits on success,
+// same status code and message on failure.
+void ExpectParity(const std::vector<double>& x, const std::vector<double>& y) {
+  const PreparedSeries px = PreparedSeries::Make(x);
+  const PreparedSeries py = PreparedSeries::Make(y);
+  const PreparedSeries lx = PreparedSeries::Make(x, 0);
+  const PreparedSeries ly = PreparedSeries::Make(y, 0);
+  PairWorkspace ws;
+
+  const auto check = [](const char* name, Result<CorrelationTest> fast,
+                        Result<CorrelationTest> legacy,
+                        Result<CorrelationTest> vec) {
+    SCOPED_TRACE(name);
+    ASSERT_EQ(fast.ok(), legacy.ok());
+    ASSERT_EQ(fast.ok(), vec.ok());
+    if (!fast.ok()) {
+      EXPECT_EQ(fast.status().code(), legacy.status().code());
+      EXPECT_EQ(fast.status().message(), legacy.status().message());
+      EXPECT_EQ(fast.status().message(), vec.status().message());
+      return;
+    }
+    EXPECT_TRUE(SameBits(fast->coefficient, legacy->coefficient))
+        << fast->coefficient << " vs " << legacy->coefficient;
+    EXPECT_TRUE(SameBits(fast->p_value, legacy->p_value))
+        << fast->p_value << " vs " << legacy->p_value;
+    EXPECT_EQ(fast->n, legacy->n);
+    EXPECT_TRUE(SameBits(fast->coefficient, vec->coefficient));
+    EXPECT_TRUE(SameBits(fast->p_value, vec->p_value));
+    EXPECT_EQ(fast->n, vec->n);
+  };
+  check("pearson", Pearson(px, py, &ws), Pearson(lx, ly, &ws), Pearson(x, y));
+  check("spearman", Spearman(px, py, &ws), Spearman(lx, ly, &ws),
+        Spearman(x, y));
+  check("kendall", Kendall(px, py, &ws), Kendall(lx, ly, &ws), Kendall(x, y));
+}
+
+std::vector<double> Ramp(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return v;
+}
+
+TEST(PreparedSeriesTest, ProfilesSkippedForNanAndShortInput) {
+  const PreparedSeries with_nan =
+      PreparedSeries::Make({1.0, std::nan(""), 3.0, 4.0});
+  EXPECT_TRUE(with_nan.has_nan());
+  EXPECT_EQ(with_nan.profiles(), 0u);
+  const PreparedSeries tiny = PreparedSeries::Make({1.0, 2.0});
+  EXPECT_EQ(tiny.profiles(), 0u);
+  const PreparedSeries full = PreparedSeries::Make({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(full.profiles(), static_cast<uint32_t>(kAllProfiles));
+  EXPECT_FALSE(full.PairableWith(with_nan));
+  EXPECT_FALSE(tiny.PairableWith(full));
+  EXPECT_TRUE(full.PairableWith(full));
+}
+
+TEST(PreparedSeriesTest, ProfileContents) {
+  const PreparedSeries p = PreparedSeries::Make({3.0, 1.0, 2.0, 2.0});
+  EXPECT_TRUE(SameBits(p.mean(), 2.0));
+  EXPECT_FALSE(p.constant());
+  // Tie-averaged ranks of {3, 1, 2, 2}: {4, 1, 2.5, 2.5}.
+  ASSERT_EQ(p.ranks().size(), 4u);
+  EXPECT_DOUBLE_EQ(p.ranks()[0], 4.0);
+  EXPECT_DOUBLE_EQ(p.ranks()[1], 1.0);
+  EXPECT_DOUBLE_EQ(p.ranks()[2], 2.5);
+  EXPECT_DOUBLE_EQ(p.ranks()[3], 2.5);
+  // Stable ascending order: 1 < 2 (index 2 before 3) < 3.
+  ASSERT_EQ(p.sort_order().size(), 4u);
+  EXPECT_EQ(p.sort_order()[0], 1u);
+  EXPECT_EQ(p.sort_order()[1], 2u);
+  EXPECT_EQ(p.sort_order()[2], 3u);
+  EXPECT_EQ(p.sort_order()[3], 0u);
+  // Tie groups: {1}, {2, 2}, {3} -> offsets 0, 1, 3 and sentinel 4.
+  const std::vector<uint32_t> offsets = {0, 1, 3, 4};
+  EXPECT_EQ(p.group_offsets(), offsets);
+  // One tie group of size 2: Σ t(t−1)/2 = 1.
+  EXPECT_DOUBLE_EQ(p.tie_sums().pairs, 1.0);
+}
+
+TEST(PreparedSeriesParity, RandomSeries) {
+  Rng rng(101);
+  for (const size_t n : {3u, 4u, 7u, 21u, 56u, 200u}) {
+    std::vector<double> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.LogNormal(std::log(500.0), 1.0);
+      y[i] = 0.5 * x[i] + rng.Normal() * 100.0;
+    }
+    SCOPED_TRACE(n);
+    ExpectParity(x, y);
+  }
+}
+
+TEST(PreparedSeriesParity, TieHeavySeries) {
+  Rng rng(102);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<double> x(40), y(40);
+    for (size_t i = 0; i < 40; ++i) {
+      // Coarse grids force heavy ties on both sides, including joint ties.
+      x[i] = std::floor(rng.Uniform(0.0, 5.0));
+      y[i] = std::floor(x[i] / 2.0 + rng.Uniform(0.0, 3.0));
+    }
+    SCOPED_TRACE(round);
+    ExpectParity(x, y);
+  }
+}
+
+TEST(PreparedSeriesParity, NanLadenSeries) {
+  Rng rng(103);
+  std::vector<double> x(60), y(60);
+  for (size_t i = 0; i < 60; ++i) {
+    x[i] = i % 5 == 0 ? std::nan("") : rng.Normal();
+    y[i] = i % 7 == 0 ? std::nan("") : 0.8 * (std::isnan(x[i]) ? 0.0 : x[i]) +
+                                           rng.Normal();
+  }
+  ExpectParity(x, y);
+  // All-NaN overlap degenerates to "need >= 3 complete pairs" on every path.
+  ExpectParity({std::nan(""), std::nan(""), std::nan(""), std::nan("")},
+               Ramp(4));
+}
+
+TEST(PreparedSeriesParity, ConstantAndDegenerateSeries) {
+  ExpectParity(std::vector<double>(30, 5.0), Ramp(30));       // constant x
+  ExpectParity(Ramp(30), std::vector<double>(30, -1.0));      // constant y
+  ExpectParity(std::vector<double>(10, 0.0),
+               std::vector<double>(10, 0.0));                 // both constant
+  ExpectParity({1.0, 2.0}, {3.0, 4.0});                       // too short
+  ExpectParity({}, {});                                       // empty
+  ExpectParity(Ramp(10), Ramp(7));  // unequal lengths -> overlap via gather
+}
+
+TEST(PreparedSeriesParity, SimgenFleetWindows) {
+  // Real workload shapes: background-removed weekly windows at 3 h bins from
+  // the synthetic fleet, compared all-pairs across two gateways.
+  simgen::SimConfig config;
+  config.n_gateways = 2;
+  config.weeks = 2;
+  config.seed = 20140317;
+  simgen::FleetGenerator gen(config);
+  std::vector<std::vector<double>> windows;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    const auto active = core::ActiveAggregate(gen.Generate(id));
+    auto aggregated = ts::Aggregate(active, 180, 0, ts::AggKind::kSum);
+    if (!aggregated.ok()) continue;
+    for (const auto& window :
+         ts::SliceWindows(*aggregated, ts::kMinutesPerWeek, 0)) {
+      windows.push_back(window.values());
+    }
+  }
+  ASSERT_GE(windows.size(), 3u);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    for (size_t j = i; j < windows.size(); ++j) {
+      SCOPED_TRACE(i * 100 + j);
+      ExpectParity(windows[i], windows[j]);
+    }
+  }
+}
+
+TEST(PreparedSeriesParity, WorkspaceReuseDoesNotLeakState) {
+  // One workspace across pairs of very different sizes and tie structure
+  // must give the same bits as fresh allocations each time.
+  Rng rng(104);
+  PairWorkspace shared;
+  for (const size_t n : {100u, 5u, 64u, 3u, 31u}) {
+    std::vector<double> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = std::floor(rng.Uniform(0.0, 6.0));
+      y[i] = rng.Normal();
+    }
+    const PreparedSeries px = PreparedSeries::Make(x);
+    const PreparedSeries py = PreparedSeries::Make(y);
+    using KernelFn = Result<CorrelationTest> (*)(
+        const PreparedSeries&, const PreparedSeries&, PairWorkspace*);
+    for (const KernelFn kernel :
+         {static_cast<KernelFn>(&Pearson), static_cast<KernelFn>(&Spearman),
+          static_cast<KernelFn>(&Kendall)}) {
+      const auto with_shared = (*kernel)(px, py, &shared);
+      const auto with_fresh = (*kernel)(px, py, nullptr);
+      ASSERT_EQ(with_shared.ok(), with_fresh.ok());
+      if (with_shared.ok()) {
+        EXPECT_TRUE(
+            SameBits(with_shared->coefficient, with_fresh->coefficient));
+        EXPECT_TRUE(SameBits(with_shared->p_value, with_fresh->p_value));
+      }
+    }
+  }
+}
+
+TEST(PreparedSeriesKernels, ErrorMessagesMatchLegacy) {
+  const PreparedSeries constant = PreparedSeries::Make({2.0, 2.0, 2.0, 2.0});
+  const PreparedSeries ramp = PreparedSeries::Make(Ramp(4));
+  const PreparedSeries tiny = PreparedSeries::Make({1.0, 2.0});
+
+  EXPECT_EQ(Pearson(constant, ramp).status().message(),
+            "Pearson: constant input series");
+  EXPECT_EQ(Pearson(tiny, tiny).status().message(),
+            "Pearson: need >= 3 complete pairs");
+  EXPECT_EQ(Spearman(tiny, tiny).status().message(),
+            "Spearman: need >= 3 complete pairs");
+  EXPECT_EQ(Kendall(constant, ramp).status().message(),
+            "Kendall: constant input series");
+  EXPECT_EQ(Kendall(tiny, tiny).status().message(),
+            "Kendall: need >= 3 complete pairs");
+}
+
+}  // namespace
+}  // namespace homets::correlation
