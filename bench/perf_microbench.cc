@@ -22,6 +22,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/motif.h"
+#include "core/profiling.h"
 #include "core/similarity.h"
 #include "core/similarity_engine.h"
 #include "correlation/coefficients.h"
@@ -260,13 +261,19 @@ void RunSimilarityScenario(const std::string& path) {
   std::vector<std::string> engine_entries;
   double best_speedup = 0.0;
   for (const int threads : thread_counts) {
+    core::PhaseTimings timings;
     core::SimilarityEngineOptions options;
     options.threads = threads;
+    options.timings = &timings;
     const core::SimilarityEngine engine(options);
     // Prepare is inside the timed region: the legacy path pays its profiling
     // per pair, so the engine must pay its one-time profiling here too.
     const auto start = Clock::now();
-    const auto prepared = core::SimilarityEngine::PrepareVectors(windows);
+    std::vector<correlation::PreparedSeries> prepared;
+    {
+      core::ScopedPhaseTimer timer(&timings, "similarity_engine.prepare");
+      prepared = core::SimilarityEngine::PrepareVectors(windows);
+    }
     const core::SimilarityMatrix matrix = engine.Pairwise(prepared);
     const double engine_seconds = seconds_since(start);
 
@@ -293,6 +300,12 @@ void RunSimilarityScenario(const std::string& path) {
     bench::JsonWriter entry;
     entry.Set("threads", threads)
         .Set("seconds", engine_seconds)
+        .Set("prepare_seconds",
+             1e-9 * static_cast<double>(
+                        timings.TotalNs("similarity_engine.prepare")))
+        .Set("pairwise_seconds",
+             1e-9 * static_cast<double>(
+                        timings.TotalNs("similarity_engine.pairwise")))
         .Set("pairs_per_sec", static_cast<double>(n_pairs) / engine_seconds)
         .Set("speedup_vs_legacy", speedup);
     engine_entries.push_back(entry.Inline());

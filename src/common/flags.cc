@@ -1,0 +1,62 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace homets {
+
+Result<int64_t> ParsedArgs::GetInt(const std::string& flag,
+                                   int64_t fallback) const {
+  const auto it = flags.find(flag);
+  if (it == flags.end()) return fallback;
+  const std::string& text = it->second;
+  if (text.empty()) {
+    return Status::InvalidArgument("--" + flag + ": empty integer value");
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("--" + flag + ": not an integer: " + text);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<ParsedArgs> ParseFlags(const std::vector<std::string>& args,
+                              const std::set<std::string>& known_flags) {
+  ParsedArgs parsed;
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      parsed.positional.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (known_flags.count(name) == 0) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag --" + name + " expects a value");
+      }
+      value = args[++i];
+    }
+    parsed.flags[name] = std::move(value);
+  }
+  return parsed;
+}
+
+}  // namespace homets

@@ -3,10 +3,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <thread>
 #include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace homets {
 
@@ -37,13 +41,36 @@ inline void ParallelFor(size_t n, int threads, size_t block,
                         const std::function<void(size_t, size_t, int)>& fn) {
   if (n == 0) return;
   if (block == 0) block = 1;
+  // Dispatch metrics: loops/tasks counters, the pending-block queue depth at
+  // dispatch, and a per-block wall-time histogram. Atomic increments only —
+  // this header runs under TSan via the `threads` ctest label.
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const loops = registry.GetCounter(obs::kThreadPoolLoops);
+  static obs::Counter* const tasks = registry.GetCounter(obs::kThreadPoolTasks);
+  static obs::Gauge* const queue_depth =
+      registry.GetGauge(obs::kThreadPoolQueueDepth);
+  static obs::Histogram* const task_latency_us =
+      registry.GetHistogram(obs::kThreadPoolTaskLatencyUs);
+  using Clock = std::chrono::steady_clock;
+  const auto timed_block = [&fn](size_t begin, size_t end, int worker) {
+    const auto start = Clock::now();
+    fn(begin, end, worker);
+    task_latency_us->Observe(
+        static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                Clock::now() - start)
+                                .count()));
+  };
   const int requested = ResolveThreadCount(threads);
   const size_t n_blocks = (n + block - 1) / block;
+  loops->Increment();
+  tasks->Increment(n_blocks);
+  queue_depth->Set(static_cast<int64_t>(n_blocks));
   const int workers =
       static_cast<int>(std::min<size_t>(static_cast<size_t>(requested),
                                         n_blocks));
   if (workers <= 1) {
-    fn(0, n, 0);
+    timed_block(0, n, 0);
+    queue_depth->Set(0);
     return;
   }
   std::atomic<size_t> next{0};
@@ -51,8 +78,9 @@ inline void ParallelFor(size_t n, int threads, size_t block,
     for (;;) {
       const size_t b = next.fetch_add(1, std::memory_order_relaxed);
       if (b >= n_blocks) return;
+      queue_depth->Set(static_cast<int64_t>(n_blocks - std::min(b + 1, n_blocks)));
       const size_t begin = b * block;
-      fn(begin, std::min(begin + block, n), worker);
+      timed_block(begin, std::min(begin + block, n), worker);
     }
   };
   std::vector<std::thread> pool;
@@ -60,6 +88,7 @@ inline void ParallelFor(size_t n, int threads, size_t block,
   for (int w = 1; w < workers; ++w) pool.emplace_back(drain, w);
   drain(0);
   for (auto& t : pool) t.join();
+  queue_depth->Set(0);
 }
 
 }  // namespace homets

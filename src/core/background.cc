@@ -2,9 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/boxplot.h"
 
 namespace homets::core {
+
+namespace {
+
+// Observed values ClipBelow(threshold) will zero: strictly below τ_back and
+// not already zero. Counted up front so thresholding itself stays untouched.
+uint64_t CountValuesToZero(const ts::TimeSeries& series, double threshold) {
+  uint64_t zeroed = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double v = series[i];
+    if (!ts::TimeSeries::IsMissing(v) && v != 0.0 && v < threshold) ++zeroed;
+  }
+  return zeroed;
+}
+
+}  // namespace
 
 std::string TauGroupName(TauGroup group) {
   switch (group) {
@@ -38,6 +56,13 @@ Result<BackgroundThreshold> EstimateBackgroundThreshold(
   result.tau = box.upper_whisker;
   result.tau_back = std::min(result.tau, kBackgroundCapBytes);
   result.group = ClassifyTau(result.tau);
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const thresholds_estimated =
+      registry.GetCounter(obs::kBackgroundThresholdsEstimated);
+  static obs::Counter* const tau_capped =
+      registry.GetCounter(obs::kBackgroundTauCapped);
+  thresholds_estimated->Increment();
+  if (result.tau > kBackgroundCapBytes) tau_capped->Increment();
   return result;
 }
 
@@ -54,6 +79,11 @@ Result<DeviceBackground> EstimateDeviceBackground(
 Result<ts::TimeSeries> ActiveTraffic(const simgen::DeviceTrace& device) {
   HOMETS_ASSIGN_OR_RETURN(const DeviceBackground bg,
                           EstimateDeviceBackground(device));
+  static obs::Counter* const values_zeroed =
+      obs::MetricsRegistry::Global().GetCounter(obs::kBackgroundValuesZeroed);
+  values_zeroed->Increment(
+      CountValuesToZero(device.incoming, bg.incoming.tau_back) +
+      CountValuesToZero(device.outgoing, bg.outgoing.tau_back));
   const ts::TimeSeries in_active =
       device.incoming.ClipBelow(bg.incoming.tau_back);
   const ts::TimeSeries out_active =
@@ -62,6 +92,7 @@ Result<ts::TimeSeries> ActiveTraffic(const simgen::DeviceTrace& device) {
 }
 
 ts::TimeSeries ActiveAggregate(const simgen::GatewayTrace& gateway) {
+  obs::ScopedSpan span("background.active_aggregate");
   ts::TimeSeries total;
   bool first = true;
   for (const auto& dev : gateway.devices) {

@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "distance/distance.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace homets::core {
 
@@ -56,12 +59,19 @@ void DeviceOnGrid(const ts::TimeSeries& device_total,
 
 std::vector<DominantDevice> RankAndFilter(
     std::vector<DominantDevice> candidates, const DominanceOptions& options) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const devices_tested =
+      registry.GetCounter(obs::kDominanceDevicesTested);
+  static obs::Counter* const devices_above_phi =
+      registry.GetCounter(obs::kDominanceDevicesAbovePhi);
+  devices_tested->Increment(candidates.size());
   std::sort(candidates.begin(), candidates.end(),
             [](const DominantDevice& a, const DominantDevice& b) {
               return a.similarity > b.similarity;
             });
   std::vector<DominantDevice> dominants;
   for (const auto& c : candidates) {
+    if (c.similarity > options.phi) devices_above_phi->Increment();
     if (c.similarity > options.phi && dominants.size() < options.max_devices) {
       dominants.push_back(c);
     }
@@ -73,6 +83,7 @@ std::vector<DominantDevice> RankAndFilter(
 
 std::vector<DominantDevice> FindDominantDevices(
     const simgen::GatewayTrace& gateway, const DominanceOptions& options) {
+  obs::ScopedSpan span("dominance.find");
   const ts::TimeSeries aggregate = gateway.AggregateTraffic();
   if (aggregate.empty()) return {};
   SimilarityOptions sim_options;
@@ -101,6 +112,7 @@ std::vector<DominantDevice> FindDominantDevicesInWindow(
     const simgen::GatewayTrace& gateway, int64_t begin_minute,
     int64_t end_minute, int64_t granularity_minutes,
     int64_t anchor_offset_minutes, const DominanceOptions& options) {
+  obs::ScopedSpan span("dominance.find_in_window");
   const ts::TimeSeries aggregate = gateway.AggregateTraffic();
   if (aggregate.empty()) return {};
   auto window_of = [&](const ts::TimeSeries& series) -> ts::TimeSeries {

@@ -7,6 +7,9 @@
 
 #include "core/similarity.h"
 #include "core/similarity_engine.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace homets::core {
 
@@ -27,7 +30,11 @@ class SimilarityCache {
     if (i > j) std::swap(i, j);
     const uint64_t key = (static_cast<uint64_t>(i) << 32) | j;
     const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
     const double value =
         CorrelationSimilarity(prepared_[i], prepared_[j], options_,
                               &workspace_)
@@ -36,11 +43,16 @@ class SimilarityCache {
     return value;
   }
 
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
  private:
   std::vector<correlation::PreparedSeries> prepared_;
   SimilarityOptions options_;
   correlation::PairWorkspace workspace_;
   std::unordered_map<uint64_t, double> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace
@@ -60,6 +72,20 @@ Result<std::vector<Motif>> MotifDiscovery::Discover(
   if (options_.phi <= 0.0 || options_.phi > 1.0) {
     return Status::InvalidArgument("MotifDiscovery: phi must be in (0, 1]");
   }
+
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const windows_mined =
+      registry.GetCounter(obs::kMotifWindowsMined);
+  static obs::Counter* const motifs_merged =
+      registry.GetCounter(obs::kMotifMotifsMerged);
+  static obs::Counter* const motifs_reported =
+      registry.GetCounter(obs::kMotifMotifsReported);
+  static obs::Counter* const cache_hits =
+      registry.GetCounter(obs::kMotifCacheHits);
+  static obs::Counter* const cache_misses =
+      registry.GetCounter(obs::kMotifCacheMisses);
+  obs::ScopedSpan span("motif.discover");
+  windows_mined->Increment(windows.size());
 
   SimilarityCache cache(windows, options_.alpha);
   const double group_threshold = options_.group_factor * options_.phi;
@@ -122,6 +148,7 @@ Result<std::vector<Motif>> MotifDiscovery::Discover(
                                    motifs[b].members.end());
           motifs.erase(motifs.begin() + static_cast<long>(b));
           merged = true;
+          motifs_merged->Increment();
         }
       }
     }
@@ -141,6 +168,9 @@ Result<std::vector<Motif>> MotifDiscovery::Discover(
               if (x.support() != y.support()) return x.support() > y.support();
               return x.members.front() < y.members.front();
             });
+  motifs_reported->Increment(reported.size());
+  cache_hits->Increment(cache.hits());
+  cache_misses->Increment(cache.misses());
   return reported;
 }
 

@@ -9,7 +9,7 @@ namespace homets::core {
 
 std::string PhaseTimings::Report() const {
   std::string out;
-  for (const auto& [phase, ns] : phases_) {
+  for (const auto& [phase, ns] : phases()) {
     out += StrFormat("%s: %.3f ms\n", phase.c_str(),
                      static_cast<double>(ns) / 1e6);
   }

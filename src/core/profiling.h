@@ -1,9 +1,9 @@
 #ifndef HOMETS_CORE_PROFILING_H_
 #define HOMETS_CORE_PROFILING_H_
 
-#include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,59 +11,63 @@
 #include "core/background.h"
 #include "core/dominance.h"
 #include "core/stationarity.h"
+#include "obs/trace.h"
 #include "simgen/types.h"
 
 namespace homets::core {
 
 /// \brief Wall-clock accumulator for named computation phases.
 ///
-/// The SimilarityEngine (and future batch pipelines) record how long each
-/// phase ("prepare", "pairwise", ...) took so benches and ops tooling can
-/// attribute time. Recording happens from the coordinating thread only;
-/// the type is not thread-safe.
-class PhaseTimings {
+/// A thin obs::SpanSink adapter: every span whose timer is pointed at a
+/// PhaseTimings folds its duration into the per-phase totals, so benches and
+/// ops tooling can attribute time. Recording is thread-safe (a mutex per
+/// accumulator — phases are coarse, so contention is nil), which lets
+/// SimilarityEngine phases record from worker threads.
+class PhaseTimings : public obs::SpanSink {
  public:
-  void Record(const std::string& phase, uint64_t ns) { phases_[phase] += ns; }
+  void Record(const std::string& phase, uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    phases_[phase] += ns;
+  }
+
+  void OnSpan(const std::string& name, uint64_t duration_ns) override {
+    Record(name, duration_ns);
+  }
 
   /// Accumulated nanoseconds for `phase` (0 when never recorded).
   uint64_t TotalNs(const std::string& phase) const {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = phases_.find(phase);
     return it == phases_.end() ? 0 : it->second;
   }
 
-  const std::map<std::string, uint64_t>& phases() const { return phases_; }
+  std::map<std::string, uint64_t> phases() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return phases_;
+  }
 
   /// One "phase: 1.234 ms" line per phase, sorted by phase name.
   std::string Report() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, uint64_t> phases_;
 };
 
-/// \brief RAII timer: records the elapsed wall time into a PhaseTimings on
-/// destruction. A null sink makes it a no-op, so call sites stay branch-free.
+/// \brief RAII phase timer: an obs::ScopedSpan that reports into a
+/// PhaseTimings on destruction — so every timed phase also lands in the
+/// installed TraceSession (if any) under the same name. A null sink with no
+/// session installed makes it a no-op, so call sites stay branch-free.
 class ScopedPhaseTimer {
  public:
   ScopedPhaseTimer(PhaseTimings* sink, std::string phase)
-      : sink_(sink),
-        phase_(std::move(phase)),
-        start_(std::chrono::steady_clock::now()) {}
+      : span_(std::move(phase), sink) {}
 
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
   ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
 
-  ~ScopedPhaseTimer() {
-    if (sink_ == nullptr) return;
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    sink_->Record(phase_, static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-            .count()));
-  }
-
  private:
-  PhaseTimings* sink_;
-  std::string phase_;
-  std::chrono::steady_clock::time_point start_;
+  obs::ScopedSpan span_;
 };
 
 /// \brief High-level profile of one gateway — the "high level profiling of

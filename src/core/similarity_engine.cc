@@ -1,9 +1,12 @@
 #include "core/similarity_engine.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/thread_pool.h"
 #include "core/profiling.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace homets::core {
 
@@ -64,6 +67,42 @@ namespace {
 // hand-off, fine enough to balance tie-heavy vs degenerate pairs.
 constexpr size_t kPairsPerBlock = 64;
 
+// Per-worker busy nanoseconds, owned by the worker during the loop (no
+// synchronization needed: workers never share a slot) and folded into the
+// utilization histogram afterwards.
+class WorkerUtilization {
+ public:
+  explicit WorkerUtilization(size_t workers) : busy_ns_(workers, 0) {}
+
+  template <typename Fn>
+  void Timed(int worker, const Fn& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    busy_ns_[static_cast<size_t>(worker)] +=
+        static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+  }
+
+  void Publish(size_t pairs) const {
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter* const pairs_computed =
+        registry.GetCounter(obs::kEnginePairsComputed);
+    static obs::Gauge* const workers_gauge =
+        registry.GetGauge(obs::kEngineWorkers);
+    static obs::Histogram* const worker_busy_us =
+        registry.GetHistogram(obs::kEngineWorkerBusyUs);
+    pairs_computed->Increment(pairs);
+    workers_gauge->Set(static_cast<int64_t>(busy_ns_.size()));
+    for (const uint64_t ns : busy_ns_) {
+      if (ns > 0) worker_busy_us->Observe(static_cast<double>(ns) / 1e3);
+    }
+  }
+
+ private:
+  std::vector<uint64_t> busy_ns_;
+};
+
 }  // namespace
 
 SimilarityMatrix SimilarityEngine::Pairwise(
@@ -77,21 +116,25 @@ SimilarityMatrix SimilarityEngine::Pairwise(
       pairs < options_.min_parallel_pairs ? 1 : options_.threads;
   const size_t workers = static_cast<size_t>(ResolveThreadCount(threads));
   std::vector<correlation::PairWorkspace> workspaces(workers);
+  WorkerUtilization utilization(workers);
   SimilarityResult* cells = matrix.mutable_cells();
   ParallelFor(pairs, threads, kPairsPerBlock,
               [&](size_t begin, size_t end, int worker) {
-                correlation::PairWorkspace& ws =
-                    workspaces[static_cast<size_t>(worker)];
-                auto [i, j] = SimilarityMatrix::PairAt(n, begin);
-                for (size_t k = begin; k < end; ++k) {
-                  cells[k] = CorrelationSimilarity(prepared[i], prepared[j],
-                                                   options_.similarity, &ws);
-                  if (++j == n) {
-                    ++i;
-                    j = i + 1;
+                utilization.Timed(worker, [&] {
+                  correlation::PairWorkspace& ws =
+                      workspaces[static_cast<size_t>(worker)];
+                  auto [i, j] = SimilarityMatrix::PairAt(n, begin);
+                  for (size_t k = begin; k < end; ++k) {
+                    cells[k] = CorrelationSimilarity(prepared[i], prepared[j],
+                                                     options_.similarity, &ws);
+                    if (++j == n) {
+                      ++i;
+                      j = i + 1;
+                    }
                   }
-                }
+                });
               });
+  utilization.Publish(pairs);
   return matrix;
 }
 
@@ -105,16 +148,20 @@ std::vector<SimilarityResult> SimilarityEngine::PairwiseSelected(
       pairs.size() < options_.min_parallel_pairs ? 1 : options_.threads;
   const size_t workers = static_cast<size_t>(ResolveThreadCount(threads));
   std::vector<correlation::PairWorkspace> workspaces(workers);
+  WorkerUtilization utilization(workers);
   ParallelFor(pairs.size(), threads, kPairsPerBlock,
               [&](size_t begin, size_t end, int worker) {
-                correlation::PairWorkspace& ws =
-                    workspaces[static_cast<size_t>(worker)];
-                for (size_t k = begin; k < end; ++k) {
-                  results[k] = CorrelationSimilarity(
-                      prepared[pairs[k].first], prepared[pairs[k].second],
-                      options_.similarity, &ws);
-                }
+                utilization.Timed(worker, [&] {
+                  correlation::PairWorkspace& ws =
+                      workspaces[static_cast<size_t>(worker)];
+                  for (size_t k = begin; k < end; ++k) {
+                    results[k] = CorrelationSimilarity(
+                        prepared[pairs[k].first], prepared[pairs[k].second],
+                        options_.similarity, &ws);
+                  }
+                });
               });
+  utilization.Publish(pairs.size());
   return results;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "core/similarity_engine.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stattests/ks_test.h"
 
 namespace homets::core {
@@ -14,6 +17,17 @@ Result<StationarityResult> CheckStrongStationarity(
     return Status::InvalidArgument(
         "CheckStrongStationarity: need >= 2 windows");
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const windows_tested =
+      registry.GetCounter(obs::kStationarityWindowsTested);
+  static obs::Counter* const window_pairs =
+      registry.GetCounter(obs::kStationarityWindowPairs);
+  static obs::Counter* const ks_rejections =
+      registry.GetCounter(obs::kStationarityKsRejections);
+  static obs::Counter* const pairs_below_phi =
+      registry.GetCounter(obs::kStationarityPairsBelowPhi);
+  obs::ScopedSpan span("stationarity.check");
+  windows_tested->Increment(windows.size());
   StationarityResult result;
   result.min_pair_similarity = 1.0;
   result.correlation_ok = true;
@@ -31,19 +45,27 @@ Result<StationarityResult> CheckStrongStationarity(
       const SimilarityResult& sim = sims.At(i, j);
       result.min_pair_similarity =
           std::min(result.min_pair_similarity, sim.value);
-      if (!(sim.value > options.phi)) result.correlation_ok = false;
+      if (!(sim.value > options.phi)) {
+        result.correlation_ok = false;
+        pairs_below_phi->Increment();
+      }
       auto ks = stattests::KolmogorovSmirnov(windows[i].values(),
                                              windows[j].values());
       if (!ks.ok()) {
         // A window with < 2 observations cannot pass the distribution check.
         result.distribution_ok = false;
         result.min_ks_p_value = 0.0;
+        ks_rejections->Increment();
         continue;
       }
       result.min_ks_p_value = std::min(result.min_ks_p_value, ks->p_value);
-      if (ks->Rejected(options.alpha)) result.distribution_ok = false;
+      if (ks->Rejected(options.alpha)) {
+        result.distribution_ok = false;
+        ks_rejections->Increment();
+      }
     }
   }
+  window_pairs->Increment(result.window_pairs);
   result.strongly_stationary =
       result.correlation_ok && result.distribution_ok;
   return result;

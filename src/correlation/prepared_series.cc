@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "stats/ranks.h"
 #include "stats/special_functions.h"
 
@@ -242,7 +244,13 @@ PreparedSeries PreparedSeries::Make(std::vector<double> values,
   // Profiles only pay off on the NaN-free fast path; degenerate series take
   // the gather fallback anyway. profiles() stays 0 so it always reports what
   // was actually materialized.
-  if (p.has_nan_ || p.values_.size() < 3) return p;
+  if (p.has_nan_ || p.values_.size() < 3) {
+    static obs::Counter* const degenerate_fallbacks =
+        obs::MetricsRegistry::Global().GetCounter(
+            obs::kCorrelationDegenerateFallbacks);
+    degenerate_fallbacks->Increment();
+    return p;
+  }
   p.profiles_ = profiles;
   const size_t n = p.values_.size();
 

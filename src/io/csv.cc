@@ -7,10 +7,29 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace homets::io {
 
 namespace {
+
+struct IoMetrics {
+  obs::Counter* rows_parsed;
+  obs::Counter* rows_skipped;
+  obs::Counter* files_read;
+};
+
+const IoMetrics& Metrics() {
+  static const IoMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return IoMetrics{registry.GetCounter(obs::kIoRowsParsed),
+                     registry.GetCounter(obs::kIoRowsSkipped),
+                     registry.GetCounter(obs::kIoFilesRead)};
+  }();
+  return metrics;
+}
 
 Result<simgen::DeviceType> ParseDeviceType(const std::string& name) {
   if (name == "portable") return simgen::DeviceType::kPortable;
@@ -40,8 +59,10 @@ Status WriteTimeSeriesCsv(const std::string& path,
 }
 
 Result<ts::TimeSeries> ReadTimeSeriesCsv(const std::string& path) {
+  obs::ScopedSpan span("io.read_time_series_csv");
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for read: " + path);
+  Metrics().files_read->Increment();
   std::string line;
   if (!std::getline(in, line)) {
     return Status::IoError("empty file: " + path);
@@ -49,11 +70,15 @@ Result<ts::TimeSeries> ReadTimeSeriesCsv(const std::string& path) {
   std::vector<int64_t> minutes;
   std::vector<double> values;
   while (std::getline(in, line)) {
-    if (StrTrim(line).empty()) continue;
+    if (StrTrim(line).empty()) {
+      Metrics().rows_skipped->Increment();
+      continue;
+    }
     const auto fields = StrSplit(line, ',');
     if (fields.size() != 2) {
       return Status::IoError("malformed row in " + path + ": " + line);
     }
+    Metrics().rows_parsed->Increment();
     minutes.push_back(std::stoll(fields[0]));
     const auto value_field = StrTrim(fields[1]);
     values.push_back(value_field.empty() ? ts::TimeSeries::Missing()
@@ -101,8 +126,10 @@ Status WriteGatewayCsv(const std::string& path,
 }
 
 Result<simgen::GatewayTrace> ReadGatewayCsv(const std::string& path) {
+  obs::ScopedSpan span("io.read_gateway_csv");
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for read: " + path);
+  Metrics().files_read->Increment();
   std::string line;
   if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
 
@@ -115,11 +142,15 @@ Result<simgen::GatewayTrace> ReadGatewayCsv(const std::string& path) {
   int64_t min_minute = 0;
   int64_t max_minute = -1;
   while (std::getline(in, line)) {
-    if (StrTrim(line).empty()) continue;
+    if (StrTrim(line).empty()) {
+      Metrics().rows_skipped->Increment();
+      continue;
+    }
     const auto fields = StrSplit(line, ',');
     if (fields.size() != 6) {
       return Status::IoError("malformed row in " + path + ": " + line);
     }
+    Metrics().rows_parsed->Increment();
     HOMETS_ASSIGN_OR_RETURN(const auto true_type, ParseDeviceType(fields[1]));
     HOMETS_ASSIGN_OR_RETURN(const auto reported_type,
                             ParseDeviceType(fields[2]));

@@ -1,0 +1,81 @@
+#ifndef HOMETS_OBS_METRIC_NAMES_H_
+#define HOMETS_OBS_METRIC_NAMES_H_
+
+#include <string_view>
+
+// Canonical registry of every metric name the library exports.
+//
+// Naming scheme (enforced by tools/check_metrics_names.sh, registered as the
+// `check_metrics_names` ctest): `homets.<layer>.<name>` where `<layer>` is
+// the source module (threadpool, engine, correlation, stationarity,
+// dominance, motif, background, io, cli) and both segments are
+// lower_snake_case. Instrumentation sites must use these constants — raw
+// "homets.*" literals at registration sites fail the lint — so the full
+// metric surface is readable in one file.
+namespace homets::obs {
+
+// common/thread_pool.h — ParallelFor dispatch.
+inline constexpr std::string_view kThreadPoolLoops =
+    "homets.threadpool.parallel_loops";
+inline constexpr std::string_view kThreadPoolTasks =
+    "homets.threadpool.tasks";
+inline constexpr std::string_view kThreadPoolQueueDepth =
+    "homets.threadpool.queue_depth";
+inline constexpr std::string_view kThreadPoolTaskLatencyUs =
+    "homets.threadpool.task_latency_us";
+
+// core/similarity_engine — parallel pairwise Definition 1.
+inline constexpr std::string_view kEnginePairsComputed =
+    "homets.engine.pairs_computed";
+inline constexpr std::string_view kEngineWorkers = "homets.engine.workers";
+inline constexpr std::string_view kEngineWorkerBusyUs =
+    "homets.engine.worker_busy_us";
+
+// correlation/prepared_series — windows that cannot take the profiled fast
+// path (NaNs or < 3 values) and fall back to pairwise-complete gathering.
+inline constexpr std::string_view kCorrelationDegenerateFallbacks =
+    "homets.correlation.degenerate_fallbacks";
+
+// core/stationarity — Definition 2 funnel.
+inline constexpr std::string_view kStationarityWindowsTested =
+    "homets.stationarity.windows_tested";
+inline constexpr std::string_view kStationarityWindowPairs =
+    "homets.stationarity.window_pairs";
+inline constexpr std::string_view kStationarityKsRejections =
+    "homets.stationarity.ks_rejections";
+inline constexpr std::string_view kStationarityPairsBelowPhi =
+    "homets.stationarity.pairs_below_phi";
+
+// core/dominance — Definition 4 funnel.
+inline constexpr std::string_view kDominanceDevicesTested =
+    "homets.dominance.devices_tested";
+inline constexpr std::string_view kDominanceDevicesAbovePhi =
+    "homets.dominance.devices_above_phi";
+
+// core/motif — Definition 5 funnel.
+inline constexpr std::string_view kMotifWindowsMined =
+    "homets.motif.windows_mined";
+inline constexpr std::string_view kMotifMotifsMerged =
+    "homets.motif.motifs_merged";
+inline constexpr std::string_view kMotifMotifsReported =
+    "homets.motif.motifs_reported";
+inline constexpr std::string_view kMotifCacheHits = "homets.motif.cache_hits";
+inline constexpr std::string_view kMotifCacheMisses =
+    "homets.motif.cache_misses";
+
+// core/background — τ estimation and thresholding.
+inline constexpr std::string_view kBackgroundThresholdsEstimated =
+    "homets.background.thresholds_estimated";
+inline constexpr std::string_view kBackgroundTauCapped =
+    "homets.background.tau_capped";
+inline constexpr std::string_view kBackgroundValuesZeroed =
+    "homets.background.values_zeroed";
+
+// io/csv — trace ingestion.
+inline constexpr std::string_view kIoRowsParsed = "homets.io.rows_parsed";
+inline constexpr std::string_view kIoRowsSkipped = "homets.io.rows_skipped";
+inline constexpr std::string_view kIoFilesRead = "homets.io.files_read";
+
+}  // namespace homets::obs
+
+#endif  // HOMETS_OBS_METRIC_NAMES_H_

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace homets::obs {
+
+namespace {
+
+// Local formatting helpers: this library sits below homets_common, so it
+// cannot use StrFormat.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string FormatU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string FormatI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string HistogramJson(const HistogramSnapshot& h) {
+  std::string out = "{\"count\": " + FormatU64(h.count) +
+                    ", \"sum\": " + FormatDouble(h.sum) + ", \"buckets\": [";
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    if (b > 0) out += ", ";
+    const std::string le =
+        b < h.bounds.size() ? FormatDouble(h.bounds[b]) : "\"+inf\"";
+    out += "{\"le\": " + le + ", \"count\": " + FormatU64(h.buckets[b]) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t b = 0; b <= bounds_.size(); ++b) buckets_[b] = 0;
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t b = 0; b < counts.size(); ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& LatencyBucketsUs() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    return b;  // 1, 2, 5, 10, …, 5e6 µs
+  }();
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = LatencyBucketsUs();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.buckets = histogram->BucketCounts();
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::ExportText() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  // One sorted stream across all kinds: merge the three sorted maps.
+  std::map<std::string, std::string> lines;
+  for (const auto& [name, value] : snapshot.counters) {
+    lines[name] = name + " " + FormatU64(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    lines[name] = name + " " + FormatI64(value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    lines[name] = name + " count=" + FormatU64(h.count) +
+                  " sum=" + FormatDouble(h.sum);
+  }
+  std::string out;
+  for (const auto& [name, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  std::map<std::string, std::string> entries;
+  for (const auto& [name, value] : snapshot.counters) {
+    entries[name] = FormatU64(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    entries[name] = FormatI64(value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    entries[name] = HistogramJson(h);
+  }
+  std::string out = "{\n";
+  size_t i = 0;
+  for (const auto& [name, value] : entries) {
+    out += "  \"" + JsonEscape(name) + "\": " + value;
+    if (++i < entries.size()) out += ',';
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace homets::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace homets::obs {
+
+namespace {
+
+std::atomic<TraceSession*> g_session{nullptr};
+
+// Per-thread open-span count: children record parent_depth + 1. Plain
+// thread_local — only the owning thread touches it.
+thread_local uint32_t tls_open_spans = 0;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceSession::Add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceSession::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceSession::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[160];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
+           JsonEscape(e.category) + "\", ";
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\": \"X\", \"ts\": %lld, \"dur\": %lld, \"pid\": 1, "
+                  "\"tid\": %u, \"args\": {\"depth\": %u}}",
+                  static_cast<long long>(e.ts_us),
+                  static_cast<long long>(e.dur_us), e.tid, e.depth);
+    out += buf;
+    if (i + 1 < events.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+void InstallGlobalTraceSession(TraceSession* session) {
+  g_session.store(session, std::memory_order_release);
+}
+
+TraceSession* GlobalTraceSession() {
+  return g_session.load(std::memory_order_acquire);
+}
+
+uint32_t CurrentThreadTraceId() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+ScopedSpan::ScopedSpan(std::string name, SpanSink* sink, std::string category)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      sink_(sink),
+      session_(GlobalTraceSession()) {
+  if (session_ == nullptr && sink_ == nullptr) return;
+  depth_ = tls_open_spans++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (session_ == nullptr && sink_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  --tls_open_spans;
+  if (sink_ != nullptr) {
+    sink_->OnSpan(name_, static_cast<uint64_t>(
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 end - start_)
+                                 .count()));
+  }
+  if (session_ != nullptr) {
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.category = std::move(category_);
+    event.ts_us = session_->SinceStartUs(start_);
+    event.dur_us = session_->SinceStartUs(end) - event.ts_us;
+    event.tid = CurrentThreadTraceId();
+    event.depth = depth_;
+    session_->Add(std::move(event));
+  }
+}
+
+}  // namespace homets::obs

@@ -1,0 +1,82 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace homets {
+namespace {
+
+const std::set<std::string> kKnown = {"out", "seed", "period"};
+
+TEST(ParseFlagsTest, SeparatesFlagsAndPositionals) {
+  const auto args =
+      ParseFlags({"--out", "dir", "a.csv", "--seed", "7", "b.csv"}, kKnown);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("out"), "dir");
+  EXPECT_EQ(args->GetString("seed"), "7");
+  EXPECT_EQ(args->positional, (std::vector<std::string>{"a.csv", "b.csv"}));
+}
+
+TEST(ParseFlagsTest, EqualsSyntax) {
+  const auto args = ParseFlags({"--period=weekly", "--seed=0"}, kKnown);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("period"), "weekly");
+  EXPECT_EQ(args->GetString("seed"), "0");
+  EXPECT_TRUE(args->positional.empty());
+}
+
+TEST(ParseFlagsTest, UnknownFlagIsAnError) {
+  const auto args = ParseFlags({"--bogus", "x"}, kKnown);
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().ToString().find("unknown flag --bogus"),
+            std::string::npos);
+}
+
+TEST(ParseFlagsTest, DanglingFlagIsAnError) {
+  // A trailing --seed with no value used to be silently swallowed; it must
+  // be a hard error now.
+  const auto args = ParseFlags({"a.csv", "--seed"}, kKnown);
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().ToString().find("--seed expects a value"),
+            std::string::npos);
+}
+
+TEST(ParseFlagsTest, DoubleDashEndsFlagParsing) {
+  const auto args = ParseFlags({"--out", "dir", "--", "--weird-file"}, kKnown);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("out"), "dir");
+  EXPECT_EQ(args->positional, (std::vector<std::string>{"--weird-file"}));
+}
+
+TEST(ParseFlagsTest, LastOccurrenceWins) {
+  const auto args = ParseFlags({"--seed", "1", "--seed", "2"}, kKnown);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("seed"), "2");
+}
+
+TEST(ParsedArgsTest, GetIntParsesAndValidates) {
+  const auto args = ParseFlags({"--seed", "42"}, kKnown);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetInt("seed", 0).value(), 42);
+  EXPECT_EQ(args->GetInt("out", 9).value(), 9);  // absent -> fallback
+
+  const auto bad = ParseFlags({"--seed", "4x2"}, kKnown);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->GetInt("seed", 0).ok());
+}
+
+TEST(ParsedArgsTest, GetIntAcceptsNegative) {
+  const auto args = ParseFlags({"--seed", "-5"}, kKnown);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetInt("seed", 0).value(), -5);
+}
+
+TEST(ParsedArgsTest, HasAndGetStringFallback) {
+  const auto args = ParseFlags({"--out", "dir"}, kKnown);
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->Has("out"));
+  EXPECT_FALSE(args->Has("seed"));
+  EXPECT_EQ(args->GetString("seed", "default"), "default");
+}
+
+}  // namespace
+}  // namespace homets

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Lint the metric naming scheme. Registered as the `check_metrics_names`
+# ctest. Checks:
+#   1. every name declared in src/obs/metric_names.h matches
+#      homets.<layer>.<name> with lower_snake_case segments,
+#   2. no name is declared twice,
+#   3. instrumentation sites register metrics only through the constants —
+#      a raw "homets.…" literal next to GetCounter/GetGauge/GetHistogram
+#      anywhere outside metric_names.h fails (tests/ are exempt: they
+#      exercise private registries with throwaway names).
+#
+# Usage: check_metrics_names.sh [REPO_ROOT]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+names_header="$root/src/obs/metric_names.h"
+fail=0
+
+if [ ! -f "$names_header" ]; then
+    echo "FAIL: $names_header not found" >&2
+    exit 1
+fi
+
+names=$(grep -v '^[[:space:]]*//' "$names_header" |
+    sed -n 's/.*"\(homets\.[^"]*\)".*/\1/p')
+if [ -z "$names" ]; then
+    echo "FAIL: no metric names declared in $names_header" >&2
+    exit 1
+fi
+
+for name in $names; do
+    case "$name" in
+        homets.*.*) ;;
+        *)
+            echo "FAIL: '$name' is not homets.<layer>.<name>" >&2
+            fail=1
+            continue
+            ;;
+    esac
+    if ! printf '%s\n' "$name" |
+        grep -Eq '^homets\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$'; then
+        echo "FAIL: '$name' segments must be lower_snake_case" >&2
+        fail=1
+    fi
+done
+
+dupes=$(printf '%s\n' "$names" | sort | uniq -d)
+if [ -n "$dupes" ]; then
+    echo "FAIL: duplicate metric names declared:" >&2
+    printf '%s\n' "$dupes" >&2
+    fail=1
+fi
+
+# Registration sites must go through the constants. Look for a raw string
+# literal starting with "homets. on any Get{Counter,Gauge,Histogram} line in
+# the library and tool sources.
+raw=$(grep -rn 'Get\(Counter\|Gauge\|Histogram\)[^)]*"homets\.' \
+    "$root/src" "$root/tools" "$root/bench" \
+    --include='*.cc' --include='*.h' |
+    grep -v 'src/obs/metric_names\.h' || true)
+if [ -n "$raw" ]; then
+    echo "FAIL: raw metric-name literals (use obs/metric_names.h):" >&2
+    printf '%s\n' "$raw" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "OK: $(printf '%s\n' "$names" | wc -l | tr -d ' ') metric names conform"

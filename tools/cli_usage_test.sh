@@ -1,0 +1,72 @@
+#!/bin/sh
+# End-to-end CLI contract test, registered as the `cli_usage` ctest.
+#   1. Strict flags: unknown --flags and a dangling --flag exit 2 with a
+#      diagnostic, never run the command.
+#   2. Observability: a generate + motifs run with --trace-out/--metrics-out
+#      writes a Chrome trace and a metrics JSON whose per-stage counters
+#      (pairs computed, KS rejections, values zeroed) are nonzero.
+#
+# Usage: cli_usage_test.sh /path/to/homets_cli
+set -eu
+
+cli="${1:?usage: cli_usage_test.sh /path/to/homets_cli}"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+fail=0
+
+check() {
+    desc="$1"
+    shift
+    if "$@"; then
+        echo "ok: $desc"
+    else
+        echo "FAIL: $desc" >&2
+        fail=1
+    fi
+}
+
+# --- strict flag handling -------------------------------------------------
+rc=0
+"$cli" generate --out "$workdir" --bogus 3 >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "unknown flag exits 2" test "$rc" -eq 2
+check "unknown flag is diagnosed" grep -q 'unknown flag --bogus' "$workdir/err"
+
+rc=0
+"$cli" generate --out "$workdir" --seed >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "dangling flag exits 2" test "$rc" -eq 2
+check "dangling flag is diagnosed" grep -q 'flag --seed expects a value' "$workdir/err"
+
+rc=0
+"$cli" frobnicate >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "unknown command exits 2" test "$rc" -eq 2
+
+# --- observability outputs ------------------------------------------------
+"$cli" generate --out "$workdir" --gateways 3 --weeks 3 --seed 7 \
+    >"$workdir/gen.log" 2>"$workdir/gen.err"
+check "generate produced traces" test -f "$workdir/gateway_002.csv"
+
+"$cli" motifs --trace-out "$workdir/trace.json" \
+    --metrics-out "$workdir/metrics.json" \
+    "$workdir"/gateway_*.csv >"$workdir/motifs.log" 2>"$workdir/motifs.err"
+
+check "trace file written" test -s "$workdir/trace.json"
+check "trace is Chrome trace_event JSON" \
+    grep -q '"traceEvents"' "$workdir/trace.json"
+check "trace contains complete events" grep -q '"ph": "X"' "$workdir/trace.json"
+check "trace records the mining span" \
+    grep -q '"cli.mine_motifs"' "$workdir/trace.json"
+
+check "metrics file written" test -s "$workdir/metrics.json"
+check "metrics summary on stderr" grep -q 'metrics summary:' "$workdir/motifs.err"
+
+# A named counter must be present with a nonzero value.
+nonzero() {
+    grep -q "\"$1\": [1-9]" "$workdir/metrics.json"
+}
+check "engine pairs computed" nonzero homets.engine.pairs_computed
+check "stationarity KS rejections" nonzero homets.stationarity.ks_rejections
+check "background values zeroed" nonzero homets.background.values_zeroed
+check "io rows parsed" nonzero homets.io.rows_parsed
+check "motif windows mined" nonzero homets.motif.windows_mined
+
+exit "$fail"

@@ -5,22 +5,35 @@
 //   homets_cli profile TRACE.csv
 //   homets_cli motifs [--period daily|weekly] TRACE.csv [TRACE.csv ...]
 //
-// Traces use the WriteGatewayCsv long format
-// (device,true_type,reported_type,minute,incoming,outgoing).
+// Every subcommand also takes the observability flags
+//   --metrics-out FILE   write the end-of-run metrics registry as JSON
+//   --trace-out FILE     record spans and write Chrome trace_event JSON
+//                        (open in about:tracing or https://ui.perfetto.dev)
+// and prints a metrics summary on stderr when the run succeeds.
+//
+// Flags are strict: unknown --flags and a trailing --flag with no value are
+// usage errors, never positionals. Traces use the WriteGatewayCsv long
+// format (device,true_type,reported_type,minute,incoming,outgoing).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/strings.h"
 #include "core/background.h"
 #include "core/motif.h"
 #include "core/profiling.h"
+#include "core/stationarity.h"
 #include "io/csv.h"
 #include "io/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simgen/fleet.h"
 
 namespace {
@@ -33,44 +46,46 @@ int Usage() {
          "  homets_cli generate --out DIR [--gateways N] [--weeks W] "
          "[--seed S]\n"
          "  homets_cli profile TRACE.csv\n"
-         "  homets_cli motifs [--period daily|weekly] TRACE.csv [...]\n";
+         "  homets_cli motifs [--period daily|weekly] TRACE.csv [...]\n"
+         "common flags (all subcommands):\n"
+         "  --metrics-out FILE   write end-of-run metrics as JSON\n"
+         "  --trace-out FILE     write a Chrome/Perfetto trace of the run\n";
   return 2;
 }
 
-// Minimal flag parsing: --key value pairs plus positional arguments.
-struct Args {
-  std::map<std::string, std::string> flags;
-  std::vector<std::string> positional;
-};
+// The observability flags every subcommand accepts.
+const std::set<std::string> kObsFlags = {"metrics-out", "trace-out"};
 
-Args ParseArgs(int argc, char** argv, int first) {
-  Args args;
-  for (int i = first; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (StartsWith(arg, "--") && i + 1 < argc) {
-      args.flags[arg.substr(2)] = argv[++i];
-    } else {
-      args.positional.push_back(arg);
-    }
+std::set<std::string> WithObsFlags(std::set<std::string> flags) {
+  flags.insert(kObsFlags.begin(), kObsFlags.end());
+  return flags;
+}
+
+int FlagIntOr(const ParsedArgs& args, const std::string& flag,
+              int64_t fallback, int64_t* out) {
+  const auto value = args.GetInt(flag, fallback);
+  if (!value.ok()) {
+    std::cerr << "error: " << value.status().ToString() << "\n";
+    return 2;
   }
-  return args;
+  *out = *value;
+  return 0;
 }
 
-int64_t FlagInt(const Args& args, const std::string& key, int64_t fallback) {
-  const auto it = args.flags.find(key);
-  return it == args.flags.end() ? fallback : std::stoll(it->second);
-}
-
-int RunGenerate(const Args& args) {
-  const auto out_it = args.flags.find("out");
-  if (out_it == args.flags.end()) {
+int RunGenerate(const ParsedArgs& args) {
+  if (!args.Has("out")) {
     std::cerr << "generate: --out DIR is required\n";
     return 2;
   }
+  const std::string out_dir = args.GetString("out");
+  int64_t gateways = 0, weeks = 0, seed = 0;
+  if (FlagIntOr(args, "gateways", 8, &gateways) != 0) return 2;
+  if (FlagIntOr(args, "weeks", 4, &weeks) != 0) return 2;
+  if (FlagIntOr(args, "seed", 20140317, &seed) != 0) return 2;
   simgen::SimConfig config;
-  config.n_gateways = static_cast<int>(FlagInt(args, "gateways", 8));
-  config.weeks = static_cast<int>(FlagInt(args, "weeks", 4));
-  config.seed = static_cast<uint64_t>(FlagInt(args, "seed", 20140317));
+  config.n_gateways = static_cast<int>(gateways);
+  config.weeks = static_cast<int>(weeks);
+  config.seed = static_cast<uint64_t>(seed);
   config.surveyed_gateways =
       std::min(config.surveyed_gateways, config.n_gateways);
   const Status valid = simgen::ValidateSimConfig(config);
@@ -78,11 +93,12 @@ int RunGenerate(const Args& args) {
     std::cerr << "generate: " << valid.ToString() << "\n";
     return 2;
   }
+  obs::ScopedSpan span("cli.generate");
   simgen::FleetGenerator generator(config);
   for (int id = 0; id < config.n_gateways; ++id) {
     const auto gw = generator.Generate(id);
     const std::string path =
-        StrFormat("%s/gateway_%03d.csv", out_it->second.c_str(), id);
+        StrFormat("%s/gateway_%03d.csv", out_dir.c_str(), id);
     const Status status = io::WriteGatewayCsv(path, gw);
     if (!status.ok()) {
       std::cerr << "write failed: " << status.ToString() << "\n";
@@ -95,7 +111,7 @@ int RunGenerate(const Args& args) {
   return 0;
 }
 
-int RunProfile(const Args& args) {
+int RunProfile(const ParsedArgs& args) {
   if (args.positional.size() != 1) {
     std::cerr << "profile: exactly one TRACE.csv expected\n";
     return 2;
@@ -105,6 +121,7 @@ int RunProfile(const Args& args) {
     std::cerr << "read failed: " << gw.status().ToString() << "\n";
     return 1;
   }
+  obs::ScopedSpan span("cli.profile");
   const auto profile = core::ProfileGateway(*gw);
   if (!profile.ok()) {
     std::cerr << "profiling failed: " << profile.status().ToString() << "\n";
@@ -114,13 +131,12 @@ int RunProfile(const Args& args) {
   return 0;
 }
 
-int RunMotifs(const Args& args) {
+int RunMotifs(const ParsedArgs& args) {
   if (args.positional.empty()) {
     std::cerr << "motifs: at least one TRACE.csv expected\n";
     return 2;
   }
-  const std::string period =
-      args.flags.count("period") ? args.flags.at("period") : "daily";
+  const std::string period = args.GetString("period", "daily");
   const bool weekly = period == "weekly";
   if (!weekly && period != "daily") {
     std::cerr << "motifs: --period must be daily or weekly\n";
@@ -133,28 +149,58 @@ int RunMotifs(const Args& args) {
   std::vector<ts::TimeSeries> windows;
   std::vector<core::WindowProvenance> provenance;
   int next_id = 0;
-  for (const std::string& path : args.positional) {
-    const auto gw = io::ReadGatewayCsv(path);
-    if (!gw.ok()) {
-      std::cerr << "skipping " << path << ": " << gw.status().ToString()
-                << "\n";
-      continue;
-    }
-    const int id = next_id++;
-    const auto active = core::ActiveAggregate(*gw);
-    const auto aggregated =
-        ts::Aggregate(active, granularity, anchor, ts::AggKind::kSum);
-    if (!aggregated.ok()) continue;
-    for (auto& w : ts::SliceWindows(*aggregated, window, anchor)) {
-      provenance.push_back({id, w.start_minute()});
-      windows.push_back(std::move(w));
+  {
+    obs::ScopedSpan span("cli.read_traces");
+    for (const std::string& path : args.positional) {
+      const auto gw = io::ReadGatewayCsv(path);
+      if (!gw.ok()) {
+        std::cerr << "skipping " << path << ": " << gw.status().ToString()
+                  << "\n";
+        continue;
+      }
+      const int id = next_id++;
+      const auto active = core::ActiveAggregate(*gw);
+      const auto aggregated =
+          ts::Aggregate(active, granularity, anchor, ts::AggKind::kSum);
+      if (!aggregated.ok()) continue;
+      for (auto& w : ts::SliceWindows(*aggregated, window, anchor)) {
+        provenance.push_back({id, w.start_minute()});
+        windows.push_back(std::move(w));
+      }
     }
   }
   if (windows.empty()) {
     std::cerr << "motifs: no usable windows\n";
     return 1;
   }
-  const auto motifs = core::MotifDiscovery().Discover(windows);
+
+  // Definition 2 pre-pass per gateway: how repeatable is each home's pattern
+  // at the mining granularity? Runs the parallel SimilarityEngine + KS
+  // funnel, so the per-stage metrics (pairs computed, KS rejections) account
+  // for the whole input even when mining itself converges early.
+  {
+    obs::ScopedSpan span("cli.stationarity");
+    std::map<int, std::vector<ts::TimeSeries>> by_gateway;
+    for (size_t w = 0; w < windows.size(); ++w) {
+      by_gateway[provenance[w].gateway_id].push_back(windows[w]);
+    }
+    size_t stationary = 0, checked = 0;
+    for (const auto& [id, gw_windows] : by_gateway) {
+      if (gw_windows.size() < 2) continue;
+      const auto result = core::CheckStrongStationarity(gw_windows);
+      if (!result.ok()) continue;
+      ++checked;
+      if (result->strongly_stationary) ++stationary;
+    }
+    std::cout << "stationarity: " << stationary << "/" << checked
+              << " gateways strongly stationary over " << period
+              << " windows at " << granularity << " min bins\n";
+  }
+
+  const auto motifs = [&] {
+    obs::ScopedSpan span("cli.mine_motifs");
+    return core::MotifDiscovery().Discover(windows);
+  }();
   if (!motifs.ok()) {
     std::cerr << "mining failed: " << motifs.status().ToString() << "\n";
     return 1;
@@ -178,14 +224,84 @@ int RunMotifs(const Args& args) {
   return 0;
 }
 
+// Nonzero counters/gauges plus histogram count/mean — the at-a-glance
+// per-stage funnel for the run.
+void PrintMetricsSummary(std::ostream& out) {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  out << "metrics summary:\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value != 0) out << "  " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value != 0) out << "  " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (h.count == 0) continue;
+    out << "  " << name << " count=" << h.count << " mean="
+        << StrFormat("%.1f", h.sum / static_cast<double>(h.count)) << "\n";
+  }
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << content;
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Args args = ParseArgs(argc, argv, 2);
-  if (command == "generate") return RunGenerate(args);
-  if (command == "profile") return RunProfile(args);
-  if (command == "motifs") return RunMotifs(args);
-  return Usage();
+  std::set<std::string> known_flags;
+  if (command == "generate") {
+    known_flags = WithObsFlags({"out", "gateways", "weeks", "seed"});
+  } else if (command == "profile") {
+    known_flags = WithObsFlags({});
+  } else if (command == "motifs") {
+    known_flags = WithObsFlags({"period"});
+  } else {
+    return Usage();
+  }
+  const auto parsed = ParseFlags(
+      std::vector<std::string>(argv + 2, argv + argc), known_flags);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.status().ToString() << "\n";
+    return Usage();
+  }
+  const ParsedArgs& args = *parsed;
+
+  // Install the trace session before any work so every span of the run is
+  // captured; uninstall before writing so the write itself is not traced.
+  obs::TraceSession session;
+  const std::string trace_path = args.GetString("trace-out");
+  if (!trace_path.empty()) obs::InstallGlobalTraceSession(&session);
+
+  int rc = 1;
+  if (command == "generate") rc = RunGenerate(args);
+  if (command == "profile") rc = RunProfile(args);
+  if (command == "motifs") rc = RunMotifs(args);
+
+  obs::InstallGlobalTraceSession(nullptr);
+  if (!trace_path.empty() && rc == 0) {
+    const Status status = WriteFile(trace_path, session.ToChromeJson());
+    if (!status.ok()) {
+      std::cerr << "trace-out: " << status.ToString() << "\n";
+      rc = 1;
+    }
+  }
+  const std::string metrics_path = args.GetString("metrics-out");
+  if (!metrics_path.empty() && rc == 0) {
+    const Status status =
+        WriteFile(metrics_path, obs::MetricsRegistry::Global().ExportJson());
+    if (!status.ok()) {
+      std::cerr << "metrics-out: " << status.ToString() << "\n";
+      rc = 1;
+    }
+  }
+  if (rc == 0) PrintMetricsSummary(std::cerr);
+  return rc;
 }
