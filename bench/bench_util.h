@@ -4,9 +4,14 @@
 #ifndef HOMETS_BENCH_BENCH_UTIL_H_
 #define HOMETS_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
@@ -17,6 +22,24 @@
 
 namespace homets::bench {
 
+/// Shrinks a fleet config for the `bench-smoke` ctest label: the
+/// HOMETS_SMOKE_GATEWAYS / HOMETS_SMOKE_WEEKS environment variables clamp
+/// (never grow) the requested fleet so every bench binary executes in
+/// seconds. Unset variables leave the config untouched, so interactive runs
+/// keep the paper-scale workloads.
+inline void ApplySmokeClamps(simgen::SimConfig* config) {
+  const auto clamp = [](const char* env, int* field) {
+    const char* raw = std::getenv(env);
+    if (raw == nullptr) return;
+    const int value = std::atoi(raw);
+    if (value > 0) *field = std::min(*field, value);
+  };
+  clamp("HOMETS_SMOKE_GATEWAYS", &config->n_gateways);
+  clamp("HOMETS_SMOKE_WEEKS", &config->weeks);
+  config->surveyed_gateways =
+      std::min(config->surveyed_gateways, config->n_gateways);
+}
+
 /// The paper's deployment: 196 gateways, six analysis weeks starting Monday
 /// 2014-03-17 (our epoch minute 0).
 inline simgen::SimConfig PaperConfig() {
@@ -24,6 +47,7 @@ inline simgen::SimConfig PaperConfig() {
   config.n_gateways = 196;
   config.weeks = 6;
   config.seed = 20140317;
+  ApplySmokeClamps(&config);
   return config;
 }
 
@@ -33,7 +57,21 @@ inline simgen::SimConfig SmallConfig(int gateways, int weeks) {
   simgen::SimConfig config = PaperConfig();
   config.n_gateways = gateways;
   config.weeks = weeks;
+  ApplySmokeClamps(&config);
   return config;
+}
+
+/// Hardware concurrency for bench reporting: hardware_concurrency() with a
+/// sysconf fallback for libstdc++/container combinations where it reports 0,
+/// and 1 only as the last resort.
+inline int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) return static_cast<int>(hw);
+#ifdef _SC_NPROCESSORS_ONLN
+  const long online = sysconf(_SC_NPROCESSORS_ONLN);
+  if (online > 0) return static_cast<int>(online);
+#endif
+  return 1;
 }
 
 /// Lazily generates and caches gateway traces.
@@ -60,10 +98,22 @@ class FleetCache {
   std::map<int, simgen::GatewayTrace> cache_;
 };
 
+/// Caps an analysis horizon at what the fleet actually generated, so a
+/// bench asking for its usual 28 days / 6 weeks still produces non-empty
+/// window sets when ApplySmokeClamps shrank the fleet underneath it. A
+/// no-op whenever the requested horizon fits the configured span.
+inline int ClampWeeks(const simgen::SimConfig& config, int weeks) {
+  return std::min(weeks, config.weeks);
+}
+inline int ClampDays(const simgen::SimConfig& config, int days) {
+  return std::min(days, config.weeks * 7);
+}
+
 /// Ids of gateways with at least one observation in every one of `weeks`
 /// weekly windows (the paper's weekly eligibility filter).
 inline std::vector<int> WeeklyEligible(const simgen::FleetGenerator& gen,
                                        int weeks) {
+  weeks = ClampWeeks(gen.config(), weeks);
   std::vector<int> ids;
   for (int id = 0; id < gen.config().n_gateways; ++id) {
     if (gen.Generate(id).HasObservationEveryWeek(0, weeks)) ids.push_back(id);
@@ -74,6 +124,7 @@ inline std::vector<int> WeeklyEligible(const simgen::FleetGenerator& gen,
 /// Ids of gateways with at least one observation every day for `days` days.
 inline std::vector<int> DailyEligible(const simgen::FleetGenerator& gen,
                                       int days) {
+  days = ClampDays(gen.config(), days);
   std::vector<int> ids;
   for (int id = 0; id < gen.config().n_gateways; ++id) {
     if (gen.Generate(id).HasObservationEveryDay(0, days)) ids.push_back(id);
@@ -91,6 +142,7 @@ struct WindowSet {
 /// Weekly motif input (Section 7.2.1): background-removed aggregates at 8 h
 /// bins anchored at 2am, cut into weekly windows over `weeks` weeks.
 inline WindowSet WeeklyMotifWindows(FleetCache* fleet, int weeks) {
+  weeks = ClampWeeks(fleet->config(), weeks);
   WindowSet set;
   for (int id = 0; id < fleet->config().n_gateways; ++id) {
     const auto& gw = fleet->Get(id);
@@ -118,6 +170,7 @@ inline WindowSet WeeklyMotifWindows(FleetCache* fleet, int weeks) {
 /// Daily motif input (Section 7.2.2): 3 h bins anchored at midnight, cut
 /// into daily windows over `days` days.
 inline WindowSet DailyMotifWindows(FleetCache* fleet, int days) {
+  days = ClampDays(fleet->config(), days);
   WindowSet set;
   for (int id = 0; id < fleet->config().n_gateways; ++id) {
     const auto& gw = fleet->Get(id);

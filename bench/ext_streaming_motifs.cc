@@ -16,7 +16,7 @@ using namespace homets;  // NOLINT: bench binary
 
 void Run() {
   bench::FleetCache fleet(bench::SmallConfig(30, 4));
-  const int days = 28;
+  const int days = bench::ClampDays(fleet.config(), 28);
 
   // Batch reference.
   const auto set = bench::DailyMotifWindows(&fleet, days);

@@ -1,0 +1,362 @@
+// Full-pipeline performance harness: exercises every engine stage end to
+// end — CSV ingest, series preparation, pairwise correlation, the strong-
+// stationarity funnel, best-aggregation search, φ-dominance, background
+// thresholding, motif mining and the streaming path — on deterministic
+// simgen workloads at several fleet sizes, and writes the schema-versioned
+// BENCH_pipeline.json trajectory artifact.
+//
+// Each entry couples a stage's wall time with the delta of the process
+// metrics registry across the stage (pairs computed, KS rejections, values
+// zeroed, …) so the artifact carries *per-unit* costs (ns/pair,
+// windows/sec), not just seconds. tools/bench_compare diffs two such
+// artifacts and gates regressions.
+//
+// Flags:
+//   --pipeline_json=PATH   output path (default BENCH_pipeline.json)
+//   --sizes=a,b,c          subset of small,medium,large (default all)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/aggregation.h"
+#include "core/background.h"
+#include "core/dominance.h"
+#include "core/motif.h"
+#include "core/similarity_engine.h"
+#include "core/stationarity.h"
+#include "core/streaming.h"
+#include "io/csv.h"
+#include "obs/metrics.h"
+#include "simgen/fleet.h"
+#include "ts/time_series.h"
+
+namespace {
+
+using namespace homets;  // NOLINT: bench binary
+
+/// The artifact's wire format version. Bump when entry fields change
+/// incompatibly; tools/bench_compare refuses to diff across versions.
+constexpr int kSchemaVersion = 1;
+
+struct SizeSpec {
+  const char* name;
+  int gateways;
+  int weeks;
+};
+
+constexpr SizeSpec kSizes[] = {
+    {"small", 8, 2},
+    {"medium", 24, 4},
+    {"large", 48, 6},
+};
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Counter/histogram-count deltas across a stage, as an inline JSON object.
+/// Gauges are instantaneous (queue depth) and meaningless as deltas, so only
+/// monotonic values are recorded.
+std::string MetricsDeltaJson(const obs::MetricsSnapshot& before,
+                             const obs::MetricsSnapshot& after) {
+  bench::JsonWriter delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const uint64_t prior = it == before.counters.end() ? 0 : it->second;
+    if (value > prior) delta.Set(name, static_cast<size_t>(value - prior));
+  }
+  for (const auto& [name, h] : after.histograms) {
+    const auto it = before.histograms.find(name);
+    const uint64_t prior =
+        it == before.histograms.end() ? 0 : it->second.count;
+    if (h.count > prior) {
+      delta.Set(name + ".count", static_cast<size_t>(h.count - prior));
+    }
+  }
+  return delta.Inline();
+}
+
+/// Collects one timed stage entry: `fn` returns the unit count (windows,
+/// pairs, rows, …) it processed.
+class PipelineBench {
+ public:
+  explicit PipelineBench(const std::string& size) : size_(size) {}
+
+  /// Times `fn` as one contiguous region.
+  template <typename Fn>
+  void Stage(const std::string& stage, const std::string& unit, Fn&& fn) {
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
+    const auto start = Clock::now();
+    const size_t units = fn();
+    const double seconds = SecondsSince(start);
+    Emit(stage, unit, seconds, units, before);
+  }
+
+  /// For stages interleaved with untimed setup (trace regeneration): `fn`
+  /// does its own fine-grained timing and returns {seconds, units}. The
+  /// metrics delta still brackets the whole pass — setup (simgen, CSV
+  /// writes) moves no counters, so the delta is the stage's alone.
+  template <typename Fn>
+  void StageAccumulated(const std::string& stage, const std::string& unit,
+                        Fn&& fn) {
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
+    const std::pair<double, size_t> result = fn();
+    Emit(stage, unit, result.first, result.second, before);
+  }
+
+  const std::vector<std::string>& entries() const { return entries_; }
+
+ private:
+  void Emit(const std::string& stage, const std::string& unit,
+            double seconds, size_t units,
+            const obs::MetricsSnapshot& before) {
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::Global().Snapshot();
+    bench::JsonWriter entry;
+    entry.Set("stage", stage).Set("size", size_).Set("seconds", seconds);
+    entry.Set("unit", unit).Set("units", units);
+    if (units > 0 && seconds > 0.0) {
+      entry.Set("ns_per_unit", seconds * 1e9 / static_cast<double>(units));
+      entry.Set("units_per_sec", static_cast<double>(units) / seconds);
+    }
+    entry.SetRaw("metrics", MetricsDeltaJson(before, after));
+    entries_.push_back(entry.Inline());
+    std::cout << "  " << size_ << "/" << stage << ": "
+              << bench::Fmt(seconds) << " s, " << units << " " << unit
+              << "\n";
+  }
+
+  std::string size_;
+  std::vector<std::string> entries_;
+};
+
+/// Weekly windows at 3-hour bins for one active aggregate — the Figure 3 /
+/// stationarity workload shape (56 bins per window).
+std::vector<ts::TimeSeries> WeeklyWindows(const ts::TimeSeries& active) {
+  const auto aggregated = ts::Aggregate(active, 180, 0, ts::AggKind::kSum);
+  if (!aggregated.ok()) return {};
+  return ts::SliceWindows(*aggregated, ts::kMinutesPerWeek, 0);
+}
+
+/// Daily windows at 3-hour bins — the Section 7.2.2 motif workload shape.
+std::vector<ts::TimeSeries> DailyWindows(const ts::TimeSeries& active) {
+  const auto aggregated = ts::Aggregate(active, 180, 0, ts::AggKind::kSum);
+  if (!aggregated.ok()) return {};
+  return ts::SliceWindows(*aggregated, ts::kMinutesPerDay, 0);
+}
+
+void RunSize(const SizeSpec& spec, std::vector<std::string>* entries) {
+  simgen::SimConfig config = bench::PaperConfig();
+  config.n_gateways = spec.gateways;
+  config.weeks = spec.weeks;
+  bench::ApplySmokeClamps(&config);
+  simgen::FleetGenerator generator(config);
+  PipelineBench bench(spec.name);
+  std::cout << spec.name << ": " << config.n_gateways << " gateways x "
+            << config.weeks << " weeks\n";
+
+  // Setup pass (untimed): write the fleet's CSVs for the ingest stage. Raw
+  // traces are regenerated per stage rather than held — a full fleet of
+  // them would be GBs (see FleetGenerator's contract).
+  char tmpl[] = "/tmp/homets_pipeline_XXXXXX";
+  const char* tmpdir = mkdtemp(tmpl);
+  std::vector<std::string> csv_paths;
+  for (int id = 0; id < config.n_gateways; ++id) {
+    if (tmpdir == nullptr) break;
+    const std::string path = StrFormat("%s/gateway_%03d.csv", tmpdir, id);
+    if (io::WriteGatewayCsv(path, generator.Generate(id)).ok()) {
+      csv_paths.push_back(path);
+    }
+  }
+
+  bench.Stage("csv_ingest", "rows", [&] {
+    size_t rows = 0;
+    for (const auto& path : csv_paths) {
+      const auto gw = io::ReadGatewayCsv(path);
+      if (!gw.ok()) continue;
+      for (const auto& device : gw->devices) {
+        rows += device.incoming.CountObserved();
+      }
+    }
+    return rows;
+  });
+  for (const auto& path : csv_paths) std::remove(path.c_str());
+  if (tmpdir != nullptr) rmdir(tmpdir);
+
+  // Background thresholding (Section 6.1): τ estimation + zeroing per
+  // device, summed into the gateway's active aggregate — the series every
+  // later stage consumes.
+  std::vector<ts::TimeSeries> actives;
+  bench.StageAccumulated("background", "trace_minutes", [&] {
+    double seconds = 0.0;
+    size_t minutes = 0;
+    for (int id = 0; id < config.n_gateways; ++id) {
+      const simgen::GatewayTrace gw = generator.Generate(id);
+      const auto start = Clock::now();
+      ts::TimeSeries active = core::ActiveAggregate(gw);
+      seconds += SecondsSince(start);
+      minutes += active.size();
+      actives.push_back(std::move(active));
+    }
+    return std::make_pair(seconds, minutes);
+  });
+
+  // φ-dominance (Definition 4) over the raw per-minute traces.
+  bench.StageAccumulated("dominance", "devices", [&] {
+    double seconds = 0.0;
+    size_t devices = 0;
+    for (int id = 0; id < config.n_gateways; ++id) {
+      const simgen::GatewayTrace gw = generator.Generate(id);
+      const auto start = Clock::now();
+      const auto dominant = core::FindDominantDevices(gw);
+      seconds += SecondsSince(start);
+      devices += gw.devices.size();
+      (void)dominant;
+    }
+    return std::make_pair(seconds, devices);
+  });
+
+  std::vector<ts::TimeSeries> weekly;
+  std::map<int, std::pair<size_t, size_t>> weekly_by_gateway;  // id -> range
+  for (size_t g = 0; g < actives.size(); ++g) {
+    auto windows = WeeklyWindows(actives[g]);
+    weekly_by_gateway[static_cast<int>(g)] = {weekly.size(),
+                                              weekly.size() + windows.size()};
+    for (auto& w : windows) weekly.push_back(std::move(w));
+  }
+
+  core::SimilarityEngine engine;
+  std::vector<correlation::PreparedSeries> prepared;
+  bench.Stage("prepare", "windows", [&] {
+    prepared = core::SimilarityEngine::PrepareWindows(weekly);
+    return prepared.size();
+  });
+
+  bench.Stage("pairwise", "pairs", [&] {
+    const core::SimilarityMatrix matrix = engine.Pairwise(prepared);
+    return matrix.pair_count();
+  });
+
+  bench.Stage("stationarity", "window_pairs", [&] {
+    size_t pairs = 0;
+    for (const auto& [id, range] : weekly_by_gateway) {
+      const std::vector<ts::TimeSeries> windows(
+          weekly.begin() + static_cast<long>(range.first),
+          weekly.begin() + static_cast<long>(range.second));
+      if (windows.size() < 2) continue;
+      const auto result = core::CheckStrongStationarity(windows);
+      if (result.ok()) pairs += result->window_pairs;
+    }
+    return pairs;
+  });
+
+  bench.Stage("aggregation_search", "sweep_points", [&] {
+    const std::vector<int64_t> granularities = {60, 180, 480, 720};
+    core::AggregationSweepOptions options;
+    options.period = core::PatternPeriod::kWeekly;
+    const auto sweep =
+        core::SweepAggregations(actives, granularities, options);
+    if (!sweep.ok()) return size_t{0};
+    const auto best = core::BestGranularity(*sweep, /*use_stationary=*/false);
+    (void)best;
+    size_t points = 0;
+    for (const auto& point : *sweep) points += point.gateways_all;
+    return points;
+  });
+
+  std::vector<ts::TimeSeries> daily;
+  for (const auto& active : actives) {
+    for (auto& w : DailyWindows(active)) daily.push_back(std::move(w));
+  }
+  bench.Stage("motif_mining", "windows", [&] {
+    const auto motifs = core::MotifDiscovery().Discover(daily);
+    (void)motifs;
+    return daily.size();
+  });
+
+  bench.Stage("streaming", "observations", [&] {
+    auto assembler =
+        core::WindowAssembler::Make(ts::kMinutesPerDay, 180, 0).value();
+    core::StreamingMotifMiner miner(core::MotifOptions{}, 10000);
+    size_t observations = 0;
+    for (size_t g = 0; g < actives.size(); ++g) {
+      const auto& active = actives[g];
+      const int id = static_cast<int>(g);
+      for (int64_t m = active.start_minute(); m < active.EndMinute(); ++m) {
+        const auto completed = assembler.Ingest(
+            id, m, active[static_cast<size_t>(m - active.start_minute())]);
+        ++observations;
+        if (!completed.ok()) continue;
+        for (const auto& w : *completed) (void)miner.AddWindow(id, w);
+      }
+    }
+    for (auto& [id, w] : assembler.Flush()) (void)miner.AddWindow(id, w);
+    return observations;
+  });
+
+  for (const auto& entry : bench.entries()) entries->push_back(entry);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_pipeline.json";
+  std::string sizes_csv = "small,medium,large";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--pipeline_json=", 0) == 0) {
+      json_path = arg.substr(std::string("--pipeline_json=").size());
+    } else if (arg.rfind("--sizes=", 0) == 0) {
+      sizes_csv = arg.substr(std::string("--sizes=").size());
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> wanted = StrSplit(sizes_csv, ',');
+  std::vector<std::string> entries;
+  std::vector<std::string> size_names;
+  const auto start = Clock::now();
+  for (const SizeSpec& spec : kSizes) {
+    bool selected = false;
+    for (const auto& w : wanted) selected = selected || w == spec.name;
+    if (!selected) continue;
+    size_names.push_back(StrFormat("\"%s\"", spec.name));
+    RunSize(spec, &entries);
+  }
+  if (entries.empty()) {
+    std::cerr << "no sizes selected from --sizes=" << sizes_csv << "\n";
+    return 2;
+  }
+
+  bench::JsonWriter json;
+  json.Set("schema", "homets.bench_pipeline")
+      .Set("schema_version", kSchemaVersion)
+      .Set("scenario", "full_pipeline")
+      .Set("hardware_threads", bench::HardwareThreads())
+      .SetRaw("sizes", bench::JsonWriter::Array(size_names))
+      .Set("total_seconds", SecondsSince(start))
+      .SetRaw("entries", bench::JsonWriter::Array(entries));
+
+  std::ofstream out(json_path);
+  out << json.Dump();
+  if (!out) {
+    std::cerr << "write failed: " << json_path << "\n";
+    return 1;
+  }
+  std::cout << entries.size() << " pipeline entries -> " << json_path
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,284 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace homets {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  // Last duplicate wins, so search back to front.
+  for (auto it = object_.rbegin(); it != object_.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_value() : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value()
+                                        : std::move(fallback);
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a byte cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    HOMETS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("%s at byte %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    Result<JsonValue> value = [&]() -> Result<JsonValue> {
+      switch (text_[pos_]) {
+        case '{':
+          return ParseObject();
+        case '[':
+          return ParseArray();
+        case '"':
+          return ParseString();
+        case 't':
+          if (ConsumeWord("true")) return JsonValue::MakeBool(true);
+          return Error("invalid literal");
+        case 'f':
+          if (ConsumeWord("false")) return JsonValue::MakeBool(false);
+          return Error("invalid literal");
+        case 'n':
+          if (ConsumeWord("null")) return JsonValue::MakeNull();
+          return Error("invalid literal");
+        default:
+          return ParseNumber();
+      }
+    }();
+    --depth_;
+    return value;
+  }
+
+  Result<JsonValue> ParseObject() {
+    Consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      HOMETS_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      HOMETS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      members.emplace_back(key.string_value(), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    Consume('[');
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+    for (;;) {
+      HOMETS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return JsonValue::MakeString(std::move(out));
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are not needed
+          // by any artifact this repo writes, so they decode as two chars.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    return JsonValue::MakeNumber(value);
+  }
+
+  static constexpr int kMaxDepth = 128;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  auto parsed = ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace homets

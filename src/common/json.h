@@ -1,0 +1,77 @@
+#ifndef HOMETS_COMMON_JSON_H_
+#define HOMETS_COMMON_JSON_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets {
+
+/// \brief A parsed JSON document node.
+///
+/// Minimal recursive value type for reading the machine-readable artifacts
+/// this repo emits (BENCH_*.json, --metrics-out files). Numbers are kept as
+/// double — the artifacts only carry measurements, never 64-bit identifiers
+/// that would lose precision. Object keys keep insertion order and duplicate
+/// keys keep the last value, mirroring common JSON-library behavior.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience accessors with fallback, for tolerant artifact readers.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// \brief Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). InvalidArgument errors carry the byte
+/// offset of the first offending character.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// \brief Reads and parses `path`; IoError when unreadable.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace homets
+
+#endif  // HOMETS_COMMON_JSON_H_

@@ -4,6 +4,8 @@
 
 #include "common/strings.h"
 #include "core/similarity.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace homets::core {
 
@@ -51,6 +53,12 @@ ts::TimeSeries WindowAssembler::EmitWindow(GatewayState* state) const {
 Result<std::vector<ts::TimeSeries>> WindowAssembler::Ingest(int gateway_id,
                                                             int64_t minute,
                                                             double value) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const observations =
+      registry.GetCounter(obs::kStreamingObservationsIngested);
+  static obs::Counter* const assembled =
+      registry.GetCounter(obs::kStreamingWindowsAssembled);
+  observations->Increment();
   GatewayState& state = gateways_[gateway_id];
   std::vector<ts::TimeSeries> completed;
   if (!state.started) {
@@ -67,6 +75,7 @@ Result<std::vector<ts::TimeSeries>> WindowAssembler::Ingest(int gateway_id,
     completed.push_back(EmitWindow(&state));
     ResetWindow(&state, state.window_start + window_minutes_);
   }
+  assembled->Increment(completed.size());
   if (!ts::TimeSeries::IsMissing(value)) {
     const size_t bin = static_cast<size_t>(
         (minute - state.window_start) / granularity_minutes_);
@@ -77,6 +86,9 @@ Result<std::vector<ts::TimeSeries>> WindowAssembler::Ingest(int gateway_id,
 }
 
 std::vector<std::pair<int, ts::TimeSeries>> WindowAssembler::Flush() {
+  static obs::Counter* const assembled =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::kStreamingWindowsAssembled);
   std::vector<std::pair<int, ts::TimeSeries>> out;
   for (auto& [gateway_id, state] : gateways_) {
     if (!state.started) continue;
@@ -85,6 +97,7 @@ std::vector<std::pair<int, ts::TimeSeries>> WindowAssembler::Flush() {
     if (any) out.emplace_back(gateway_id, EmitWindow(&state));
     state.started = false;
   }
+  assembled->Increment(out.size());
   return out;
 }
 
@@ -197,6 +210,10 @@ void StreamingMotifMiner::TryMerge() {
           if (!all_high) break;
         }
         if (all_high) {
+          static obs::Counter* const merges =
+              obs::MetricsRegistry::Global().GetCounter(
+                  obs::kStreamingMotifsMerged);
+          merges->Increment();
           // Keep the older id: stable identities across the stream.
           if (motifs_[b].id < motifs_[a].id) {
             std::swap(motifs_[a].id, motifs_[b].id);
@@ -214,9 +231,13 @@ void StreamingMotifMiner::TryMerge() {
 }
 
 void StreamingMotifMiner::Evict() {
+  static obs::Counter* const evictions =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::kStreamingWindowsEvicted);
   while (retained_.size() > horizon_windows_) {
     const size_t evicted = retained_.front().index;
     retained_.pop_front();
+    evictions->Increment();
     for (auto& motif : motifs_) {
       motif.members.erase(
           std::remove(motif.members.begin(), motif.members.end(), evicted),

@@ -1,0 +1,122 @@
+#include "obs/flusher.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/metric_names.h"
+
+namespace homets::obs {
+
+MetricsFlusher::MetricsFlusher(MetricsFlusherOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+  flushes_ = options_.registry->GetCounter(kObsFlushes);
+  flush_errors_ = options_.registry->GetCounter(kObsFlushErrors);
+  write_us_ = options_.registry->GetHistogram(kObsFlushWriteUs);
+}
+
+MetricsFlusher::~MetricsFlusher() { Stop(); }
+
+Status MetricsFlusher::Start() {
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("MetricsFlusher: path is required");
+  }
+  if (!(options_.interval_sec > 0.0)) {
+    return Status::InvalidArgument(
+        "MetricsFlusher: interval_sec must be > 0");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("MetricsFlusher already started");
+    }
+    running_ = true;
+    stop_requested_ = false;
+  }
+  if (options_.truncate) {
+    std::ofstream clear(options_.path, std::ios::trunc);
+    if (!clear) {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ = false;
+      return Status::IoError("cannot open for write: " + options_.path);
+    }
+  }
+  // First flush is synchronous so a misconfigured path fails Start() itself
+  // rather than a background thread nobody checks.
+  const Status first = FlushNow();
+  if (!first.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    return first;
+  }
+  thread_ = std::thread(&MetricsFlusher::Loop, this);
+  return Status::OK();
+}
+
+Status MetricsFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::OK();
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  const Status final_flush = FlushNow();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  return final_flush;
+}
+
+Status MetricsFlusher::FlushNow() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  // Count the attempt before exporting so the written block already carries
+  // the up-to-date homets.obs.flushes value.
+  flushes_->Increment();
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto start = std::chrono::steady_clock::now();
+  std::ofstream out(options_.path, std::ios::app);
+  if (out) {
+    char header[96];
+    std::snprintf(header, sizeof(header),
+                  "# HOMETS flush seq=%llu interval_sec=%g\n",
+                  static_cast<unsigned long long>(seq),
+                  options_.interval_sec);
+    out << header << options_.registry->ExportPrometheus() << "\n";
+    out.flush();
+  }
+  const double us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  write_us_->Observe(us);
+  if (!out) {
+    flush_errors_->Increment();
+    return Status::IoError("metrics flush failed: " + options_.path);
+  }
+  return Status::OK();
+}
+
+uint64_t MetricsFlusher::flush_count() const {
+  return seq_.load(std::memory_order_relaxed);
+}
+
+void MetricsFlusher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval =
+      std::chrono::duration<double>(options_.interval_sec);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;  // Stop() flushes one final time after the join
+    }
+    lock.unlock();
+    const Status status = FlushNow();  // errors are already metered
+    (void)status;
+    lock.lock();
+  }
+}
+
+}  // namespace homets::obs

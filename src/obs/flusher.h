@@ -1,0 +1,85 @@
+#ifndef HOMETS_OBS_FLUSHER_H_
+#define HOMETS_OBS_FLUSHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+// common/status.h is header-only for everything used here (construction,
+// ok(), message()), so this keeps homets_obs free of link dependencies even
+// though obs sits below homets_common in the layering.
+#include "common/status.h"
+#include "obs/metrics.h"
+
+// Periodic background exposition of a MetricsRegistry, so multi-hour runs
+// (the streaming mode) are observable in flight instead of only at exit.
+namespace homets::obs {
+
+/// \brief Options for MetricsFlusher.
+struct MetricsFlusherOptions {
+  /// Output file. Flushes append: each flush is a standalone Prometheus
+  /// text block preceded by a `# HOMETS flush seq=<n>` comment line, the
+  /// shape a textfile-collector sidecar or a test can split on.
+  std::string path;
+  /// Seconds between periodic flushes; must be > 0.
+  double interval_sec = 60.0;
+  /// Registry to expose; nullptr means MetricsRegistry::Global().
+  MetricsRegistry* registry = nullptr;
+  /// Truncate `path` on Start instead of appending to it.
+  bool truncate = false;
+};
+
+/// \brief Interval-driven background thread writing ExportPrometheus blocks.
+///
+/// Start() truncates/opens the file, performs one immediate flush, and
+/// spawns the timer thread; Stop() (or the destructor) wakes the thread,
+/// joins it, and performs one final flush — so even a run shorter than the
+/// interval produces two observable flushes (start + stop). Flush activity
+/// is itself metered (kObsFlushes/kObsFlushErrors/kObsFlushWriteUs) in the
+/// exposed registry, so the exposition reports its own health.
+class MetricsFlusher {
+ public:
+  explicit MetricsFlusher(MetricsFlusherOptions options);
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Validates options, writes the first flush, starts the thread.
+  /// InvalidArgument on a bad interval/path; IoError when the first write
+  /// fails. Calling Start twice is FailedPrecondition.
+  Status Start();
+
+  /// Final flush + clean shutdown. Idempotent; returns the status of the
+  /// final flush. A flusher that never started stops trivially.
+  Status Stop();
+
+  /// Flushes the registry to the file right now (also used internally).
+  Status FlushNow();
+
+  /// Number of completed flush attempts (successful or not) so far.
+  uint64_t flush_count() const;
+
+ private:
+  void Loop();
+
+  MetricsFlusherOptions options_;
+  Counter* flushes_;        ///< kObsFlushes in the exposed registry
+  Counter* flush_errors_;   ///< kObsFlushErrors
+  Histogram* write_us_;     ///< kObsFlushWriteUs
+
+  std::mutex mu_;  ///< guards running_/stop_requested_, cv_'s wait state
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::mutex flush_mu_;  ///< serializes file writes
+  std::atomic<uint64_t> seq_{0};  ///< completed flush attempts
+};
+
+}  // namespace homets::obs
+
+#endif  // HOMETS_OBS_FLUSHER_H_

@@ -71,6 +71,23 @@ inline constexpr std::string_view kBackgroundTauCapped =
 inline constexpr std::string_view kBackgroundValuesZeroed =
     "homets.background.values_zeroed";
 
+// core/streaming — window assembly and online motif maintenance.
+inline constexpr std::string_view kStreamingObservationsIngested =
+    "homets.streaming.observations_ingested";
+inline constexpr std::string_view kStreamingWindowsAssembled =
+    "homets.streaming.windows_assembled";
+inline constexpr std::string_view kStreamingWindowsEvicted =
+    "homets.streaming.windows_evicted";
+inline constexpr std::string_view kStreamingMotifsMerged =
+    "homets.streaming.motifs_merged";
+
+// obs/flusher — periodic Prometheus exposition metering itself.
+inline constexpr std::string_view kObsFlushes = "homets.obs.flushes";
+inline constexpr std::string_view kObsFlushErrors =
+    "homets.obs.flush_errors";
+inline constexpr std::string_view kObsFlushWriteUs =
+    "homets.obs.flush_write_us";
+
 // io/csv — trace ingestion.
 inline constexpr std::string_view kIoRowsParsed = "homets.io.rows_parsed";
 inline constexpr std::string_view kIoRowsSkipped = "homets.io.rows_skipped";

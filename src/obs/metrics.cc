@@ -223,6 +223,56 @@ std::string MetricsRegistry::ExportJson() const {
   return out;
 }
 
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:] and must not start with a
+// digit; our `homets.<layer>.<name>` scheme mangles cleanly by replacing
+// every other character with '_'. Colons are reserved for recording rules,
+// so they are not emitted here.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + FormatU64(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatI64(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      const std::string le =
+          b < h.bounds.size() ? FormatDouble(h.bounds[b]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " + FormatU64(cumulative) +
+             "\n";
+    }
+    out += prom + "_sum " + FormatDouble(h.sum) + "\n";
+    out += prom + "_count " + FormatU64(h.count) + "\n";
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();

@@ -126,6 +126,13 @@ class MetricsRegistry {
   /// One `name value` (or `name count=… sum=…` for histograms) line per
   /// metric, sorted by name.
   std::string ExportText() const;
+  /// Prometheus text exposition format (version 0.0.4): metric names are
+  /// mangled to [a-zA-Z0-9_] (dots become underscores), each metric gets a
+  /// `# TYPE` line, and histograms expand to cumulative `_bucket{le="…"}`
+  /// series plus `_sum` and `_count`, ending with the mandatory
+  /// `le="+Inf"` bucket. Suitable for a node-exporter-style textfile
+  /// collector or an HTTP /metrics endpoint.
+  std::string ExportPrometheus() const;
   /// Flat JSON object: counters and gauges as numbers, histograms as
   /// {"count", "sum", "buckets": [{"le", "count"}, …]} objects.
   std::string ExportJson() const;

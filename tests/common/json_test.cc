@@ -1,0 +1,90 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace homets {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2")->number_value(), -350.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto v = ParseJson(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->string_value(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  const auto v = ParseJson(
+      R"({"schema_version": 1, "entries": [{"stage": "ingest", "seconds": 0.25},
+          {"stage": "pairwise", "seconds": 1.5}], "ok": true})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(v->NumberOr("schema_version", 0), 1.0);
+  const JsonValue* entries = v->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_TRUE(entries->is_array());
+  ASSERT_EQ(entries->array_items().size(), 2u);
+  EXPECT_EQ(entries->array_items()[0].StringOr("stage", ""), "ingest");
+  EXPECT_DOUBLE_EQ(entries->array_items()[1].NumberOr("seconds", 0), 1.5);
+  EXPECT_TRUE(v->Find("ok")->bool_value());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, ObjectKeepsInsertionOrderAndLastDuplicate) {
+  const auto v = ParseJson(R"({"b": 1, "a": 2, "b": 3})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->object_items().size(), 3u);
+  EXPECT_EQ(v->object_items()[0].first, "b");
+  EXPECT_DOUBLE_EQ(v->NumberOr("b", 0), 3.0);  // last duplicate wins
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(ParseJson("nan").ok());
+}
+
+TEST(JsonParseTest, ErrorCarriesByteOffset) {
+  const auto v = ParseJson("[1, }");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("byte 4"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonParseTest, DeepNestingIsRejectedNotCrashing) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonFileTest, ReadsFileAndReportsMissing) {
+  const std::string path =
+      testing::TempDir() + "/homets_json_test_artifact.json";
+  {
+    std::ofstream out(path);
+    out << "{\"seconds\": 2.5}";
+  }
+  const auto v = ReadJsonFile(path);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(v->NumberOr("seconds", 0), 2.5);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadJsonFile(path).ok());
+}
+
+}  // namespace
+}  // namespace homets

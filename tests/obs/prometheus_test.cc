@@ -1,0 +1,116 @@
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace homets::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) out.push_back(line);
+  return out;
+}
+
+bool HasLine(const std::string& text, const std::string& wanted) {
+  for (const auto& line : Lines(text)) {
+    if (line == wanted) return true;
+  }
+  return false;
+}
+
+TEST(PrometheusExportTest, ManglesDottedNamesToUnderscores) {
+  MetricsRegistry registry;
+  registry.GetCounter("homets.engine.pairs_computed")->Increment(3);
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_TRUE(HasLine(text, "# TYPE homets_engine_pairs_computed counter"))
+      << text;
+  EXPECT_TRUE(HasLine(text, "homets_engine_pairs_computed 3")) << text;
+  // The dotted spelling must not leak into the exposition.
+  EXPECT_EQ(text.find("homets.engine"), std::string::npos) << text;
+}
+
+TEST(PrometheusExportTest, GaugesKeepSignedValues) {
+  MetricsRegistry registry;
+  registry.GetGauge("homets.threadpool.queue_depth")->Set(-2);
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_TRUE(HasLine(text, "# TYPE homets_threadpool_queue_depth gauge"))
+      << text;
+  EXPECT_TRUE(HasLine(text, "homets_threadpool_queue_depth -2")) << text;
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("homets.io.read_us", {1.0, 10.0, 100.0});
+  for (const double v : {0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0}) {
+    h->Observe(v);
+  }
+  const std::string text = registry.ExportPrometheus();
+
+  EXPECT_TRUE(HasLine(text, "# TYPE homets_io_read_us histogram")) << text;
+  // Per-bound counts are 2/2/2/1 (inclusive upper bounds); the exposition
+  // must present them cumulatively, closing with the mandatory +Inf bucket
+  // that equals _count.
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"1\"} 2")) << text;
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"10\"} 4")) << text;
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"100\"} 6"))
+      << text;
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"+Inf\"} 7"))
+      << text;
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_count 7")) << text;
+
+  // _sum carries the exact total of the observations.
+  bool found_sum = false;
+  for (const auto& line : Lines(text)) {
+    if (line.rfind("homets_io_read_us_sum ", 0) == 0) {
+      found_sum = true;
+      EXPECT_DOUBLE_EQ(std::stod(line.substr(line.find(' ') + 1)), 1166.5);
+    }
+  }
+  EXPECT_TRUE(found_sum) << text;
+}
+
+TEST(PrometheusExportTest, ParsedBucketsSumToCount) {
+  // Generic exposition-consumer check: for every histogram, the +Inf bucket,
+  // the _count sample, and the last cumulative bucket must agree.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("homets.obs.flush_write_us");
+  for (int i = 0; i < 257; ++i) h->Observe(static_cast<double>(i * i));
+  const std::string text = registry.ExportPrometheus();
+
+  uint64_t inf_bucket = 0;
+  uint64_t count = 0;
+  for (const auto& line : Lines(text)) {
+    if (line.rfind("homets_obs_flush_write_us_bucket{le=\"+Inf\"} ", 0) == 0) {
+      inf_bucket = std::stoull(line.substr(line.find("} ") + 2));
+    } else if (line.rfind("homets_obs_flush_write_us_count ", 0) == 0) {
+      count = std::stoull(line.substr(line.find(' ') + 1));
+    }
+  }
+  EXPECT_EQ(inf_bucket, 257u);
+  EXPECT_EQ(count, 257u);
+}
+
+TEST(PrometheusExportTest, LeadingDigitNamesGetUnderscorePrefix) {
+  // Prometheus metric names must not start with a digit; the mangler
+  // prefixes an underscore rather than emitting an invalid name.
+  MetricsRegistry registry;
+  registry.GetCounter("9lives")->Increment();
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_TRUE(HasLine(text, "_9lives 1")) << text;
+}
+
+TEST(PrometheusExportTest, EmptyRegistryExportsNothing) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ExportPrometheus(), "");
+}
+
+}  // namespace
+}  // namespace homets::obs

@@ -1,0 +1,178 @@
+// bench_compare: diff two BENCH_pipeline.json artifacts and fail on
+// regressions.
+//
+//   bench_compare BASELINE CANDIDATE [--threshold-pct 10] [--field seconds]
+//
+// Entries are matched by (stage, size). A candidate entry whose `--field`
+// value exceeds the baseline by more than `--threshold-pct` percent is a
+// regression; so is a (stage, size) pair that disappeared from the candidate
+// (coverage loss is a regression too). New candidate entries are reported
+// but never fail the diff. Files with different schema/schema_version are
+// refused outright — a schema bump means the fields are not comparable.
+//
+// Exit codes: 0 no regressions, 1 at least one regression, 2 usage or
+// artifact error. This is the binary behind the opt-in `bench-gate` ctest
+// (see tools/bench_gate.sh).
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace homets {
+namespace {
+
+struct BenchDoc {
+  std::string schema;
+  double schema_version = 0;
+  // (stage, size) -> the entry's object node, in file order.
+  std::vector<std::pair<std::pair<std::string, std::string>, const JsonValue*>>
+      entries;
+};
+
+Result<BenchDoc> LoadDoc(const std::string& path, const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: top level is not a JSON object", path.c_str()));
+  }
+  BenchDoc doc;
+  doc.schema = root.StringOr("schema", "");
+  doc.schema_version = root.NumberOr("schema_version", 0);
+  const JsonValue* entries = root.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: missing \"entries\" array", path.c_str()));
+  }
+  for (const JsonValue& entry : entries->array_items()) {
+    const std::string stage = entry.StringOr("stage", "");
+    const std::string size = entry.StringOr("size", "");
+    if (stage.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: entry without a \"stage\" name", path.c_str()));
+    }
+    doc.entries.push_back({{stage, size}, &entry});
+  }
+  return doc;
+}
+
+int Run(const ParsedArgs& args) {
+  const std::string& baseline_path = args.positional[0];
+  const std::string& candidate_path = args.positional[1];
+  const std::string field = args.GetString("field", "seconds");
+  double threshold_pct = 10.0;
+  if (args.Has("threshold-pct")) {
+    char* end = nullptr;
+    const std::string raw = args.GetString("threshold-pct");
+    threshold_pct = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0' || threshold_pct < 0) {
+      std::fprintf(stderr, "bench_compare: bad --threshold-pct %s\n",
+                   raw.c_str());
+      return 2;
+    }
+  }
+
+  BenchDoc docs[2];
+  JsonValue roots[2];  // keeps the nodes docs[i].entries point into alive
+  const std::string* paths[2] = {&baseline_path, &candidate_path};
+  for (int i = 0; i < 2; ++i) {
+    auto parsed = ReadJsonFile(*paths[i]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_compare: %s\n",
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    roots[i] = std::move(parsed).value();
+    auto doc = LoadDoc(*paths[i], roots[i]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "bench_compare: %s\n",
+                   doc.status().message().c_str());
+      return 2;
+    }
+    docs[i] = std::move(doc).value();
+  }
+  if (docs[0].schema != docs[1].schema ||
+      docs[0].schema_version != docs[1].schema_version) {
+    std::fprintf(stderr,
+                 "bench_compare: schema mismatch (%s v%g vs %s v%g); "
+                 "refusing to diff across schema versions\n",
+                 docs[0].schema.c_str(), docs[0].schema_version,
+                 docs[1].schema.c_str(), docs[1].schema_version);
+    return 2;
+  }
+
+  std::map<std::pair<std::string, std::string>, const JsonValue*> candidate;
+  for (const auto& [key, entry] : docs[1].entries) candidate[key] = entry;
+
+  std::printf("comparing %s (baseline) vs %s (candidate), field %s, "
+              "threshold %.1f%%\n",
+              baseline_path.c_str(), candidate_path.c_str(), field.c_str(),
+              threshold_pct);
+  int regressions = 0;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& [key, base_entry] : docs[0].entries) {
+    seen.insert(key);
+    const std::string label =
+        key.second.empty() ? key.first : key.second + "/" + key.first;
+    const auto it = candidate.find(key);
+    if (it == candidate.end()) {
+      std::printf("  %-32s REGRESSION: missing from candidate\n",
+                  label.c_str());
+      ++regressions;
+      continue;
+    }
+    const JsonValue* base_field = base_entry->Find(field);
+    const JsonValue* cand_field = it->second->Find(field);
+    if (base_field == nullptr || !base_field->is_number() ||
+        cand_field == nullptr || !cand_field->is_number()) {
+      std::fprintf(stderr, "bench_compare: %s: field \"%s\" missing or "
+                   "non-numeric\n", label.c_str(), field.c_str());
+      return 2;
+    }
+    const double base = base_field->number_value();
+    const double cand = cand_field->number_value();
+    const double delta_pct = base > 0 ? (cand - base) / base * 100.0 : 0.0;
+    const bool regressed = delta_pct > threshold_pct;
+    if (regressed) ++regressions;
+    std::printf("  %-32s %12.6g -> %12.6g  %+7.1f%%  %s\n", label.c_str(),
+                base, cand, delta_pct,
+                regressed          ? "REGRESSION"
+                : delta_pct < -threshold_pct ? "improved"
+                                             : "ok");
+  }
+  for (const auto& [key, entry] : docs[1].entries) {
+    (void)entry;
+    if (seen.count(key)) continue;
+    const std::string label =
+        key.second.empty() ? key.first : key.second + "/" + key.first;
+    std::printf("  %-32s new in candidate (not compared)\n", label.c_str());
+  }
+  std::printf("%d regression(s) across %zu baseline entries\n", regressions,
+              docs[0].entries.size());
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace homets
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  auto parsed = homets::ParseFlags(raw, {"threshold-pct", "field"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  if (parsed.value().positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE CANDIDATE "
+                 "[--threshold-pct PCT] [--field NAME]\n");
+    return 2;
+  }
+  return homets::Run(parsed.value());
+}

@@ -1,0 +1,99 @@
+#!/bin/sh
+# Contract test for bench_compare, registered as the `bench_compare` ctest:
+#   1. Self-compare of the committed BENCH_pipeline.json baseline passes.
+#   2. A synthetic >=20% slowdown on one stage is flagged and exits nonzero.
+#   3. A schema_version bump is refused (exit 2), not silently diffed.
+#   4. Missing-entry coverage loss is a regression.
+#
+# Usage: bench_compare_test.sh /path/to/bench_compare /path/to/repo_root
+set -eu
+
+cmp_bin="${1:?usage: bench_compare_test.sh /path/to/bench_compare repo_root}"
+repo="${2:?usage: bench_compare_test.sh /path/to/bench_compare repo_root}"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+fail=0
+
+check() {
+    desc="$1"
+    shift
+    if "$@"; then
+        echo "ok: $desc"
+    else
+        echo "FAIL: $desc" >&2
+        fail=1
+    fi
+}
+
+baseline="$repo/BENCH_pipeline.json"
+check "committed baseline exists" test -s "$baseline"
+
+rc=0
+"$cmp_bin" "$baseline" "$baseline" >"$workdir/self.log" 2>&1 || rc=$?
+check "self-compare of committed baseline passes" test "$rc" -eq 0
+check "self-compare reports zero regressions" \
+    grep -q '^0 regression' "$workdir/self.log"
+
+# Synthetic pair: candidate's pairwise stage is 30% slower (past the default
+# 10% threshold and the acceptance bar of 20%).
+cat >"$workdir/base.json" <<'EOF'
+{
+  "schema": "homets.bench_pipeline",
+  "schema_version": 1,
+  "entries": [
+    {"stage": "pairwise", "size": "small", "seconds": 1.0},
+    {"stage": "motif_mining", "size": "small", "seconds": 2.0}
+  ]
+}
+EOF
+cat >"$workdir/slow.json" <<'EOF'
+{
+  "schema": "homets.bench_pipeline",
+  "schema_version": 1,
+  "entries": [
+    {"stage": "pairwise", "size": "small", "seconds": 1.3},
+    {"stage": "motif_mining", "size": "small", "seconds": 2.0}
+  ]
+}
+EOF
+rc=0
+"$cmp_bin" "$workdir/base.json" "$workdir/slow.json" \
+    >"$workdir/slow.log" 2>&1 || rc=$?
+check "30% slowdown exits nonzero" test "$rc" -eq 1
+check "slowdown names the stage" \
+    grep -q 'small/pairwise.*REGRESSION' "$workdir/slow.log"
+
+# The same slowdown passes under a 50% threshold (noise floor is tunable).
+rc=0
+"$cmp_bin" "$workdir/base.json" "$workdir/slow.json" --threshold-pct 50 \
+    >"$workdir/loose.log" 2>&1 || rc=$?
+check "30% slowdown passes a 50% threshold" test "$rc" -eq 0
+
+# Cross-schema diffs are refused, not attempted.
+sed 's/"schema_version": 1/"schema_version": 2/' "$workdir/base.json" \
+    >"$workdir/v2.json"
+rc=0
+"$cmp_bin" "$workdir/base.json" "$workdir/v2.json" \
+    >"$workdir/schema.log" 2>&1 || rc=$?
+check "schema_version mismatch exits 2" test "$rc" -eq 2
+check "schema mismatch is diagnosed" \
+    grep -q 'schema mismatch' "$workdir/schema.log"
+
+# Dropping a stage from the candidate is a coverage regression.
+cat >"$workdir/missing.json" <<'EOF'
+{
+  "schema": "homets.bench_pipeline",
+  "schema_version": 1,
+  "entries": [
+    {"stage": "pairwise", "size": "small", "seconds": 1.0}
+  ]
+}
+EOF
+rc=0
+"$cmp_bin" "$workdir/base.json" "$workdir/missing.json" \
+    >"$workdir/missing.log" 2>&1 || rc=$?
+check "missing stage exits nonzero" test "$rc" -eq 1
+check "missing stage is diagnosed" \
+    grep -q 'missing from candidate' "$workdir/missing.log"
+
+exit "$fail"

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Opt-in performance regression gate (`ctest -L bench-gate`, registered only
+# when the build is configured with -DHOMETS_BENCH_GATE=ON): re-runs the
+# full-pipeline bench at every size the committed BENCH_pipeline.json
+# baseline covers and diffs the two artifacts.
+#
+# The default threshold is deliberately loose (75%) because the gate runs on
+# whatever machine configured the build, not the machine that produced the
+# baseline; tighten it with HOMETS_BENCH_GATE_THRESHOLD_PCT on dedicated
+# perf hardware.
+#
+# Usage: bench_gate.sh /path/to/perf_pipeline /path/to/bench_compare repo_root
+set -eu
+
+pipeline="${1:?usage: bench_gate.sh perf_pipeline bench_compare repo_root}"
+cmp_bin="${2:?usage: bench_gate.sh perf_pipeline bench_compare repo_root}"
+repo="${3:?usage: bench_gate.sh perf_pipeline bench_compare repo_root}"
+threshold="${HOMETS_BENCH_GATE_THRESHOLD_PCT:-75}"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$pipeline" --pipeline_json="$workdir/candidate.json"
+"$cmp_bin" "$repo/BENCH_pipeline.json" "$workdir/candidate.json" \
+    --threshold-pct "$threshold"

@@ -7,7 +7,10 @@
 #   3. instrumentation sites register metrics only through the constants —
 #      a raw "homets.…" literal next to GetCounter/GetGauge/GetHistogram
 #      anywhere outside metric_names.h fails (tests/ are exempt: they
-#      exercise private registries with throwaway names).
+#      exercise private registries with throwaway names),
+#   4. no constant is dead — every k* identifier declared in metric_names.h
+#      must be referenced by at least one .cc/.h outside the header, so
+#      renamed-away or never-wired names cannot linger in the registry.
 #
 # Usage: check_metrics_names.sh [REPO_ROOT]
 set -eu
@@ -63,6 +66,25 @@ if [ -n "$raw" ]; then
     printf '%s\n' "$raw" >&2
     fail=1
 fi
+
+# Dead-constant check: a metric name nobody registers is a lie in the
+# catalog. Tests count as references — a name may be exercised only by its
+# unit test before the instrumented code lands in a later change.
+constants=$(grep -v '^[[:space:]]*//' "$names_header" |
+    sed -n 's/.*constexpr std::string_view \(k[A-Za-z0-9_]*\).*/\1/p')
+if [ -z "$constants" ]; then
+    echo "FAIL: no k* constants parsed from $names_header" >&2
+    exit 1
+fi
+for constant in $constants; do
+    if ! grep -rqw "$constant" \
+        "$root/src" "$root/tools" "$root/bench" "$root/tests" \
+        --include='*.cc' --include='*.h' \
+        --exclude='metric_names.h'; then
+        echo "FAIL: $constant is declared in metric_names.h but referenced nowhere" >&2
+        fail=1
+    fi
+done
 
 if [ "$fail" -ne 0 ]; then
     exit 1

@@ -69,4 +69,28 @@ check "background values zeroed" nonzero homets.background.values_zeroed
 check "io rows parsed" nonzero homets.io.rows_parsed
 check "motif windows mined" nonzero homets.motif.windows_mined
 
+# --- stream subcommand + periodic metrics flushing ------------------------
+"$cli" stream "$workdir"/gateway_*.csv \
+    >"$workdir/stream_plain.out" 2>"$workdir/stream_plain.err"
+check "stream prints a summary" \
+    grep -q 'streamed .* minutes of .* gateways into' "$workdir/stream_plain.out"
+
+rc=0
+"$cli" stream --metrics-flush-interval-sec 1 "$workdir"/gateway_*.csv \
+    >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "flush interval without output file exits 2" test "$rc" -eq 2
+
+"$cli" stream --metrics-flush-out "$workdir/flush.prom" \
+    --metrics-flush-interval-sec 1 "$workdir"/gateway_*.csv \
+    >"$workdir/stream_flush.out" 2>"$workdir/stream_flush.err"
+flushes=$(grep -c '# HOMETS flush seq=' "$workdir/flush.prom" || true)
+check "at least two Prometheus flush blocks" test "$flushes" -ge 2
+check "flush blocks carry streaming counters" \
+    grep -q 'homets_streaming_observations_ingested [1-9]' \
+    "$workdir/flush.prom"
+check "flusher meters itself" \
+    grep -q 'homets_obs_flushes [1-9]' "$workdir/flush.prom"
+check "stdout identical with and without flushing" \
+    cmp -s "$workdir/stream_plain.out" "$workdir/stream_flush.out"
+
 exit "$fail"

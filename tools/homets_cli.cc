@@ -4,12 +4,19 @@
 //   homets_cli generate --out DIR [--gateways N] [--weeks W] [--seed S]
 //   homets_cli profile TRACE.csv
 //   homets_cli motifs [--period daily|weekly] TRACE.csv [TRACE.csv ...]
+//   homets_cli stream [--period daily|weekly] [--horizon N] TRACE.csv [...]
 //
 // Every subcommand also takes the observability flags
 //   --metrics-out FILE   write the end-of-run metrics registry as JSON
 //   --trace-out FILE     record spans and write Chrome trace_event JSON
 //                        (open in about:tracing or https://ui.perfetto.dev)
-// and prints a metrics summary on stderr when the run succeeds.
+//   --metrics-flush-out FILE           append periodic Prometheus-text
+//                                      exposition blocks during the run
+//   --metrics-flush-interval-sec SEC   flush period (default 60); requires
+//                                      --metrics-flush-out
+// and prints a metrics summary on stderr when the run succeeds. The flusher
+// writes only to its own file, so analytical stdout is byte-identical with
+// and without flushing.
 //
 // Flags are strict: unknown --flags and a trailing --flag with no value are
 // usage errors, never positionals. Traces use the WriteGatewayCsv long
@@ -30,8 +37,10 @@
 #include "core/motif.h"
 #include "core/profiling.h"
 #include "core/stationarity.h"
+#include "core/streaming.h"
 #include "io/csv.h"
 #include "io/table.h"
+#include "obs/flusher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simgen/fleet.h"
@@ -47,14 +56,21 @@ int Usage() {
          "[--seed S]\n"
          "  homets_cli profile TRACE.csv\n"
          "  homets_cli motifs [--period daily|weekly] TRACE.csv [...]\n"
+         "  homets_cli stream [--period daily|weekly] [--horizon N] "
+         "TRACE.csv [...]\n"
          "common flags (all subcommands):\n"
          "  --metrics-out FILE   write end-of-run metrics as JSON\n"
-         "  --trace-out FILE     write a Chrome/Perfetto trace of the run\n";
+         "  --trace-out FILE     write a Chrome/Perfetto trace of the run\n"
+         "  --metrics-flush-out FILE          append Prometheus-text "
+         "flushes during the run\n"
+         "  --metrics-flush-interval-sec SEC  flush period (default 60)\n";
   return 2;
 }
 
 // The observability flags every subcommand accepts.
-const std::set<std::string> kObsFlags = {"metrics-out", "trace-out"};
+const std::set<std::string> kObsFlags = {"metrics-out", "trace-out",
+                                         "metrics-flush-out",
+                                         "metrics-flush-interval-sec"};
 
 std::set<std::string> WithObsFlags(std::set<std::string> flags) {
   flags.insert(kObsFlags.begin(), kObsFlags.end());
@@ -224,6 +240,92 @@ int RunMotifs(const ParsedArgs& args) {
   return 0;
 }
 
+// Replays traces observation by observation through WindowAssembler →
+// StreamingMotifMiner — the paper's "integrate into a streaming analytics
+// platform" mode, and the long-running workload the periodic metrics
+// flusher exists for.
+int RunStream(const ParsedArgs& args) {
+  if (args.positional.empty()) {
+    std::cerr << "stream: at least one TRACE.csv expected\n";
+    return 2;
+  }
+  const std::string period = args.GetString("period", "daily");
+  const bool weekly = period == "weekly";
+  if (!weekly && period != "daily") {
+    std::cerr << "stream: --period must be daily or weekly\n";
+    return 2;
+  }
+  int64_t horizon = 0;
+  if (FlagIntOr(args, "horizon", 10000, &horizon) != 0) return 2;
+  if (horizon <= 0) {
+    std::cerr << "stream: --horizon must be positive\n";
+    return 2;
+  }
+  const int64_t granularity = weekly ? 480 : 180;
+  const int64_t anchor = weekly ? 120 : 0;
+  const int64_t window = weekly ? ts::kMinutesPerWeek : ts::kMinutesPerDay;
+
+  obs::ScopedSpan span("cli.stream");
+  auto assembler = core::WindowAssembler::Make(window, granularity, anchor);
+  if (!assembler.ok()) {
+    std::cerr << "stream: " << assembler.status().ToString() << "\n";
+    return 1;
+  }
+  core::StreamingMotifMiner miner(core::MotifOptions{},
+                                  static_cast<size_t>(horizon));
+  size_t minutes = 0, windows_streamed = 0;
+  int next_id = 0;
+  for (const std::string& path : args.positional) {
+    const auto gw = io::ReadGatewayCsv(path);
+    if (!gw.ok()) {
+      std::cerr << "skipping " << path << ": " << gw.status().ToString()
+                << "\n";
+      continue;
+    }
+    const int id = next_id++;
+    const auto active = core::ActiveAggregate(*gw);
+    const auto feed = [&](int64_t minute, double value) {
+      const auto completed = assembler->Ingest(id, minute, value);
+      if (!completed.ok()) return;
+      for (const auto& w : *completed) {
+        if (miner.AddWindow(id, w).ok()) ++windows_streamed;
+      }
+    };
+    for (int64_t m = active.start_minute(); m < active.EndMinute(); ++m) {
+      feed(m, active[static_cast<size_t>(m - active.start_minute())]);
+      ++minutes;
+    }
+    // Close this gateway's final window before moving to the next trace.
+    feed(active.EndMinute(), ts::TimeSeries::Missing());
+  }
+  for (auto& [id, w] : assembler->Flush()) {
+    if (miner.AddWindow(id, w).ok()) ++windows_streamed;
+  }
+  if (windows_streamed == 0) {
+    std::cerr << "stream: no usable windows\n";
+    return 1;
+  }
+
+  const auto motifs = miner.CurrentMotifs();
+  std::cout << "streamed " << minutes << " minutes of " << next_id
+            << " gateways into " << windows_streamed << " " << period
+            << " windows (" << miner.windows_retained() << " retained)\n";
+  std::cout << motifs.size() << " motifs with support >= 2\n";
+  io::TextTable table({"motif", "support", "gateways"});
+  const auto& provenance = miner.provenance();
+  for (size_t m = 0; m < motifs.size() && m < 20; ++m) {
+    std::map<int, bool> gws;
+    for (size_t member : motifs[m].members) {
+      gws[provenance[member].gateway_id] = true;
+    }
+    table.AddRow({StrFormat("%zu", m + 1),
+                  StrFormat("%zu", motifs[m].support()),
+                  StrFormat("%zu", gws.size())});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 // Nonzero counters/gauges plus histogram count/mean — the at-a-glance
 // per-stage funnel for the run.
 void PrintMetricsSummary(std::ostream& out) {
@@ -263,6 +365,8 @@ int main(int argc, char** argv) {
     known_flags = WithObsFlags({});
   } else if (command == "motifs") {
     known_flags = WithObsFlags({"period"});
+  } else if (command == "stream") {
+    known_flags = WithObsFlags({"period", "horizon"});
   } else {
     return Usage();
   }
@@ -280,11 +384,49 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.GetString("trace-out");
   if (!trace_path.empty()) obs::InstallGlobalTraceSession(&session);
 
+  // In-flight exposition: flushes once at start, every interval, and once at
+  // stop, so even short runs leave at least two Prometheus blocks behind.
+  const std::string flush_path = args.GetString("metrics-flush-out");
+  int64_t flush_interval_sec = 0;
+  if (FlagIntOr(args, "metrics-flush-interval-sec", 60,
+                &flush_interval_sec) != 0) {
+    return 2;
+  }
+  if (args.Has("metrics-flush-interval-sec") && flush_path.empty()) {
+    std::cerr << "error: --metrics-flush-interval-sec requires "
+                 "--metrics-flush-out\n";
+    return 2;
+  }
+  if (flush_interval_sec <= 0) {
+    std::cerr << "error: --metrics-flush-interval-sec must be positive\n";
+    return 2;
+  }
+  obs::MetricsFlusherOptions flush_options;
+  flush_options.path = flush_path;
+  flush_options.interval_sec = static_cast<double>(flush_interval_sec);
+  flush_options.truncate = true;
+  obs::MetricsFlusher flusher(flush_options);
+  if (!flush_path.empty()) {
+    const Status started = flusher.Start();
+    if (!started.ok()) {
+      std::cerr << "metrics-flush-out: " << started.ToString() << "\n";
+      return 1;
+    }
+  }
+
   int rc = 1;
   if (command == "generate") rc = RunGenerate(args);
   if (command == "profile") rc = RunProfile(args);
   if (command == "motifs") rc = RunMotifs(args);
+  if (command == "stream") rc = RunStream(args);
 
+  if (!flush_path.empty()) {
+    const Status stopped = flusher.Stop();
+    if (!stopped.ok()) {
+      std::cerr << "metrics-flush-out: " << stopped.ToString() << "\n";
+      if (rc == 0) rc = 1;
+    }
+  }
   obs::InstallGlobalTraceSession(nullptr);
   if (!trace_path.empty() && rc == 0) {
     const Status status = WriteFile(trace_path, session.ToChromeJson());
