@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/background.h"
 #include "core/dominance.h"
 #include "core/stationarity.h"
@@ -25,8 +26,8 @@ namespace homets::core {
 /// SimilarityEngine phases record from worker threads.
 class PhaseTimings : public obs::SpanSink {
  public:
-  void Record(const std::string& phase, uint64_t ns) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Record(const std::string& phase, uint64_t ns) HOMETS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     phases_[phase] += ns;
   }
 
@@ -35,14 +36,14 @@ class PhaseTimings : public obs::SpanSink {
   }
 
   /// Accumulated nanoseconds for `phase` (0 when never recorded).
-  uint64_t TotalNs(const std::string& phase) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t TotalNs(const std::string& phase) const HOMETS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     const auto it = phases_.find(phase);
     return it == phases_.end() ? 0 : it->second;
   }
 
-  std::map<std::string, uint64_t> phases() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> phases() const HOMETS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return phases_;
   }
 
@@ -50,8 +51,8 @@ class PhaseTimings : public obs::SpanSink {
   std::string Report() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> phases_;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> phases_ HOMETS_GUARDED_BY(mu_);
 };
 
 /// \brief RAII phase timer: an obs::ScopedSpan that reports into a

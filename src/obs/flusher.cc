@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <utility>
 
 #include "obs/metric_names.h"
@@ -30,7 +31,7 @@ Status MetricsFlusher::Start() {
         "MetricsFlusher: interval_sec must be > 0");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (running_) {
       return Status::FailedPrecondition("MetricsFlusher already started");
     }
@@ -40,7 +41,7 @@ Status MetricsFlusher::Start() {
   if (options_.truncate) {
     std::ofstream clear(options_.path, std::ios::trunc);
     if (!clear) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       running_ = false;
       return Status::IoError("cannot open for write: " + options_.path);
     }
@@ -49,7 +50,7 @@ Status MetricsFlusher::Start() {
   // rather than a background thread nobody checks.
   const Status first = FlushNow();
   if (!first.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     running_ = false;
     return first;
   }
@@ -59,20 +60,20 @@ Status MetricsFlusher::Start() {
 
 Status MetricsFlusher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return Status::OK();
     stop_requested_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   const Status final_flush = FlushNow();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   running_ = false;
   return final_flush;
 }
 
 Status MetricsFlusher::FlushNow() {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(&flush_mu_);
   // Count the attempt before exporting so the written block already carries
   // the up-to-date homets.obs.flushes value.
   flushes_->Increment();
@@ -104,8 +105,11 @@ uint64_t MetricsFlusher::flush_count() const {
   return seq_.load(std::memory_order_relaxed);
 }
 
-void MetricsFlusher::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+// Opted out of thread-safety analysis: the condition-variable wait must go
+// through the native std::mutex handle, which the analysis cannot model.
+// The loop only reads stop_requested_, always under the lock it waits on.
+void MetricsFlusher::Loop() HOMETS_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<std::mutex> lock(mu_.native());
   const auto interval =
       std::chrono::duration<double>(options_.interval_sec);
   while (!stop_requested_) {

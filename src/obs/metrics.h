@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 // Process-wide metrics: named counters, gauges and fixed-bucket histograms.
 //
@@ -22,7 +24,9 @@
 // is a consistent-enough view for telemetry, not a linearization point.
 //
 // This layer sits below homets_common on purpose (common/thread_pool.h is
-// instrumented with it), so it depends on nothing but the standard library.
+// instrumented with it), so it links nothing but the standard library; the
+// only common/ headers it includes (mutex.h, thread_annotations.h) are
+// header-only and standard-library-only themselves.
 namespace homets::obs {
 
 /// \brief Monotonic event count.
@@ -113,15 +117,16 @@ class MetricsRegistry {
 
   /// Returns the counter registered under `name`, creating it on first use.
   /// The pointer is stable for the registry's lifetime.
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) HOMETS_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) HOMETS_EXCLUDES(mu_);
   /// First registration fixes the bucket bounds; later calls with the same
   /// name return the existing histogram regardless of `bounds`. Empty bounds
   /// mean LatencyBucketsUs().
   Histogram* GetHistogram(std::string_view name,
-                          std::vector<double> bounds = {});
+                          std::vector<double> bounds = {})
+      HOMETS_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const HOMETS_EXCLUDES(mu_);
 
   /// One `name value` (or `name count=… sum=…` for histograms) line per
   /// metric, sorted by name.
@@ -138,13 +143,18 @@ class MetricsRegistry {
   std::string ExportJson() const;
 
   /// Zeroes every metric's value. Registered pointers stay valid.
-  void Reset();
+  void Reset() HOMETS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the name maps only — never the metric values, which are atomics
+  /// reached through pointers handed out under the lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HOMETS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HOMETS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      HOMETS_GUARDED_BY(mu_);
 };
 
 }  // namespace homets::obs

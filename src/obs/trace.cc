@@ -33,17 +33,17 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 void TraceSession::Add(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(std::move(event));
 }
 
 size_t TraceSession::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceSession::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_;
 }
 

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 // Structured run tracing: RAII spans collected into a TraceSession that
 // serializes to Chrome trace_event JSON, so a run opens directly in
@@ -37,10 +39,10 @@ class TraceSession {
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
 
-  void Add(TraceEvent event);
+  void Add(TraceEvent event) HOMETS_EXCLUDES(mu_);
 
-  size_t size() const;
-  std::vector<TraceEvent> Events() const;
+  size_t size() const HOMETS_EXCLUDES(mu_);
+  std::vector<TraceEvent> Events() const HOMETS_EXCLUDES(mu_);
 
   /// µs from session start to `t` on the session's steady clock.
   int64_t SinceStartUs(std::chrono::steady_clock::time_point t) const {
@@ -53,8 +55,8 @@ class TraceSession {
 
  private:
   std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ HOMETS_GUARDED_BY(mu_);
 };
 
 /// \brief Installs `session` (not owned) as the process-wide span

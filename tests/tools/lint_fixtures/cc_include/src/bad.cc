@@ -1,0 +1,5 @@
+// Fixture: including an implementation file.
+#include "helper.cc"  // hit
+#include "helper.h"   // headers are fine
+
+int UseHelper() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: suppressed .cc include — zero findings expected.
+#include "helper.cc"  // homets-lint: allow(no-cc-include)
+
+int UseHelperAllowed() { return 1; }

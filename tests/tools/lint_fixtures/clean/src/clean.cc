@@ -1,0 +1,8 @@
+// Fixture: a file with nothing to report; the tool must exit 0 on this tree.
+#include <cstdio>
+
+double Blend(double a, double b) {
+  if (a == 0.0) return b;  // exact-zero guard is allowed
+  std::fprintf(stderr, "blending\n");
+  return 0.5 * (a + b);
+}

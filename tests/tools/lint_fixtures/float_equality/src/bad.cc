@@ -1,0 +1,9 @@
+// Fixture: naked floating-point equality against nonzero literals.
+bool Classify(double similarity, double pvalue) {
+  if (similarity == 0.95) return true;   // hit
+  if (pvalue != 1e-9) return false;      // hit
+  if (0.5 == similarity) return true;    // hit (literal on the left)
+  if (similarity == 0.0) return false;   // exact-zero guard: allowed
+  int exact = 3;
+  return exact == 3;                     // integer compare: allowed
+}

@@ -1,0 +1,7 @@
+// Fixture: the same comparisons, suppressed — zero findings expected.
+bool ClassifyAllowed(double similarity, double pvalue) {
+  if (similarity == 0.95) return true;  // homets-lint: allow(float-equality)
+  // homets-lint: allow(float-equality)
+  if (pvalue != 1e-9) return false;
+  return similarity == 0.0;
+}

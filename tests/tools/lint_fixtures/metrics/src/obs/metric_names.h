@@ -1,0 +1,13 @@
+// Fixture catalog: one conforming name, one malformed name, one duplicate,
+// one dead constant. (This is a fixture file, not the real catalog.)
+#include <string_view>
+
+inline constexpr std::string_view kFixtureGood = "homets.engine.pairs";
+inline constexpr std::string_view kFixtureBadCase =
+    "homets.Engine.PairsDone";  // metric-name-format hit
+inline constexpr std::string_view kFixtureTwoSegments =
+    "homets.only_one_segment";  // metric-name-format hit
+inline constexpr std::string_view kFixtureDupe =
+    "homets.engine.pairs";  // metric-name-duplicate hit
+inline constexpr std::string_view kFixtureDead =
+    "homets.engine.never_registered";  // metric-dead-constant hit

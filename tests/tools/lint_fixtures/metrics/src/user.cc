@@ -1,0 +1,18 @@
+// Fixture: references every catalog constant except kFixtureDead, and one
+// raw-literal registration (metric-raw-literal hit).
+#include "obs/metric_names.h"
+
+struct FakeRegistry {
+  int* GetCounter(std::string_view) { return nullptr; }
+};
+
+int RegisterAll() {
+  FakeRegistry registry;
+  auto* raw = registry.GetCounter("homets.engine.raw_literal");  // hit
+  auto* good = registry.GetCounter(kFixtureGood);
+  auto* bad = registry.GetCounter(kFixtureBadCase);
+  auto* two = registry.GetCounter(kFixtureTwoSegments);
+  auto* dupe = registry.GetCounter(kFixtureDupe);
+  return (raw != nullptr) + (good != nullptr) + (bad != nullptr) +
+         (two != nullptr) + (dupe != nullptr);
+}

@@ -1,0 +1,10 @@
+// Fixture: every statement here must trip no-raw-random.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int NoisySeed() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // two hits: srand + time
+  std::random_device entropy;                        // one hit
+  return rand() + static_cast<int>(entropy());       // one hit (rand)
+}

@@ -1,0 +1,12 @@
+// Fixture: the same violations, each silenced with the suppression comment —
+// this file must produce zero findings.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int NoisySeedAllowed() {
+  // homets-lint: allow(no-raw-random)
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device entropy;  // homets-lint: allow(no-raw-random)
+  return rand() + static_cast<int>(entropy());  // homets-lint: allow(no-raw-random)
+}

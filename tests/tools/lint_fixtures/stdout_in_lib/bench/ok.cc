@@ -1,0 +1,4 @@
+// Fixture: stdout is allowed outside src/ — bench binaries own their output.
+#include <cstdio>
+
+void Emit(int value) { printf("bench result %d\n", value); }

@@ -1,0 +1,12 @@
+// Fixture: stdout writes inside src/ library code.
+#include <cstdio>
+#include <iostream>
+
+void Chatty(int value) {
+  std::cout << "value=" << value << "\n";  // hit
+  printf("value=%d\n", value);             // hit
+  puts("done");                            // hit
+  std::fprintf(stderr, "diagnostics are fine: %d\n", value);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", value);  // snprintf is fine
+}

@@ -1,0 +1,9 @@
+// Fixture: suppressed stdout writes — zero findings expected.
+#include <cstdio>
+#include <iostream>
+
+void ChattyAllowed(int value) {
+  std::cout << value;       // homets-lint: allow(no-stdout-in-lib)
+  printf("%d\n", value);    // homets-lint: allow(no-stdout-in-lib)
+  puts("done");             // homets-lint: allow(no-stdout-in-lib)
+}

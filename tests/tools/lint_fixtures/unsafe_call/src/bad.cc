@@ -1,0 +1,11 @@
+// Fixture: banned unsafe calls.
+#include <cstdio>
+#include <cstring>
+
+void Dangerous(char* out, char* input, int value) {
+  sprintf(out, "%d", value);        // hit
+  char* token = strtok(input, ","); // hit
+  (void)token;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", value);  // bounded: fine
+}

@@ -1,92 +1,35 @@
 #!/bin/sh
 # Lint the metric naming scheme. Registered as the `check_metrics_names`
-# ctest. Checks:
-#   1. every name declared in src/obs/metric_names.h matches
-#      homets.<layer>.<name> with lower_snake_case segments,
-#   2. no name is declared twice,
-#   3. instrumentation sites register metrics only through the constants —
-#      a raw "homets.…" literal next to GetCounter/GetGauge/GetHistogram
-#      anywhere outside metric_names.h fails (tests/ are exempt: they
-#      exercise private registries with throwaway names),
-#   4. no constant is dead — every k* identifier declared in metric_names.h
-#      must be referenced by at least one .cc/.h outside the header, so
-#      renamed-away or never-wired names cannot linger in the registry.
+# ctest. Since PR 4 this is a thin wrapper over homets_lint, which owns the
+# actual checks (metric-name-format, metric-name-duplicate,
+# metric-raw-literal, metric-dead-constant — the same four this script used
+# to implement with grep/sed). The CLI contract is unchanged: pass the repo
+# root (default: the script's parent directory), exit nonzero on any
+# violation.
 #
-# Usage: check_metrics_names.sh [REPO_ROOT]
+# Usage: check_metrics_names.sh [REPO_ROOT] [HOMETS_LINT_BINARY]
+#
+# When the binary is not passed (or not built yet), the script looks in the
+# conventional build trees; if none exists it fails loudly rather than
+# silently passing.
 set -eu
 
 root="${1:-$(dirname "$0")/..}"
-names_header="$root/src/obs/metric_names.h"
-fail=0
+lint="${2:-}"
 
-if [ ! -f "$names_header" ]; then
-    echo "FAIL: $names_header not found" >&2
+if [ -z "$lint" ]; then
+    for candidate in "$root/build/tools/homets_lint" \
+                     "$root/build-werror/tools/homets_lint"; do
+        if [ -x "$candidate" ]; then
+            lint="$candidate"
+            break
+        fi
+    done
+fi
+if [ -z "$lint" ] || [ ! -x "$lint" ]; then
+    echo "FAIL: homets_lint binary not found (build it, or pass it as \$2)" >&2
     exit 1
 fi
 
-names=$(grep -v '^[[:space:]]*//' "$names_header" |
-    sed -n 's/.*"\(homets\.[^"]*\)".*/\1/p')
-if [ -z "$names" ]; then
-    echo "FAIL: no metric names declared in $names_header" >&2
-    exit 1
-fi
-
-for name in $names; do
-    case "$name" in
-        homets.*.*) ;;
-        *)
-            echo "FAIL: '$name' is not homets.<layer>.<name>" >&2
-            fail=1
-            continue
-            ;;
-    esac
-    if ! printf '%s\n' "$name" |
-        grep -Eq '^homets\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$'; then
-        echo "FAIL: '$name' segments must be lower_snake_case" >&2
-        fail=1
-    fi
-done
-
-dupes=$(printf '%s\n' "$names" | sort | uniq -d)
-if [ -n "$dupes" ]; then
-    echo "FAIL: duplicate metric names declared:" >&2
-    printf '%s\n' "$dupes" >&2
-    fail=1
-fi
-
-# Registration sites must go through the constants. Look for a raw string
-# literal starting with "homets. on any Get{Counter,Gauge,Histogram} line in
-# the library and tool sources.
-raw=$(grep -rn 'Get\(Counter\|Gauge\|Histogram\)[^)]*"homets\.' \
-    "$root/src" "$root/tools" "$root/bench" \
-    --include='*.cc' --include='*.h' |
-    grep -v 'src/obs/metric_names\.h' || true)
-if [ -n "$raw" ]; then
-    echo "FAIL: raw metric-name literals (use obs/metric_names.h):" >&2
-    printf '%s\n' "$raw" >&2
-    fail=1
-fi
-
-# Dead-constant check: a metric name nobody registers is a lie in the
-# catalog. Tests count as references — a name may be exercised only by its
-# unit test before the instrumented code lands in a later change.
-constants=$(grep -v '^[[:space:]]*//' "$names_header" |
-    sed -n 's/.*constexpr std::string_view \(k[A-Za-z0-9_]*\).*/\1/p')
-if [ -z "$constants" ]; then
-    echo "FAIL: no k* constants parsed from $names_header" >&2
-    exit 1
-fi
-for constant in $constants; do
-    if ! grep -rqw "$constant" \
-        "$root/src" "$root/tools" "$root/bench" "$root/tests" \
-        --include='*.cc' --include='*.h' \
-        --exclude='metric_names.h'; then
-        echo "FAIL: $constant is declared in metric_names.h but referenced nowhere" >&2
-        fail=1
-    fi
-done
-
-if [ "$fail" -ne 0 ]; then
-    exit 1
-fi
-echo "OK: $(printf '%s\n' "$names" | wc -l | tr -d ' ') metric names conform"
+exec "$lint" --root "$root" \
+    --rules metric-name-format,metric-name-duplicate,metric-raw-literal,metric-dead-constant

@@ -1,0 +1,853 @@
+// homets_lint: project-invariant checker for the homets tree.
+//
+// Enforces the invariants the compiler cannot (see DESIGN.md §7): the
+// engine's determinism contract (no wall-clock or libc randomness outside
+// common/random), floating-point comparison discipline, the CLI's
+// byte-identical stdout contract, include hygiene, a small banned-call list,
+// and the metric-name catalog rules that used to live in
+// check_metrics_names.sh (which now delegates here).
+//
+// Scanning is lexical, not semantic: each file is split into two views —
+// `code` (comments blanked) and `pure` (comments and string/char literals
+// blanked) — and each rule declares which view it matches against, so rule
+// tokens inside strings or commented-out code never fire. Violations print
+//   <file>:<line>: <rule-id>: <message>
+// and the process exits 1 (0 clean, 2 usage/config error). A site can opt
+// out of one rule for one line with the suppression comment
+//   // homets-lint: allow(<rule-id>[, <rule-id>...])
+// either on the offending line or alone on the line directly above it.
+//
+// Usage:
+//   homets_lint [--root DIR] [--config FILE] [--rules id,id,...] [--list-rules]
+//
+// --root defaults to the current directory and must contain the tree to
+// scan; the walker visits src/ bench/ tools/ tests/ and skips build*/ and
+// lint_fixtures/ directories. --config points at a JSON file (default
+// <root>/tools/homets_lint.json when present) whose "allow_paths" object
+// maps rule ids to path substrings that are exempt. --rules restricts the
+// run to a comma-separated subset of rule ids.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace homets::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;  ///< path relative to --root
+  size_t line = 0;   ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Every rule id the tool knows, in reporting order.
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> rules = {
+      "no-raw-random",    "float-equality",       "no-stdout-in-lib",
+      "no-cc-include",    "unsafe-call",          "metric-name-format",
+      "metric-name-duplicate", "metric-raw-literal", "metric-dead-constant",
+  };
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// Source views and suppressions
+// ---------------------------------------------------------------------------
+
+/// One scanned file: raw lines plus the two blanked views and per-line
+/// suppression sets. Blanking replaces characters with spaces so columns and
+/// line numbers stay aligned.
+struct FileViews {
+  std::vector<std::string> code;  ///< comments blanked, strings kept
+  std::vector<std::string> pure;  ///< comments and string/char literals blanked
+  /// line (1-based) -> rule ids allowed on that line
+  std::map<size_t, std::set<std::string>> allowed;
+};
+
+/// Records `// homets-lint: allow(a, b)` for `line`; a comment alone on a
+/// line also covers the next line.
+void ParseSuppression(const std::string& raw, size_t line, bool comment_only,
+                      FileViews* views) {
+  static const std::string kTag = "homets-lint:";
+  const size_t tag = raw.find(kTag);
+  if (tag == std::string::npos) return;
+  const size_t open = raw.find("allow(", tag);
+  if (open == std::string::npos) return;
+  const size_t close = raw.find(')', open);
+  if (close == std::string::npos) return;
+  const std::string inner =
+      raw.substr(open + 6, close - open - 6);
+  for (const std::string& part : StrSplit(inner, ',')) {
+    const std::string rule{StrTrim(part)};
+    if (rule.empty()) continue;
+    views->allowed[line].insert(rule);
+    if (comment_only) views->allowed[line + 1].insert(rule);
+  }
+}
+
+/// Lexes `text` into the two views. Handles //, /*…*/, "…", '…' and the
+/// common escape sequences; raw string literals are treated as plain strings
+/// (good enough for this tree, which has none).
+FileViews BuildViews(const std::string& text) {
+  FileViews views;
+  std::string code_line;
+  std::string pure_line;
+  std::string raw_line;
+  bool in_block_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  bool line_had_code = false;
+  size_t line_no = 1;
+
+  auto flush_line = [&]() {
+    // A comment-only line's suppression covers the next line too.
+    const bool comment_only = !line_had_code;
+    ParseSuppression(raw_line, line_no, comment_only, &views);
+    views.code.push_back(code_line);
+    views.pure.push_back(pure_line);
+    code_line.clear();
+    pure_line.clear();
+    raw_line.clear();
+    line_had_code = false;
+    ++line_no;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      // Strings and char literals do not survive a newline in this lexer;
+      // multi-line raw strings would, but the tree has none.
+      in_string = in_char = false;
+      flush_line();
+      continue;
+    }
+    raw_line += c;
+    if (in_block_comment) {
+      code_line += ' ';
+      pure_line += ' ';
+      if (c == '*' && next == '/') {
+        code_line += ' ';
+        pure_line += ' ';
+        raw_line += next;
+        ++i;
+        in_block_comment = false;
+      }
+      continue;
+    }
+    if (in_string || in_char) {
+      code_line += c;
+      pure_line += ' ';
+      if (c == '\\' && next != '\0' && next != '\n') {
+        code_line += next;
+        pure_line += ' ';
+        raw_line += next;
+        ++i;
+        continue;
+      }
+      if ((in_string && c == '"') || (in_char && c == '\'')) {
+        in_string = in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      // Line comment: blank the remainder in both views.
+      const size_t eol = text.find('\n', i);
+      const size_t end = eol == std::string::npos ? text.size() : eol;
+      for (size_t j = i; j < end; ++j) {
+        code_line += ' ';
+        pure_line += ' ';
+        if (j > i) raw_line += text[j];
+      }
+      i = end - 1;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      code_line += ' ';
+      pure_line += ' ';
+      code_line += ' ';
+      pure_line += ' ';
+      raw_line += next;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      code_line += c;
+      pure_line += ' ';
+      line_had_code = true;
+      continue;
+    }
+    if (c == '\'') {
+      // Heuristic: a quote directly after an identifier/digit is a digit
+      // separator (1'000'000), not a char literal.
+      const char prev = raw_line.size() >= 2 ? raw_line[raw_line.size() - 2] : '\0';
+      if (std::isalnum(static_cast<unsigned char>(prev))) {
+        code_line += c;
+        pure_line += c;
+        continue;
+      }
+      in_char = true;
+      code_line += c;
+      pure_line += ' ';
+      line_had_code = true;
+      continue;
+    }
+    code_line += c;
+    pure_line += c;
+    if (!std::isspace(static_cast<unsigned char>(c))) line_had_code = true;
+  }
+  flush_line();
+  return views;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Finds `token` in `line` starting at `from`, requiring that the character
+/// before the match is not an identifier character (so `snprintf` never
+/// matches a search for `printf`). `::` and `.` prefixes count as
+/// non-identifier, so qualified calls match.
+size_t FindWord(const std::string& line, const std::string& token,
+                size_t from = 0) {
+  size_t pos = line.find(token, from);
+  while (pos != std::string::npos) {
+    if (pos == 0 || !IsWordChar(line[pos - 1])) return pos;
+    pos = line.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+struct LintConfig {
+  /// rule id -> path substrings (relative, '/'-separated) exempt from it.
+  std::map<std::string, std::vector<std::string>> allow_paths;
+};
+
+Result<LintConfig> LoadConfig(const std::string& path) {
+  LintConfig config;
+  HOMETS_ASSIGN_OR_RETURN(const JsonValue doc, ReadJsonFile(path));
+  const JsonValue* allow = doc.Find("allow_paths");
+  if (allow == nullptr) return config;
+  if (!allow->is_object()) {
+    return Status::InvalidArgument(path + ": allow_paths must be an object");
+  }
+  for (const auto& [rule, paths] : allow->object_items()) {
+    if (std::find(AllRules().begin(), AllRules().end(), rule) ==
+        AllRules().end()) {
+      return Status::InvalidArgument(path + ": unknown rule id '" + rule +
+                                     "' in allow_paths");
+    }
+    if (!paths.is_array()) {
+      return Status::InvalidArgument(path + ": allow_paths." + rule +
+                                     " must be an array of path substrings");
+    }
+    for (const JsonValue& entry : paths.array_items()) {
+      if (!entry.is_string()) {
+        return Status::InvalidArgument(path + ": allow_paths." + rule +
+                                       " entries must be strings");
+      }
+      config.allow_paths[rule].push_back(entry.string_value());
+    }
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Linter
+// ---------------------------------------------------------------------------
+
+/// homets.<layer>.<name>, both segments lower_snake_case starting with a
+/// letter.
+bool MatchesNameScheme(const std::string& name) {
+  const std::vector<std::string> parts = StrSplit(name, '.');
+  if (parts.size() != 3 || parts[0] != "homets") return false;
+  for (size_t p = 1; p < 3; ++p) {
+    const std::string& seg = parts[p];
+    if (seg.empty() || !std::islower(static_cast<unsigned char>(seg[0]))) {
+      return false;
+    }
+    for (const char c : seg) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_';
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+class Linter {
+ public:
+  Linter(LintConfig config, std::set<std::string> enabled)
+      : config_(std::move(config)), enabled_(std::move(enabled)) {}
+
+  void ScanFile(const std::string& rel_path, const std::string& text);
+  /// Cross-file rules; call after every ScanFile.
+  void Finish();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  size_t files_scanned() const { return files_scanned_; }
+  size_t metric_names() const { return metric_names_; }
+
+ private:
+  bool RuleEnabled(const std::string& rule, const std::string& rel_path) const {
+    if (!enabled_.empty() && enabled_.count(rule) == 0) return false;
+    const auto it = config_.allow_paths.find(rule);
+    if (it != config_.allow_paths.end()) {
+      for (const std::string& sub : it->second) {
+        if (rel_path.find(sub) != std::string::npos) return false;
+      }
+    }
+    return true;
+  }
+
+  void Report(const FileViews& views, const std::string& rel_path, size_t line,
+              const std::string& rule, std::string message) {
+    const auto it = views.allowed.find(line);
+    if (it != views.allowed.end() && it->second.count(rule) > 0) return;
+    violations_.push_back({rel_path, line, rule, std::move(message)});
+  }
+
+  void CheckRandomness(const FileViews& views, const std::string& rel_path);
+  void CheckFloatEquality(const FileViews& views, const std::string& rel_path);
+  void CheckStdout(const FileViews& views, const std::string& rel_path);
+  void CheckCcInclude(const FileViews& views, const std::string& rel_path);
+  void CheckUnsafeCalls(const FileViews& views, const std::string& rel_path);
+  void CheckMetricCatalog(const FileViews& views, const std::string& rel_path);
+  void CheckMetricRawLiterals(const FileViews& views,
+                              const std::string& rel_path);
+  void CollectMetricReferences(const FileViews& views,
+                               const std::string& rel_path);
+
+  LintConfig config_;
+  std::set<std::string> enabled_;
+  std::vector<Violation> violations_;
+  size_t files_scanned_ = 0;
+  size_t metric_names_ = 0;
+
+  /// metric-dead-constant state: k-constants declared in metric_names.h and
+  /// the set referenced anywhere else, resolved in Finish().
+  std::vector<std::pair<std::string, size_t>> metric_constants_;
+  std::set<std::string> metric_references_;
+  std::string metric_header_path_;
+  /// The views of metric_names.h, kept so Finish() can honor suppressions.
+  FileViews metric_header_views_;
+};
+
+void Linter::CheckRandomness(const FileViews& views,
+                             const std::string& rel_path) {
+  if (!RuleEnabled("no-raw-random", rel_path)) return;
+  // common/random wraps the only sanctioned generators.
+  if (rel_path.find("src/common/random") != std::string::npos) return;
+  static const std::vector<std::string> kTokens = {
+      "rand(", "srand(", "random_device"};
+  for (size_t i = 0; i < views.pure.size(); ++i) {
+    const std::string& line = views.pure[i];
+    for (const std::string& token : kTokens) {
+      if (FindWord(line, token) != std::string::npos) {
+        Report(views, rel_path, i + 1, "no-raw-random",
+               "non-deterministic source '" + token +
+                   "' — use homets::Rng (common/random.h); engine results "
+                   "must be bit-identical across runs and thread counts");
+        break;
+      }
+    }
+    // Wall-clock seeds: time(), time(NULL), time(nullptr), time(0).
+    size_t pos = FindWord(line, "time", 0);
+    while (pos != std::string::npos) {
+      size_t j = pos + 4;
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+      if (j < line.size() && line[j] == '(') {
+        size_t k = j + 1;
+        while (k < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[k]))) {
+          ++k;
+        }
+        std::string arg;
+        while (k < line.size() && line[k] != ')' &&
+               !std::isspace(static_cast<unsigned char>(line[k]))) {
+          arg += line[k++];
+        }
+        if (k < line.size() && (arg.empty() || arg == "NULL" ||
+                                arg == "nullptr" || arg == "0")) {
+          Report(views, rel_path, i + 1, "no-raw-random",
+                 "wall-clock seed 'time(" + arg +
+                     ")' — derive seeds from --seed flags or fixed "
+                     "constants, never the clock");
+        }
+      }
+      pos = FindWord(line, "time", pos + 4);
+    }
+  }
+}
+
+void Linter::CheckFloatEquality(const FileViews& views,
+                                const std::string& rel_path) {
+  if (!RuleEnabled("float-equality", rel_path)) return;
+  // Parses a float literal adjacent to position `pos` in `line`, scanning
+  // forward (dir=+1) or backward (dir=-1). Returns the literal text, empty
+  // when the adjacent operand is not a float literal.
+  const auto literal_at = [](const std::string& line, size_t pos, int dir) {
+    auto is_lit_char = [](char c) {
+      return std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+             c == 'e' || c == 'E' || c == 'f' || c == 'F';
+    };
+    std::string lit;
+    if (dir > 0) {
+      size_t i = pos;
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i < line.size() && line[i] == '-') lit += line[i++];
+      while (i < line.size()) {
+        if (is_lit_char(line[i])) {
+          lit += line[i++];
+        } else if ((line[i] == '+' || line[i] == '-') && !lit.empty() &&
+                   (lit.back() == 'e' || lit.back() == 'E')) {
+          lit += line[i++];  // exponent sign, e.g. 1e-9
+        } else {
+          break;
+        }
+      }
+      if (i < line.size() && IsWordChar(line[i])) return std::string();
+    } else {
+      size_t i = pos;
+      while (i > 0 && std::isspace(static_cast<unsigned char>(line[i - 1]))) {
+        --i;
+      }
+      size_t end = i;
+      while (i > 0) {
+        if (is_lit_char(line[i - 1])) {
+          --i;
+        } else if ((line[i - 1] == '+' || line[i - 1] == '-') && i >= 2 &&
+                   (line[i - 2] == 'e' || line[i - 2] == 'E')) {
+          i -= 2;  // exponent sign, e.g. 1e-9
+        } else {
+          break;
+        }
+      }
+      if (i > 0 && IsWordChar(line[i - 1])) return std::string();
+      lit = line.substr(i, end - i);
+    }
+    // A float literal must contain a '.' or an exponent; bare integers are
+    // fine to compare exactly.
+    if (lit.find('.') == std::string::npos &&
+        lit.find('e') == std::string::npos &&
+        lit.find('E') == std::string::npos) {
+      return std::string();
+    }
+    if (lit.empty() || lit == "." || lit == "-") return std::string();
+    return lit;
+  };
+  const auto is_zero = [](const std::string& lit) {
+    char* end = nullptr;
+    const double v = std::strtod(lit.c_str(), &end);
+    return end != lit.c_str() && v == 0.0;  // homets-lint: allow(float-equality)
+  };
+  for (size_t i = 0; i < views.pure.size(); ++i) {
+    const std::string& line = views.pure[i];
+    for (size_t pos = 0; (pos = line.find('=', pos)) != std::string::npos;
+         ++pos) {
+      // Only bare == / != count; <=, >=, =, === etc. do not.
+      std::string op;
+      size_t lhs_end = 0;
+      size_t rhs_begin = 0;
+      if (pos + 1 < line.size() && line[pos + 1] == '=' &&
+          (pos == 0 || (line[pos - 1] != '=' && line[pos - 1] != '<' &&
+                        line[pos - 1] != '>' && line[pos - 1] != '!')) &&
+          (pos + 2 >= line.size() || line[pos + 2] != '=')) {
+        op = "==";
+        lhs_end = pos;
+        rhs_begin = pos + 2;
+      } else if (pos > 0 && line[pos - 1] == '!' &&
+                 (pos + 1 >= line.size() || line[pos + 1] != '=')) {
+        op = "!=";
+        lhs_end = pos - 1;
+        rhs_begin = pos + 1;
+      } else {
+        continue;
+      }
+      const std::string rhs = literal_at(line, rhs_begin, +1);
+      const std::string lhs = literal_at(line, lhs_end, -1);
+      const std::string& lit = rhs.empty() ? lhs : rhs;
+      if (lit.empty()) continue;
+      // Exact-zero guards (x == 0.0 before dividing) are IEEE-exact and
+      // idiomatic; every other literal needs an epsilon.
+      if (is_zero(lit)) continue;
+      Report(views, rel_path, i + 1, "float-equality",
+             "naked floating-point " + op + " against " + lit +
+                 " — compare via an epsilon helper (correlation/KS "
+                 "thresholds are not exact in binary floating point)");
+      pos = rhs_begin;
+    }
+  }
+}
+
+void Linter::CheckStdout(const FileViews& views, const std::string& rel_path) {
+  if (!RuleEnabled("no-stdout-in-lib", rel_path)) return;
+  // Library code only: src/. CLIs, benches, tools and tests own their stdout.
+  if (rel_path.rfind("src/", 0) != 0) return;
+  static const std::vector<std::string> kTokens = {"cout", "printf(", "puts("};
+  for (size_t i = 0; i < views.pure.size(); ++i) {
+    for (const std::string& token : kTokens) {
+      if (FindWord(views.pure[i], token) != std::string::npos) {
+        Report(views, rel_path, i + 1, "no-stdout-in-lib",
+               "stdout write ('" + token +
+                   "') in library code — stdout is a byte-exact CLI "
+                   "contract (cli_usage ctest); return data or use stderr");
+        break;
+      }
+    }
+  }
+}
+
+void Linter::CheckCcInclude(const FileViews& views,
+                            const std::string& rel_path) {
+  if (!RuleEnabled("no-cc-include", rel_path)) return;
+  for (size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& line = views.code[i];
+    const size_t hash = line.find('#');
+    if (hash == std::string::npos) continue;
+    if (line.find("include", hash) == std::string::npos) continue;
+    const size_t open = line.find_first_of("\"<", hash);
+    if (open == std::string::npos) continue;
+    const size_t close =
+        line.find_first_of("\">", open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = line.substr(open + 1, close - open - 1);
+    if (target.size() > 3 &&
+        target.compare(target.size() - 3, 3, ".cc") == 0) {
+      Report(views, rel_path, i + 1, "no-cc-include",
+             "#include of implementation file '" + target +
+                 "' — include the header and let the build system link it");
+    }
+  }
+}
+
+void Linter::CheckUnsafeCalls(const FileViews& views,
+                              const std::string& rel_path) {
+  if (!RuleEnabled("unsafe-call", rel_path)) return;
+  static const std::vector<std::pair<std::string, std::string>> kBanned = {
+      {"sprintf(", "use snprintf with an explicit size"},
+      {"strtok(", "not reentrant; use homets::StrSplit"},
+      {"gets(", "unbounded read; removed from the language"},
+  };
+  for (size_t i = 0; i < views.pure.size(); ++i) {
+    for (const auto& [token, why] : kBanned) {
+      if (FindWord(views.pure[i], token) != std::string::npos) {
+        Report(views, rel_path, i + 1, "unsafe-call",
+               "banned call '" + token + "' — " + why);
+      }
+    }
+  }
+}
+
+void Linter::CheckMetricCatalog(const FileViews& views,
+                                const std::string& rel_path) {
+  // Only the canonical catalog header is subject to name-format rules.
+  if (rel_path.find("metric_names.h") == std::string::npos) return;
+  metric_header_path_ = rel_path;
+  metric_header_views_.allowed = views.allowed;
+  const bool check_format = RuleEnabled("metric-name-format", rel_path);
+  const bool check_dupes = RuleEnabled("metric-name-duplicate", rel_path);
+  std::map<std::string, size_t> first_seen;
+  for (size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& line = views.code[i];
+    // Collect "homets.…" string literals from the code view (strings kept).
+    size_t open = line.find('"');
+    while (open != std::string::npos) {
+      const size_t close = line.find('"', open + 1);
+      if (close == std::string::npos) break;
+      const std::string name = line.substr(open + 1, close - open - 1);
+      if (name.rfind("homets.", 0) == 0) {
+        ++metric_names_;
+        if (check_format && !MatchesNameScheme(name)) {
+          Report(views, rel_path, i + 1, "metric-name-format",
+                 "'" + name +
+                     "' does not match homets.<layer>.<name> with "
+                     "lower_snake_case segments");
+        }
+        if (check_dupes) {
+          const auto [it, inserted] = first_seen.emplace(name, i + 1);
+          if (!inserted) {
+            Report(views, rel_path, i + 1, "metric-name-duplicate",
+                   "'" + name + "' already declared at line " +
+                       std::to_string(it->second));
+          }
+        }
+      }
+      open = line.find('"', close + 1);
+    }
+    // Collect declared k-constants for the dead-constant rule.
+    const size_t kpos = line.find("constexpr std::string_view k");
+    if (kpos != std::string::npos) {
+      size_t start = line.find(" k", kpos);
+      if (start != std::string::npos) {
+        ++start;  // at 'k'
+        std::string constant;
+        while (start < line.size() && IsWordChar(line[start])) {
+          constant += line[start++];
+        }
+        if (constant.size() > 1) {
+          metric_constants_.emplace_back(constant, i + 1);
+        }
+      }
+    }
+  }
+}
+
+void Linter::CheckMetricRawLiterals(const FileViews& views,
+                                    const std::string& rel_path) {
+  if (!RuleEnabled("metric-raw-literal", rel_path)) return;
+  // Tests are exempt: they exercise private registries with throwaway names.
+  if (rel_path.rfind("tests/", 0) == 0) return;
+  if (rel_path.find("metric_names.h") != std::string::npos) return;
+  static const std::vector<std::string> kRegistrars = {
+      // Split so this very file never matches its own rule table.
+      std::string("GetCounter") + "(", std::string("GetGauge") + "(",
+      std::string("GetHistogram") + "("};
+  for (size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& line = views.code[i];
+    bool registrar = false;
+    for (const std::string& token : kRegistrars) {
+      if (FindWord(line, token) != std::string::npos) {
+        registrar = true;
+        break;
+      }
+    }
+    if (!registrar) continue;
+    if (line.find(std::string("\"") + "homets.") != std::string::npos) {
+      Report(views, rel_path, i + 1, "metric-raw-literal",
+             "raw metric-name literal at a registration site — use the "
+             "constants in obs/metric_names.h");
+    }
+  }
+}
+
+void Linter::CollectMetricReferences(const FileViews& views,
+                                     const std::string& rel_path) {
+  if (rel_path.find("metric_names.h") != std::string::npos) return;
+  for (const std::string& line : views.code) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != 'k') continue;
+      if (i > 0 && IsWordChar(line[i - 1])) continue;
+      std::string word;
+      size_t j = i;
+      while (j < line.size() && IsWordChar(line[j])) word += line[j++];
+      if (word.size() > 1 &&
+          std::isupper(static_cast<unsigned char>(word[1]))) {
+        metric_references_.insert(word);
+      }
+      i = j;
+    }
+  }
+}
+
+void Linter::Finish() {
+  const bool enabled =
+      !metric_header_path_.empty() &&
+      RuleEnabled("metric-dead-constant", metric_header_path_);
+  if (!enabled) return;
+  for (const auto& [constant, line] : metric_constants_) {
+    if (metric_references_.count(constant) > 0) continue;
+    Report(metric_header_views_, metric_header_path_, line,
+           "metric-dead-constant",
+           constant +
+               " is declared in metric_names.h but referenced nowhere in "
+               "src/, tools/, bench/ or tests/");
+  }
+}
+
+void Linter::ScanFile(const std::string& rel_path, const std::string& text) {
+  ++files_scanned_;
+  const FileViews views = BuildViews(text);
+  CheckRandomness(views, rel_path);
+  CheckFloatEquality(views, rel_path);
+  CheckStdout(views, rel_path);
+  CheckCcInclude(views, rel_path);
+  CheckUnsafeCalls(views, rel_path);
+  CheckMetricCatalog(views, rel_path);
+  CheckMetricRawLiterals(views, rel_path);
+  CollectMetricReferences(views, rel_path);
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool ShouldSkipDir(const std::string& name) {
+  return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+/// Collects .cc/.h files under root/{src,bench,tools,tests}, sorted so the
+/// report order is deterministic.
+std::vector<fs::path> CollectFiles(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* sub : {"src", "bench", "tools", "tests"}) {
+    const fs::path dir = root / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    fs::recursive_directory_iterator it(dir, ec);
+    const fs::recursive_directory_iterator end;
+    while (it != end) {
+      const fs::directory_entry& entry = *it;
+      if (entry.is_directory(ec)) {
+        if (ShouldSkipDir(entry.path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+      } else if (entry.is_regular_file(ec) && IsSourceFile(entry.path())) {
+        files.push_back(entry.path());
+      }
+      it.increment(ec);
+      if (ec) break;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int Usage(FILE* out) {
+  std::fputs(
+      "usage: homets_lint [--root DIR] [--config FILE] [--rules id,...] "
+      "[--list-rules]\n"
+      "Scans DIR/{src,bench,tools,tests} for project-invariant violations\n"
+      "and prints 'file:line: rule-id: message' per hit; exits 1 when any\n"
+      "are found, 2 on usage/config errors. Suppress one line with\n"
+      "'// homets-lint: allow(rule-id)'.\n",
+      out);
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
+    Usage(stdout);
+    return 0;
+  }
+  // Boolean flag, handled before the strict value-carrying parser.
+  const auto list_it = std::find(args.begin(), args.end(), "--list-rules");
+  if (list_it != args.end()) {
+    for (const std::string& rule : AllRules()) {
+      std::fprintf(stdout, "%s\n", rule.c_str());
+    }
+    return 0;
+  }
+  const Result<ParsedArgs> parsed =
+      ParseFlags(args, {"root", "config", "rules"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "homets_lint: %s\n",
+                 parsed.status().message().c_str());
+    return Usage(stderr);
+  }
+  if (!parsed->positional.empty()) {
+    std::fprintf(stderr, "homets_lint: unexpected positional argument '%s'\n",
+                 parsed->positional.front().c_str());
+    return Usage(stderr);
+  }
+
+  const fs::path root = parsed->GetString("root", ".");
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "homets_lint: --root %s is not a directory\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::set<std::string> enabled;
+  if (parsed->Has("rules")) {
+    for (const std::string& part :
+         StrSplit(parsed->GetString("rules"), ',')) {
+      const std::string rule{StrTrim(part)};
+      if (rule.empty()) continue;
+      if (std::find(AllRules().begin(), AllRules().end(), rule) ==
+          AllRules().end()) {
+        std::fprintf(stderr, "homets_lint: unknown rule id '%s'\n",
+                     rule.c_str());
+        return 2;
+      }
+      enabled.insert(rule);
+    }
+  }
+
+  LintConfig config;
+  std::string config_path = parsed->GetString("config");
+  if (config_path.empty()) {
+    const fs::path implicit = root / "tools" / "homets_lint.json";
+    if (fs::is_regular_file(implicit, ec)) config_path = implicit.string();
+  }
+  if (!config_path.empty()) {
+    Result<LintConfig> loaded = LoadConfig(config_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "homets_lint: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    config = std::move(loaded).value();
+  }
+
+  Linter linter(std::move(config), std::move(enabled));
+  for (const fs::path& path : CollectFiles(root)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "homets_lint: cannot read %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string rel =
+        fs::relative(path, root, ec).generic_string();
+    linter.ScanFile(ec ? path.generic_string() : rel, text.str());
+  }
+  linter.Finish();
+
+  for (const Violation& v : linter.violations()) {
+    std::fprintf(stdout, "%s:%zu: %s: %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!linter.violations().empty()) {
+    std::fprintf(stderr, "homets_lint: %zu violation(s) in %zu file(s)\n",
+                 linter.violations().size(), linter.files_scanned());
+    return 1;
+  }
+  std::fprintf(stdout, "OK: %zu files scanned, %zu metric names conform\n",
+               linter.files_scanned(), linter.metric_names());
+  return 0;
+}
+
+}  // namespace
+}  // namespace homets::lint
+
+int main(int argc, char** argv) { return homets::lint::Run(argc, argv); }

@@ -1,0 +1,59 @@
+#!/bin/sh
+# One-command CI gate: configure, build, then run the lint, threads and
+# bench-smoke ctest tiers — the exact sequence a pre-merge check should run.
+# Smoke-tested by the `run_all_gates_smoke` ctest via --dry-run, which prints
+# the commands without executing them.
+#
+# Usage: run_all_gates.sh [--dry-run] [--preset NAME] [REPO_ROOT]
+#
+#   --dry-run       print each command instead of running it
+#   --preset NAME   configure with a CMakePresets.json preset (default: a
+#                   plain configure into build-gates/ with HOMETS_WERROR=ON)
+#
+# Exits nonzero as soon as any stage fails.
+set -eu
+
+dry_run=0
+preset=""
+root=""
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        --dry-run) dry_run=1 ;;
+        --preset)
+            shift
+            preset="${1:?--preset expects a name}"
+            ;;
+        -*)
+            echo "usage: run_all_gates.sh [--dry-run] [--preset NAME] [REPO_ROOT]" >&2
+            exit 2
+            ;;
+        *) root="$1" ;;
+    esac
+    shift
+done
+root="${root:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+run() {
+    echo "+ $*"
+    if [ "$dry_run" -eq 0 ]; then
+        "$@"
+    fi
+}
+
+if [ -n "$preset" ]; then
+    build="$root/build-$preset"
+    run cmake -S "$root" --preset "$preset"
+else
+    build="$root/build-gates"
+    run cmake -S "$root" -B "$build" -DHOMETS_WERROR=ON
+fi
+
+jobs=$( (nproc || sysctl -n hw.ncpu || echo 2) 2>/dev/null | head -n1 )
+run cmake --build "$build" -j "$jobs"
+run ctest --test-dir "$build" --output-on-failure -L "lint|threads|bench-smoke"
+
+if [ "$dry_run" -eq 1 ]; then
+    echo "DRY RUN: no commands executed"
+else
+    echo "OK: all gates passed (build: $build)"
+fi

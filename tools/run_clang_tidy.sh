@@ -1,0 +1,46 @@
+#!/bin/sh
+# Runs clang-tidy (profile: the committed .clang-tidy) over the library and
+# tool sources using the compile_commands.json the build exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON globally). Registered as the
+# `clang_tidy` ctest under the `lint` label.
+#
+# Degrades gracefully: when clang-tidy is not installed (the CI container is
+# GCC-only) or the compilation database is missing, it prints why and exits
+# 0 so the lint tier stays green on toolchains that cannot run it. Force a
+# hard failure instead with HOMETS_TIDY_REQUIRED=1 on clang-equipped hosts.
+#
+# Usage: run_clang_tidy.sh [REPO_ROOT] [BUILD_DIR]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+build="${2:-$root/build}"
+required="${HOMETS_TIDY_REQUIRED:-0}"
+
+skip() {
+    echo "SKIP: $1"
+    if [ "$required" = "1" ]; then
+        echo "FAIL: HOMETS_TIDY_REQUIRED=1 but clang-tidy cannot run" >&2
+        exit 1
+    fi
+    exit 0
+}
+
+command -v clang-tidy >/dev/null 2>&1 || skip "clang-tidy not installed"
+[ -f "$build/compile_commands.json" ] || \
+    skip "no compile database at $build/compile_commands.json (configure with cmake first)"
+
+# Scan library + tool translation units; tests and benches track gtest and
+# benchmark idioms that tidy's generic profile mis-fires on.
+files=$(find "$root/src" "$root/tools" -name '*.cc' | sort)
+[ -n "$files" ] || skip "no sources found under $root/src"
+
+fail=0
+for file in $files; do
+    clang-tidy --quiet -p "$build" "$file" || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: clang-tidy reported findings" >&2
+    exit 1
+fi
+echo "OK: clang-tidy clean ($(echo "$files" | wc -l | tr -d ' ') files)"
