@@ -24,6 +24,8 @@ enum class StatusCode : uint8_t {
   kIoError = 7,
   kNotImplemented = 8,
   kUnknown = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// \brief Returns the canonical name of a status code, e.g. "InvalidArgument".
@@ -71,6 +73,12 @@ class Status {
   }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -135,11 +143,16 @@ class Result {
 };
 
 /// Propagates an error status from an expression returning `Status`.
-#define HOMETS_RETURN_NOT_OK(expr)              \
+/// Canonical spelling; usable in functions returning `Status` or `Result<T>`
+/// (a `Result` is implicitly constructible from an error status).
+#define HOMETS_RETURN_IF_ERROR(expr)            \
   do {                                          \
     ::homets::Status _st = (expr);              \
     if (!_st.ok()) return _st;                  \
   } while (false)
+
+/// Older spelling of HOMETS_RETURN_IF_ERROR, kept for source compatibility.
+#define HOMETS_RETURN_NOT_OK(expr) HOMETS_RETURN_IF_ERROR(expr)
 
 /// Assigns the value of a `Result<T>` expression to `lhs`, or propagates its
 /// error status.

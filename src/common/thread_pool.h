@@ -7,8 +7,12 @@
 #include <cstddef>
 #include <functional>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/failpoint.h"
+#include "common/status.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -89,6 +93,105 @@ inline void ParallelFor(size_t n, int threads, size_t block,
   drain(0);
   for (auto& t : pool) t.join();
   queue_depth->Set(0);
+}
+
+/// \brief Hardened variant of ParallelFor: tasks return Status instead of
+/// crashing the loop, and the loop honors cooperative cancellation.
+///
+/// Semantics:
+///  - `fn(begin, end, worker)` runs per block exactly as in ParallelFor and
+///    returns a Status. A failing block does NOT stop the other blocks (so
+///    side effects, and therefore the winning error, stay deterministic);
+///    the loop runs everything and then returns the error of the failing
+///    block with the LOWEST index — bit-identical across thread counts.
+///  - `cancel` (may be nullptr) is polled before each block. Once cancelled,
+///    no new blocks are handed out and the loop returns kCancelled — unless
+///    a block that did run failed, in which case that (lowest-block) error
+///    wins. Cancellation timing is inherently scheduling-dependent.
+///  - The `threadpool.task` failpoint is evaluated per block while armed;
+///    a kFail fire replaces the block's execution with an injected
+///    ComputeError, modelling a task that died before running.
+inline Status ParallelForStatus(
+    size_t n, int threads, size_t block, CancellationToken* cancel,
+    const std::function<Status(size_t, size_t, int)>& fn) {
+  if (n == 0) return Status::OK();
+  if (block == 0) block = 1;
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const loops = registry.GetCounter(obs::kThreadPoolLoops);
+  static obs::Counter* const tasks = registry.GetCounter(obs::kThreadPoolTasks);
+  static obs::Gauge* const queue_depth =
+      registry.GetGauge(obs::kThreadPoolQueueDepth);
+  static obs::Histogram* const task_latency_us =
+      registry.GetHistogram(obs::kThreadPoolTaskLatencyUs);
+  using Clock = std::chrono::steady_clock;
+  const auto run_block = [&fn](size_t begin, size_t end,
+                               int worker) -> Status {
+    const auto start = Clock::now();
+    Status st = Failpoints::Global().armed()
+                    ? Failpoints::Global().InjectedError(kFailpointThreadPoolTask)
+                    : Status::OK();
+    if (st.ok()) st = fn(begin, end, worker);
+    task_latency_us->Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count()));
+    return st;
+  };
+  const int requested = ResolveThreadCount(threads);
+  const size_t n_blocks = (n + block - 1) / block;
+  loops->Increment();
+  tasks->Increment(n_blocks);
+  queue_depth->Set(static_cast<int64_t>(n_blocks));
+  const int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(requested), n_blocks));
+  // Each worker remembers the lowest-index failing block it saw; the merge
+  // after the join picks the global minimum, so the returned error does not
+  // depend on scheduling.
+  std::vector<std::pair<size_t, Status>> worker_errors(
+      static_cast<size_t>(std::max(workers, 1)), {SIZE_MAX, Status::OK()});
+  std::atomic<bool> saw_cancel{false};
+  std::atomic<size_t> next{0};
+  auto drain = [&](int worker) {
+    auto& first_error = worker_errors[static_cast<size_t>(worker)];
+    for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        saw_cancel.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= n_blocks) return;
+      queue_depth->Set(
+          static_cast<int64_t>(n_blocks - std::min(b + 1, n_blocks)));
+      const size_t begin = b * block;
+      Status st = run_block(begin, std::min(begin + block, n), worker);
+      if (!st.ok() && b < first_error.first) {
+        first_error = {b, std::move(st)};
+      }
+    }
+  };
+  if (workers <= 1) {
+    drain(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w) pool.emplace_back(drain, w);
+    drain(0);
+    for (auto& t : pool) t.join();
+  }
+  queue_depth->Set(0);
+  size_t min_block = SIZE_MAX;
+  Status result = Status::OK();
+  for (auto& [failed_block, status] : worker_errors) {
+    if (failed_block < min_block) {
+      min_block = failed_block;
+      result = std::move(status);
+    }
+  }
+  if (!result.ok()) return result;
+  if (saw_cancel.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("parallel loop cancelled before completion");
+  }
+  return Status::OK();
 }
 
 }  // namespace homets

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/profiling.h"
 #include "obs/metric_names.h"
@@ -13,9 +14,15 @@ namespace homets::core {
 std::vector<double> SimilarityMatrix::CondensedDistances() const {
   std::vector<double> distances(cells_.size());
   for (size_t k = 0; k < cells_.size(); ++k) {
-    distances[k] = 1.0 - cells_[k].value;
+    distances[k] = IsValidIndex(k) ? 1.0 - cells_[k].value : 1.0;
   }
   return distances;
+}
+
+size_t SimilarityMatrix::invalid_count() const {
+  size_t count = 0;
+  for (const uint8_t flag : invalid_) count += flag;
+  return count;
 }
 
 std::pair<size_t, size_t> SimilarityMatrix::PairAt(size_t n, size_t k) {
@@ -135,6 +142,67 @@ SimilarityMatrix SimilarityEngine::Pairwise(
                 });
               });
   utilization.Publish(pairs);
+  return matrix;
+}
+
+Result<SimilarityMatrix> SimilarityEngine::PairwiseChecked(
+    const std::vector<correlation::PreparedSeries>& prepared) const {
+  const size_t n = prepared.size();
+  SimilarityMatrix matrix(n);
+  const size_t pairs = matrix.pair_count();
+  if (pairs == 0) return matrix;
+  ScopedPhaseTimer timer(options_.timings, "similarity_engine.pairwise");
+  const int threads =
+      pairs < options_.min_parallel_pairs ? 1 : options_.threads;
+  const size_t workers = static_cast<size_t>(ResolveThreadCount(threads));
+  std::vector<correlation::PairWorkspace> workspaces(workers);
+  WorkerUtilization utilization(workers);
+  // The mask must exist before workers can mark blocks concurrently.
+  if (options_.degrade_on_failure) matrix.EnsureValidityMask();
+  SimilarityResult* cells = matrix.mutable_cells();
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline_expired = [&] {
+    if (options_.deadline_ms <= 0.0) return false;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return elapsed_ms > options_.deadline_ms;
+  };
+  const Status status = ParallelForStatus(
+      pairs, threads, kPairsPerBlock, options_.cancel,
+      [&](size_t begin, size_t end, int worker) -> Status {
+        if (deadline_expired()) {
+          return Status::DeadlineExceeded(
+              "similarity engine exceeded its deadline");
+        }
+        const FailpointAction injected =
+            EvaluateFailpoint(kFailpointEnginePairBlock);
+        if (injected == FailpointAction::kFail) {
+          if (!options_.degrade_on_failure) {
+            return Status::ComputeError(
+                "injected by failpoint 'engine.pair_block'");
+          }
+          for (size_t k = begin; k < end; ++k) matrix.MarkInvalid(k);
+          return Status::OK();
+        }
+        utilization.Timed(worker, [&] {
+          correlation::PairWorkspace& ws =
+              workspaces[static_cast<size_t>(worker)];
+          auto [i, j] = SimilarityMatrix::PairAt(n, begin);
+          for (size_t k = begin; k < end; ++k) {
+            cells[k] = CorrelationSimilarity(prepared[i], prepared[j],
+                                             options_.similarity, &ws);
+            if (++j == n) {
+              ++i;
+              j = i + 1;
+            }
+          }
+        });
+        return Status::OK();
+      });
+  utilization.Publish(pairs);
+  HOMETS_RETURN_IF_ERROR(status);
   return matrix;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "core/similarity.h"
 #include "correlation/prepared_series.h"
@@ -26,6 +27,18 @@ struct SimilarityEngineOptions {
   /// Optional sink for per-phase wall times ("similarity_engine.prepare",
   /// "similarity_engine.pairwise"). Not owned; may be nullptr.
   PhaseTimings* timings = nullptr;
+  /// Cooperative cancellation for PairwiseChecked, polled at block
+  /// granularity. Not owned; may be nullptr.
+  CancellationToken* cancel = nullptr;
+  /// Wall-clock budget for one PairwiseChecked call in milliseconds;
+  /// 0 disables the deadline. Checked at block granularity, so a call stops
+  /// within one block of the deadline and returns kDeadlineExceeded.
+  double deadline_ms = 0.0;
+  /// PairwiseChecked under an injected task failure (`engine.pair_block`
+  /// failpoint): false returns the failing block's error; true marks the
+  /// block's cells invalid in the matrix validity mask and keeps going, so
+  /// downstream stages degrade over partial results instead of aborting.
+  bool degrade_on_failure = false;
 };
 
 /// \brief Condensed symmetric matrix of Definition 1 results over n windows:
@@ -50,11 +63,38 @@ class SimilarityMatrix {
   }
 
   /// 1 − cor(i, j) for every i < j, row-major — the Figure 3 clustering
-  /// distance, ready for cluster::DistanceMatrix::FromCondensed.
+  /// distance, ready for cluster::DistanceMatrix::FromCondensed. Invalid
+  /// cells (see the validity mask) map to the maximum distance 1.0, the
+  /// conservative "not similar" reading of a pair that could not be computed.
   std::vector<double> CondensedDistances() const;
 
   SimilarityResult* mutable_cells() { return cells_.data(); }
   const std::vector<SimilarityResult>& cells() const { return cells_; }
+
+  /// \name Validity mask
+  /// PairwiseChecked marks cells whose task failed (degrade mode) invalid;
+  /// a default-constructed matrix has every cell valid and allocates no
+  /// mask. Downstream consumers must skip invalid cells rather than read
+  /// their (zero-initialized) results.
+  ///@{
+  /// Allocates the mask (all-valid). Must be called before MarkInvalid and
+  /// before any concurrent marking starts.
+  void EnsureValidityMask() {
+    if (invalid_.size() != cells_.size()) invalid_.assign(cells_.size(), 0);
+  }
+  /// Marks condensed cell `k` invalid. Distinct `k` may be marked from
+  /// different threads once the mask is allocated.
+  void MarkInvalid(size_t k) { invalid_[k] = 1; }
+  bool IsValidIndex(size_t k) const {
+    return invalid_.empty() || invalid_[k] == 0;
+  }
+  bool IsValid(size_t i, size_t j) const {
+    return i == j || IsValidIndex(CondensedIndex(n_, i, j));
+  }
+  /// Number of invalid cells; 0 means the matrix is complete.
+  size_t invalid_count() const;
+  bool complete() const { return invalid_count() == 0; }
+  ///@}
 
   /// Index of (i, j), i < j, in the condensed layout.
   static size_t CondensedIndex(size_t n, size_t i, size_t j) {
@@ -68,6 +108,9 @@ class SimilarityMatrix {
  private:
   size_t n_ = 0;
   std::vector<SimilarityResult> cells_;
+  /// Empty = all cells valid; else one flag per condensed cell (1 = the
+  /// pair's task failed and the cell holds no result).
+  std::vector<uint8_t> invalid_;
 };
 
 /// \brief Parallel pairwise similarity over prepared windows.
@@ -97,6 +140,17 @@ class SimilarityEngine {
 
   /// Full condensed pairwise matrix over the prepared windows.
   SimilarityMatrix Pairwise(
+      const std::vector<correlation::PreparedSeries>& prepared) const;
+
+  /// Hardened Pairwise: honors options().cancel and options().deadline_ms at
+  /// block granularity and survives injected task failures (the
+  /// `engine.pair_block` failpoint). Returns kCancelled / kDeadlineExceeded
+  /// when stopped early; under a task failure, returns the deterministic
+  /// lowest-block error, or — with options().degrade_on_failure — an OK
+  /// matrix whose failed cells are flagged in the validity mask. With no
+  /// cancellation, deadline, or fault in play the result is bit-identical
+  /// to Pairwise() for every thread count.
+  Result<SimilarityMatrix> PairwiseChecked(
       const std::vector<correlation::PreparedSeries>& prepared) const;
 
   /// Definition 1 for an explicit pair list (e.g. the same-weekday pairs of

@@ -33,14 +33,22 @@ Result<StationarityResult> CheckStrongStationarity(
   result.correlation_ok = true;
   result.distribution_ok = true;
   // Each window is profiled once; Definition 2's all-pairs comparison then
-  // runs on the prepared kernels (parallel for large window sets).
+  // runs on the prepared kernels (parallel for large window sets). Degrade
+  // mode: a pair whose similarity task failed is skipped (and counted)
+  // rather than aborting the whole gateway's verdict.
   SimilarityEngineOptions engine_options;
   engine_options.similarity.alpha = options.alpha;
+  engine_options.degrade_on_failure = true;
   const SimilarityEngine engine(engine_options);
-  const SimilarityMatrix sims =
-      engine.Pairwise(SimilarityEngine::PrepareWindows(windows));
+  HOMETS_ASSIGN_OR_RETURN(
+      const SimilarityMatrix sims,
+      engine.PairwiseChecked(SimilarityEngine::PrepareWindows(windows)));
   for (size_t i = 0; i < windows.size(); ++i) {
     for (size_t j = i + 1; j < windows.size(); ++j) {
+      if (!sims.IsValid(i, j)) {
+        ++result.pairs_skipped;
+        continue;
+      }
       ++result.window_pairs;
       const SimilarityResult& sim = sims.At(i, j);
       result.min_pair_similarity =
@@ -66,6 +74,12 @@ Result<StationarityResult> CheckStrongStationarity(
     }
   }
   window_pairs->Increment(result.window_pairs);
+  if (result.window_pairs == 0 && result.pairs_skipped > 0) {
+    // Every pair's similarity task failed: there is no evidence either way,
+    // which must read as "could not certify", not "stationary".
+    return Status::ComputeError(
+        "CheckStrongStationarity: all window pairs failed");
+  }
   result.strongly_stationary =
       result.correlation_ok && result.distribution_ok;
   return result;

@@ -1,11 +1,18 @@
 #include "io/csv.h"
 
+#include <algorithm>
+#include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
-#include <sstream>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -15,10 +22,19 @@ namespace homets::io {
 
 namespace {
 
+/// Quarantine samples kept verbatim per file; counters stay exact beyond it.
+constexpr size_t kQuarantineSampleCap = 16;
+
 struct IoMetrics {
   obs::Counter* rows_parsed;
   obs::Counter* rows_skipped;
   obs::Counter* files_read;
+  obs::Counter* rows_malformed;
+  obs::Counter* rows_duplicate;
+  obs::Counter* rows_out_of_order;
+  obs::Counter* gaps_repaired;
+  obs::Counter* retries;
+  obs::Counter* files_quarantined;
 };
 
 const IoMetrics& Metrics() {
@@ -26,9 +42,27 @@ const IoMetrics& Metrics() {
     auto& registry = obs::MetricsRegistry::Global();
     return IoMetrics{registry.GetCounter(obs::kIoRowsParsed),
                      registry.GetCounter(obs::kIoRowsSkipped),
-                     registry.GetCounter(obs::kIoFilesRead)};
+                     registry.GetCounter(obs::kIoFilesRead),
+                     registry.GetCounter(obs::kIngestRowsMalformed),
+                     registry.GetCounter(obs::kIngestRowsDuplicate),
+                     registry.GetCounter(obs::kIngestRowsOutOfOrder),
+                     registry.GetCounter(obs::kIngestGapsRepaired),
+                     registry.GetCounter(obs::kIngestRetries),
+                     registry.GetCounter(obs::kIngestFilesQuarantined)};
   }();
   return metrics;
+}
+
+void PublishIngest(const IngestReport& report, bool file_quarantined) {
+  const IoMetrics& m = Metrics();
+  if (report.rows_malformed > 0) m.rows_malformed->Increment(report.rows_malformed);
+  if (report.rows_duplicate > 0) m.rows_duplicate->Increment(report.rows_duplicate);
+  if (report.rows_out_of_order > 0) {
+    m.rows_out_of_order->Increment(report.rows_out_of_order);
+  }
+  if (report.gaps_repaired > 0) m.gaps_repaired->Increment(report.gaps_repaired);
+  if (report.retries > 0) m.retries->Increment(report.retries);
+  if (file_quarantined) m.files_quarantined->Increment();
 }
 
 Result<simgen::DeviceType> ParseDeviceType(const std::string& name) {
@@ -40,10 +74,384 @@ Result<simgen::DeviceType> ParseDeviceType(const std::string& name) {
   return Status::InvalidArgument("unknown device type: " + name);
 }
 
+/// Whole-field integer parse; never throws (std::stoll would).
+Result<int64_t> ParseMinute(std::string_view field) {
+  const std::string_view text = StrTrim(field);
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
+    return Status::InvalidArgument("non-numeric minute: " +
+                                   std::string(field));
+  }
+  return value;
+}
+
+/// Whole-field double parse; an empty field is a missing observation.
+Result<double> ParseValue(std::string_view field) {
+  const std::string_view text = StrTrim(field);
+  if (text.empty()) return ts::TimeSeries::Missing();
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("non-numeric value: " + std::string(field));
+  }
+  return value;
+}
+
+/// Per-file quarantine bookkeeping shared by both readers.
+class RowQuarantine {
+ public:
+  RowQuarantine(const ReadOptions& options, const std::string& path,
+                IngestReport* report)
+      : options_(options), path_(path), report_(report) {}
+
+  /// Records one unusable row against `counter` (a field of the report);
+  /// fails the read once the per-file cap is exhausted.
+  Status Add(size_t* counter, size_t line_no, const std::string& text,
+             const char* reason) {
+    ++*counter;
+    if (report_->quarantine.size() < kQuarantineSampleCap) {
+      report_->quarantine.push_back(QuarantinedRow{line_no, text, reason});
+    }
+    if (report_->SkippedTotal() > options_.max_errors) {
+      return Status::InvalidArgument(
+          StrFormat("too many bad rows in %s (cap %zu)", path_.c_str(),
+                    options_.max_errors));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const ReadOptions& options_;
+  const std::string& path_;
+  IngestReport* report_;
+};
+
+/// Applies the `io.csv.row` failpoint to one raw line. kCorrupt mangles the
+/// line so it parses as malformed; kTruncate simulates the file ending
+/// mid-stream; kError is a transient (retryable) read failure.
+enum class RowFate { kKeep, kTruncateStream };
+
+Result<RowFate> ApplyRowFailpoint(std::string* line) {
+  switch (EvaluateFailpoint(kFailpointCsvRow)) {
+    case FailpointAction::kError:
+      return Status::IoError("injected by failpoint 'io.csv.row'");
+    case FailpointAction::kCorrupt:
+      line->insert(0, "\x01corrupt\x01");
+      return RowFate::kKeep;
+    case FailpointAction::kTruncate:
+      return RowFate::kTruncateStream;
+    default:
+      return RowFate::kKeep;
+  }
+}
+
+/// One read attempt of a `minute,value` series file under `options`.
+Result<ts::TimeSeries> ReadTimeSeriesCsvOnce(const std::string& path,
+                                             const ReadOptions& options,
+                                             IngestReport* report) {
+  obs::ScopedSpan span("io.read_time_series_csv");
+  HOMETS_FAILPOINT(kFailpointCsvOpen);
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  Metrics().files_read->Increment();
+  const bool strict = options.policy == ErrorPolicy::kStrict;
+  const bool repair = options.policy == ErrorPolicy::kRepair;
+  RowQuarantine quarantine(options, path, report);
+  std::string line;
+  size_t line_no = 1;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  if (StrTrim(line) != "minute,value") {
+    if (strict) {
+      return Status::InvalidArgument("bad header in " + path + ": " + line);
+    }
+    HOMETS_RETURN_IF_ERROR(
+        quarantine.Add(&report->rows_malformed, line_no, line, "bad header"));
+  }
+  // Accepted rows in file order (strict/skip) plus a key set for duplicate
+  // and order detection; repair re-sorts via the map at the end.
+  std::vector<std::pair<int64_t, double>> rows;
+  std::set<int64_t> seen;
+  int64_t last_minute = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Failpoints::Global().armed()) {
+      HOMETS_ASSIGN_OR_RETURN(const RowFate fate, ApplyRowFailpoint(&line));
+      if (fate == RowFate::kTruncateStream) {
+        report->truncated = true;
+        break;
+      }
+    }
+    if (StrTrim(line).empty()) {
+      Metrics().rows_skipped->Increment();
+      continue;
+    }
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() != 2) {
+      if (strict) {
+        return Status::IoError("malformed row in " + path + ": " + line);
+      }
+      HOMETS_RETURN_IF_ERROR(quarantine.Add(&report->rows_malformed, line_no,
+                                            line, "wrong field count"));
+      continue;
+    }
+    const auto minute = ParseMinute(fields[0]);
+    const auto value = minute.ok() ? ParseValue(fields[1])
+                                   : Result<double>(minute.status());
+    if (!value.ok()) {
+      if (strict) return value.status();
+      HOMETS_RETURN_IF_ERROR(quarantine.Add(&report->rows_malformed, line_no,
+                                            line, "non-numeric cell"));
+      continue;
+    }
+    if (!strict) {
+      if (!seen.insert(*minute).second) {
+        HOMETS_RETURN_IF_ERROR(quarantine.Add(&report->rows_duplicate, line_no,
+                                              line, "duplicate minute"));
+        continue;
+      }
+      if (!rows.empty() && *minute < last_minute) {
+        if (!repair) {
+          HOMETS_RETURN_IF_ERROR(quarantine.Add(&report->rows_out_of_order,
+                                                line_no, line,
+                                                "out-of-order minute"));
+          continue;
+        }
+        // kRepair keeps the row; the sort below moves it into place.
+        ++report->rows_out_of_order;
+      }
+    }
+    Metrics().rows_parsed->Increment();
+    rows.emplace_back(*minute, *value);
+    last_minute = std::max(last_minute, *minute);
+  }
+  if (report->truncated && strict) {
+    return Status::IoError("truncated stream in " + path);
+  }
+  if (rows.empty()) return Status::IoError("no data rows in " + path);
+  report->rows_parsed = rows.size();
+  if (repair) {
+    std::sort(rows.begin(), rows.end());
+    // Grid step = smallest positive minute delta; every other delta must be
+    // a multiple of it or there is no grid to repair onto.
+    int64_t step = 1;
+    if (rows.size() >= 2) {
+      step = rows[1].first - rows[0].first;
+      for (size_t i = 2; i < rows.size(); ++i) {
+        step = std::min(step, rows[i].first - rows[i - 1].first);
+      }
+      for (size_t i = 1; i < rows.size(); ++i) {
+        if ((rows[i].first - rows[0].first) % step != 0) {
+          return Status::InvalidArgument("cannot infer minute grid in " +
+                                         path);
+        }
+      }
+    }
+    const size_t n =
+        static_cast<size_t>((rows.back().first - rows.front().first) / step) +
+        1;
+    std::vector<double> values(n, ts::TimeSeries::Missing());
+    for (const auto& [minute, value] : rows) {
+      values[static_cast<size_t>((minute - rows.front().first) / step)] =
+          value;
+    }
+    report->gaps_repaired = n - rows.size();
+    return ts::TimeSeries(rows.front().first, step, std::move(values));
+  }
+  // kStrict and kSkipAndReport require the (surviving) rows to already form
+  // an increasing constant-step grid — the historical contract.
+  int64_t step = 1;
+  if (rows.size() >= 2) {
+    step = rows[1].first - rows[0].first;
+    if (step <= 0) return Status::IoError("non-increasing minutes in " + path);
+    for (size_t i = 2; i < rows.size(); ++i) {
+      if (rows[i].first - rows[i - 1].first != step) {
+        return Status::IoError("irregular minute step in " + path);
+      }
+    }
+  }
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& [minute, value] : rows) values.push_back(value);
+  return ts::TimeSeries(rows[0].first, step, std::move(values));
+}
+
+/// One read attempt of a gateway long-format file under `options`.
+Result<simgen::GatewayTrace> ReadGatewayCsvOnce(const std::string& path,
+                                                const ReadOptions& options,
+                                                IngestReport* report) {
+  obs::ScopedSpan span("io.read_gateway_csv");
+  HOMETS_FAILPOINT(kFailpointCsvOpen);
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  Metrics().files_read->Increment();
+  const bool strict = options.policy == ErrorPolicy::kStrict;
+  RowQuarantine quarantine(options, path, report);
+  std::string line;
+  size_t line_no = 1;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  if (StrTrim(line) !=
+      "device,true_type,reported_type,minute,incoming,outgoing") {
+    if (strict) {
+      return Status::InvalidArgument("bad header in " + path + ": " + line);
+    }
+    HOMETS_RETURN_IF_ERROR(
+        quarantine.Add(&report->rows_malformed, line_no, line, "bad header"));
+  }
+
+  struct Accum {
+    simgen::DeviceType true_type;
+    simgen::DeviceType reported_type;
+    std::map<int64_t, std::pair<double, double>> rows;
+  };
+  std::map<std::string, Accum> devices;
+  int64_t min_minute = 0;
+  int64_t max_minute = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Failpoints::Global().armed()) {
+      HOMETS_ASSIGN_OR_RETURN(const RowFate fate, ApplyRowFailpoint(&line));
+      if (fate == RowFate::kTruncateStream) {
+        report->truncated = true;
+        break;
+      }
+    }
+    if (StrTrim(line).empty()) {
+      Metrics().rows_skipped->Increment();
+      continue;
+    }
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() != 6) {
+      if (strict) {
+        return Status::IoError("malformed row in " + path + ": " + line);
+      }
+      HOMETS_RETURN_IF_ERROR(quarantine.Add(&report->rows_malformed, line_no,
+                                            line, "wrong field count"));
+      continue;
+    }
+    const auto parse_row =
+        [&]() -> Result<std::tuple<simgen::DeviceType, simgen::DeviceType,
+                                   int64_t, double, double>> {
+      HOMETS_ASSIGN_OR_RETURN(const auto true_type,
+                              ParseDeviceType(fields[1]));
+      HOMETS_ASSIGN_OR_RETURN(const auto reported_type,
+                              ParseDeviceType(fields[2]));
+      HOMETS_ASSIGN_OR_RETURN(const int64_t minute, ParseMinute(fields[3]));
+      HOMETS_ASSIGN_OR_RETURN(const double in_v, ParseValue(fields[4]));
+      HOMETS_ASSIGN_OR_RETURN(const double out_v, ParseValue(fields[5]));
+      return std::make_tuple(true_type, reported_type, minute, in_v, out_v);
+    };
+    const auto parsed = parse_row();
+    if (!parsed.ok()) {
+      if (strict) return parsed.status();
+      HOMETS_RETURN_IF_ERROR(quarantine.Add(&report->rows_malformed, line_no,
+                                            line,
+                                            "unparseable cell or type"));
+      continue;
+    }
+    const auto& [true_type, reported_type, minute, in_v, out_v] = *parsed;
+    auto& acc = devices[fields[0]];
+    acc.true_type = true_type;
+    acc.reported_type = reported_type;
+    if (!acc.rows.emplace(minute, std::make_pair(in_v, out_v)).second) {
+      // First observation wins; a repeated (device, minute) key means the
+      // exporter misbehaved and strict mode refuses to guess.
+      if (strict) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate observation in %s: device %s minute %lld",
+                      path.c_str(), fields[0].c_str(),
+                      static_cast<long long>(minute)));
+      }
+      HOMETS_RETURN_IF_ERROR(quarantine.Add(&report->rows_duplicate, line_no,
+                                            line, "duplicate minute"));
+      continue;
+    }
+    Metrics().rows_parsed->Increment();
+    ++report->rows_parsed;
+    if (max_minute < 0) {
+      min_minute = minute;
+      max_minute = minute;
+    } else {
+      min_minute = std::min(min_minute, minute);
+      max_minute = std::max(max_minute, minute);
+    }
+  }
+  if (report->truncated && strict) {
+    return Status::IoError("truncated stream in " + path);
+  }
+  if (devices.empty()) return Status::IoError("no data rows in " + path);
+
+  simgen::GatewayTrace gw;
+  const size_t n = static_cast<size_t>(max_minute - min_minute + 1);
+  for (auto& [name, acc] : devices) {
+    simgen::DeviceTrace dev;
+    dev.name = name;
+    dev.true_type = acc.true_type;
+    dev.reported_type = acc.reported_type;
+    std::vector<double> in_vals(n, ts::TimeSeries::Missing());
+    std::vector<double> out_vals(n, ts::TimeSeries::Missing());
+    for (const auto& [minute, pair] : acc.rows) {
+      const size_t idx = static_cast<size_t>(minute - min_minute);
+      in_vals[idx] = pair.first;
+      out_vals[idx] = pair.second;
+    }
+    dev.incoming = ts::TimeSeries(min_minute, 1, std::move(in_vals));
+    dev.outgoing = ts::TimeSeries(min_minute, 1, std::move(out_vals));
+    gw.devices.push_back(std::move(dev));
+  }
+  return gw;
+}
+
+/// Retry harness shared by both readers: transient failures (kIoError) are
+/// retried with deterministic exponential backoff, each attempt on a fresh
+/// report; parse/content failures are never retried. Publishes the ingest
+/// metrics exactly once per call.
+template <typename T, typename Fn>
+Result<T> ReadWithRetries(const std::string& path, const ReadOptions& options,
+                          IngestReport* report, const Fn& attempt) {
+  IngestReport local;
+  Result<T> result = Status::Unknown("read never attempted");
+  for (int attempt_no = 0;; ++attempt_no) {
+    const size_t retries_so_far = local.retries;
+    local = IngestReport{};
+    local.path = path;
+    local.retries = retries_so_far;
+    result = attempt(path, options, &local);
+    if (result.ok() || result.status().code() != StatusCode::kIoError ||
+        attempt_no >= options.max_retries) {
+      break;
+    }
+    ++local.retries;
+    if (options.backoff_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options.backoff_ms * static_cast<double>(int64_t{1} << attempt_no)));
+    }
+  }
+  const bool quarantined_file =
+      !result.ok() && options.policy != ErrorPolicy::kStrict;
+  PublishIngest(local, quarantined_file);
+  if (report != nullptr) *report = std::move(local);
+  return result;
+}
+
 }  // namespace
+
+std::string IngestReport::Summary() const {
+  return StrFormat(
+      "%s: %zu rows, %zu malformed, %zu duplicate, %zu out-of-order, "
+      "%zu gaps repaired, %zu retries%s",
+      path.c_str(), rows_parsed, rows_malformed, rows_duplicate,
+      rows_out_of_order, gaps_repaired, retries,
+      truncated ? ", truncated" : "");
+}
 
 Status WriteTimeSeriesCsv(const std::string& path,
                           const ts::TimeSeries& series) {
+  HOMETS_FAILPOINT(kFailpointCsvWrite);
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out << "minute,value\n";
@@ -58,48 +466,20 @@ Status WriteTimeSeriesCsv(const std::string& path,
   return Status::OK();
 }
 
+Result<ts::TimeSeries> ReadTimeSeriesCsv(const std::string& path,
+                                         const ReadOptions& options,
+                                         IngestReport* report) {
+  return ReadWithRetries<ts::TimeSeries>(path, options, report,
+                                         ReadTimeSeriesCsvOnce);
+}
+
 Result<ts::TimeSeries> ReadTimeSeriesCsv(const std::string& path) {
-  obs::ScopedSpan span("io.read_time_series_csv");
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  Metrics().files_read->Increment();
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::IoError("empty file: " + path);
-  }
-  std::vector<int64_t> minutes;
-  std::vector<double> values;
-  while (std::getline(in, line)) {
-    if (StrTrim(line).empty()) {
-      Metrics().rows_skipped->Increment();
-      continue;
-    }
-    const auto fields = StrSplit(line, ',');
-    if (fields.size() != 2) {
-      return Status::IoError("malformed row in " + path + ": " + line);
-    }
-    Metrics().rows_parsed->Increment();
-    minutes.push_back(std::stoll(fields[0]));
-    const auto value_field = StrTrim(fields[1]);
-    values.push_back(value_field.empty() ? ts::TimeSeries::Missing()
-                                         : std::stod(std::string(value_field)));
-  }
-  if (minutes.empty()) return Status::IoError("no data rows in " + path);
-  int64_t step = 1;
-  if (minutes.size() >= 2) {
-    step = minutes[1] - minutes[0];
-    if (step <= 0) return Status::IoError("non-increasing minutes in " + path);
-    for (size_t i = 2; i < minutes.size(); ++i) {
-      if (minutes[i] - minutes[i - 1] != step) {
-        return Status::IoError("irregular minute step in " + path);
-      }
-    }
-  }
-  return ts::TimeSeries(minutes[0], step, std::move(values));
+  return ReadTimeSeriesCsv(path, ReadOptions{}, nullptr);
 }
 
 Status WriteGatewayCsv(const std::string& path,
                        const simgen::GatewayTrace& gateway) {
+  HOMETS_FAILPOINT(kFailpointCsvWrite);
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out << "device,true_type,reported_type,minute,incoming,outgoing\n";
@@ -125,75 +505,15 @@ Status WriteGatewayCsv(const std::string& path,
   return Status::OK();
 }
 
+Result<simgen::GatewayTrace> ReadGatewayCsv(const std::string& path,
+                                            const ReadOptions& options,
+                                            IngestReport* report) {
+  return ReadWithRetries<simgen::GatewayTrace>(path, options, report,
+                                               ReadGatewayCsvOnce);
+}
+
 Result<simgen::GatewayTrace> ReadGatewayCsv(const std::string& path) {
-  obs::ScopedSpan span("io.read_gateway_csv");
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  Metrics().files_read->Increment();
-  std::string line;
-  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
-
-  struct Accum {
-    simgen::DeviceType true_type;
-    simgen::DeviceType reported_type;
-    std::map<int64_t, std::pair<double, double>> rows;
-  };
-  std::map<std::string, Accum> devices;
-  int64_t min_minute = 0;
-  int64_t max_minute = -1;
-  while (std::getline(in, line)) {
-    if (StrTrim(line).empty()) {
-      Metrics().rows_skipped->Increment();
-      continue;
-    }
-    const auto fields = StrSplit(line, ',');
-    if (fields.size() != 6) {
-      return Status::IoError("malformed row in " + path + ": " + line);
-    }
-    Metrics().rows_parsed->Increment();
-    HOMETS_ASSIGN_OR_RETURN(const auto true_type, ParseDeviceType(fields[1]));
-    HOMETS_ASSIGN_OR_RETURN(const auto reported_type,
-                            ParseDeviceType(fields[2]));
-    const int64_t minute = std::stoll(fields[3]);
-    const double in_v = StrTrim(fields[4]).empty()
-                            ? ts::TimeSeries::Missing()
-                            : std::stod(fields[4]);
-    const double out_v = StrTrim(fields[5]).empty()
-                             ? ts::TimeSeries::Missing()
-                             : std::stod(fields[5]);
-    auto& acc = devices[fields[0]];
-    acc.true_type = true_type;
-    acc.reported_type = reported_type;
-    acc.rows[minute] = {in_v, out_v};
-    if (max_minute < 0) {
-      min_minute = minute;
-      max_minute = minute;
-    } else {
-      min_minute = std::min(min_minute, minute);
-      max_minute = std::max(max_minute, minute);
-    }
-  }
-  if (devices.empty()) return Status::IoError("no data rows in " + path);
-
-  simgen::GatewayTrace gw;
-  const size_t n = static_cast<size_t>(max_minute - min_minute + 1);
-  for (auto& [name, acc] : devices) {
-    simgen::DeviceTrace dev;
-    dev.name = name;
-    dev.true_type = acc.true_type;
-    dev.reported_type = acc.reported_type;
-    std::vector<double> in_vals(n, ts::TimeSeries::Missing());
-    std::vector<double> out_vals(n, ts::TimeSeries::Missing());
-    for (const auto& [minute, pair] : acc.rows) {
-      const size_t idx = static_cast<size_t>(minute - min_minute);
-      in_vals[idx] = pair.first;
-      out_vals[idx] = pair.second;
-    }
-    dev.incoming = ts::TimeSeries(min_minute, 1, std::move(in_vals));
-    dev.outgoing = ts::TimeSeries(min_minute, 1, std::move(out_vals));
-    gw.devices.push_back(std::move(dev));
-  }
-  return gw;
+  return ReadGatewayCsv(path, ReadOptions{}, nullptr);
 }
 
 }  // namespace homets::io

@@ -95,7 +95,7 @@ Result<ArModel> FitAr(const std::vector<double>& x, size_t p) {
 Result<ArModel> FitArAicSelect(const std::vector<double>& x,
                                size_t max_order) {
   Result<ArModel> best = FitAr(x, 0);
-  HOMETS_RETURN_NOT_OK(best.status());
+  HOMETS_RETURN_IF_ERROR(best.status());
   for (size_t p = 1; p <= max_order; ++p) {
     Result<ArModel> candidate = FitAr(x, p);
     if (!candidate.ok()) continue;

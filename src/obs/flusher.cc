@@ -20,7 +20,9 @@ MetricsFlusher::MetricsFlusher(MetricsFlusherOptions options)
   write_us_ = options_.registry->GetHistogram(kObsFlushWriteUs);
 }
 
-MetricsFlusher::~MetricsFlusher() { Stop(); }
+// A destructor has nowhere to propagate the Status; Stop() already counted
+// any write error in kObsFlushErrors.
+MetricsFlusher::~MetricsFlusher() { Stop(); }  // homets-lint: allow(discarded-status)
 
 Status MetricsFlusher::Start() {
   if (options_.path.empty()) {

@@ -1,0 +1,144 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace homets {
+namespace {
+
+// The registry is process-global; every test starts and ends disarmed.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Global().Reset(); }
+  void TearDown() override { Failpoints::Global().Reset(); }
+};
+
+TEST_F(FailpointTest, DisarmedByDefault) {
+  EXPECT_FALSE(Failpoints::Global().armed());
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvOpen),
+            FailpointAction::kNone);
+  EXPECT_TRUE(Failpoints::Global().InjectedError(kFailpointCsvOpen).ok());
+}
+
+TEST_F(FailpointTest, ConfigureArmsAndResetDisarms) {
+  ASSERT_TRUE(Failpoints::Global().Configure("io.csv.open=error").ok());
+  EXPECT_TRUE(Failpoints::Global().armed());
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvOpen),
+            FailpointAction::kError);
+  // Unknown sites never fire.
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kNone);
+  Failpoints::Global().Reset();
+  EXPECT_FALSE(Failpoints::Global().armed());
+}
+
+TEST_F(FailpointTest, EmptySpecDisarms) {
+  ASSERT_TRUE(Failpoints::Global().Configure("io.csv.open=error").ok());
+  ASSERT_TRUE(Failpoints::Global().Configure("").ok());
+  EXPECT_FALSE(Failpoints::Global().armed());
+}
+
+TEST_F(FailpointTest, InjectedErrorMapsActions) {
+  ASSERT_TRUE(
+      Failpoints::Global()
+          .Configure("io.csv.open=error;threadpool.task=fail")
+          .ok());
+  const Status io = Failpoints::Global().InjectedError(kFailpointCsvOpen);
+  EXPECT_EQ(io.code(), StatusCode::kIoError);
+  const Status task =
+      Failpoints::Global().InjectedError(kFailpointThreadPoolTask);
+  EXPECT_EQ(task.code(), StatusCode::kComputeError);
+}
+
+TEST_F(FailpointTest, CountModifierLimitsFires) {
+  ASSERT_TRUE(Failpoints::Global().Configure("io.csv.row=corrupt*2").ok());
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kCorrupt);
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kCorrupt);
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kNone);
+  const FailpointStats stats = Failpoints::Global().stats(kFailpointCsvRow);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.fires, 2u);
+}
+
+TEST_F(FailpointTest, StartModifierSkipsEarlyHits) {
+  ASSERT_TRUE(Failpoints::Global().Configure("io.csv.row=truncate@3").ok());
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kNone);
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kNone);
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kTruncate);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  const auto firing_pattern = [](uint64_t seed) {
+    EXPECT_TRUE(Failpoints::Global()
+                    .Configure("threadpool.task=fail~0.5", seed)
+                    .ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += Failpoints::Global().Evaluate(kFailpointThreadPoolTask) ==
+                         FailpointAction::kFail
+                     ? 'F'
+                     : '.';
+    }
+    return pattern;
+  };
+  const std::string first = firing_pattern(7);
+  const std::string again = firing_pattern(7);
+  const std::string other = firing_pattern(8);
+  EXPECT_EQ(first, again);
+  EXPECT_NE(first, other);
+  // ~0.5 over 64 draws: both outcomes must appear.
+  EXPECT_NE(first.find('F'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejectedRegistryUnchanged) {
+  ASSERT_TRUE(Failpoints::Global().Configure("io.csv.open=error").ok());
+  for (const char* bad :
+       {"io.csv.open", "io.csv.open=explode", "io.csv.open=error*x",
+        "io.csv.open=error~1.5", "=error", "io.csv.open=error@"}) {
+    EXPECT_EQ(Failpoints::Global().Configure(bad).code(),
+              StatusCode::kInvalidArgument)
+        << bad;
+  }
+  // The pre-error rules are still installed.
+  EXPECT_TRUE(Failpoints::Global().armed());
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvOpen),
+            FailpointAction::kError);
+}
+
+TEST_F(FailpointTest, OffActionInstallsNothingForSite) {
+  ASSERT_TRUE(
+      Failpoints::Global().Configure("io.csv.open=off;io.csv.row=error").ok());
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvOpen),
+            FailpointAction::kNone);
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
+            FailpointAction::kError);
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvReadsSpecAndSeed) {
+  ASSERT_EQ(setenv("HOMETS_FAILPOINTS", "io.csv.open=error*1", 1), 0);
+  ASSERT_EQ(setenv("HOMETS_FAILPOINTS_SEED", "5", 1), 0);
+  EXPECT_TRUE(Failpoints::Global().ConfigureFromEnv().ok());
+  EXPECT_TRUE(Failpoints::Global().armed());
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvOpen),
+            FailpointAction::kError);
+  EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvOpen),
+            FailpointAction::kNone);
+  ASSERT_EQ(unsetenv("HOMETS_FAILPOINTS"), 0);
+  ASSERT_EQ(unsetenv("HOMETS_FAILPOINTS_SEED"), 0);
+  EXPECT_TRUE(Failpoints::Global().ConfigureFromEnv().ok());
+  EXPECT_FALSE(Failpoints::Global().armed());
+}
+
+}  // namespace
+}  // namespace homets

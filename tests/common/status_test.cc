@@ -36,6 +36,19 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotImplemented), "NotImplemented");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnknown), "Unknown");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+}
+
+TEST(StatusTest, CancellationFactories) {
+  const Status cancelled = Status::Cancelled("stopped by caller");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: stopped by caller");
+  const Status late = Status::DeadlineExceeded("over budget");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: over budget");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -95,12 +108,13 @@ Status FailWhenNegative(int x) {
 }
 
 Status Check(int a, int b) {
-  HOMETS_RETURN_NOT_OK(FailWhenNegative(a));
+  HOMETS_RETURN_IF_ERROR(FailWhenNegative(a));
+  // The historical spelling stays a strict alias of HOMETS_RETURN_IF_ERROR.
   HOMETS_RETURN_NOT_OK(FailWhenNegative(b));
   return Status::OK();
 }
 
-TEST(ResultTest, ReturnNotOkMacro) {
+TEST(ResultTest, ReturnIfErrorMacro) {
   EXPECT_TRUE(Check(1, 2).ok());
   EXPECT_EQ(Check(-1, 2).code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Check(1, -2).code(), StatusCode::kOutOfRange);

@@ -1,0 +1,246 @@
+// Resilient-ingestion tests: the malformed-CSV fixture corpus under
+// tests/io/fixtures/ run through all three ErrorPolicy values, plus the
+// per-file error cap and the ingest metric counters. The corpus path comes
+// in via HOMETS_IO_FIXTURES_DIR (set in tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "io/csv.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "ts/time_series.h"
+
+namespace homets::io {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(HOMETS_IO_FIXTURES_DIR) + "/" + name;
+}
+
+ReadOptions Policy(ErrorPolicy policy) {
+  ReadOptions options;
+  options.policy = policy;
+  return options;
+}
+
+TEST(IngestSeriesTest, BadHeaderStrictFailsOthersQuarantine) {
+  EXPECT_EQ(ReadTimeSeriesCsv(Fixture("bad_header.csv")).status().code(),
+            StatusCode::kInvalidArgument);
+  for (const ErrorPolicy policy :
+       {ErrorPolicy::kSkipAndReport, ErrorPolicy::kRepair}) {
+    IngestReport report;
+    const auto loaded =
+        ReadTimeSeriesCsv(Fixture("bad_header.csv"), Policy(policy), &report);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->size(), 4u);
+    EXPECT_EQ(report.rows_malformed, 1u);
+    ASSERT_FALSE(report.quarantine.empty());
+    EXPECT_EQ(report.quarantine[0].line, 1u);
+    EXPECT_EQ(report.quarantine[0].reason, "bad header");
+  }
+}
+
+TEST(IngestSeriesTest, NonNumericCellsQuarantinedWithSamples) {
+  EXPECT_EQ(ReadTimeSeriesCsv(Fixture("non_numeric.csv")).status().code(),
+            StatusCode::kInvalidArgument);
+  IngestReport report;
+  const auto loaded =
+      ReadTimeSeriesCsv(Fixture("non_numeric.csv"),
+                        Policy(ErrorPolicy::kSkipAndReport), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 4u);  // minutes 0..3 survive
+  EXPECT_DOUBLE_EQ((*loaded)[2], 2.5);
+  EXPECT_EQ(report.rows_parsed, 4u);
+  EXPECT_EQ(report.rows_malformed, 2u);
+  ASSERT_EQ(report.quarantine.size(), 2u);
+  EXPECT_EQ(report.quarantine[0].text, "oops,9.9");
+  EXPECT_EQ(report.quarantine[0].reason, "non-numeric cell");
+  EXPECT_EQ(report.quarantine[1].line, 5u);
+}
+
+TEST(IngestSeriesTest, DuplicateMinuteFirstRowWins) {
+  EXPECT_FALSE(ReadTimeSeriesCsv(Fixture("duplicate_minute.csv")).ok());
+  IngestReport report;
+  const auto loaded =
+      ReadTimeSeriesCsv(Fixture("duplicate_minute.csv"),
+                        Policy(ErrorPolicy::kSkipAndReport), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 4u);
+  EXPECT_DOUBLE_EQ((*loaded)[1], 2.0);  // not the 2.5 from the repeat
+  EXPECT_EQ(report.rows_duplicate, 1u);
+  EXPECT_EQ(report.SkippedTotal(), 1u);
+}
+
+TEST(IngestSeriesTest, OutOfOrderNeedsRepair) {
+  // Strict and skip both fail (the quarantined row leaves an irregular
+  // grid); repair re-sorts and recovers every row.
+  EXPECT_FALSE(ReadTimeSeriesCsv(Fixture("out_of_order.csv")).ok());
+  EXPECT_FALSE(ReadTimeSeriesCsv(Fixture("out_of_order.csv"),
+                                 Policy(ErrorPolicy::kSkipAndReport))
+                   .ok());
+  IngestReport report;
+  const auto loaded = ReadTimeSeriesCsv(Fixture("out_of_order.csv"),
+                                        Policy(ErrorPolicy::kRepair), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i], static_cast<double>(i) + 1.0);
+  }
+  EXPECT_EQ(report.rows_out_of_order, 1u);
+  EXPECT_EQ(report.gaps_repaired, 0u);
+}
+
+TEST(IngestSeriesTest, GapsFilledWithMissingMarkers) {
+  EXPECT_FALSE(ReadTimeSeriesCsv(Fixture("gapped.csv")).ok());
+  IngestReport report;
+  const auto loaded = ReadTimeSeriesCsv(Fixture("gapped.csv"),
+                                        Policy(ErrorPolicy::kRepair), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 7u);  // minutes 0..6 on a step-1 grid
+  EXPECT_EQ(loaded->step_minutes(), 1);
+  EXPECT_TRUE(ts::TimeSeries::IsMissing((*loaded)[3]));
+  EXPECT_TRUE(ts::TimeSeries::IsMissing((*loaded)[4]));
+  EXPECT_DOUBLE_EQ((*loaded)[5], 6.0);
+  EXPECT_EQ(report.gaps_repaired, 2u);
+}
+
+TEST(IngestSeriesTest, OffGridMinutesCannotBeRepaired) {
+  const auto loaded =
+      ReadTimeSeriesCsv(Fixture("off_grid.csv"), Policy(ErrorPolicy::kRepair));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("cannot infer minute grid"),
+            std::string::npos);
+}
+
+TEST(IngestSeriesTest, RepairRecoversCombinedMess) {
+  IngestReport report;
+  const auto loaded = ReadTimeSeriesCsv(Fixture("mess.csv"),
+                                        Policy(ErrorPolicy::kRepair), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 6u);  // minutes 0..5
+  EXPECT_DOUBLE_EQ((*loaded)[1], 2.0);
+  EXPECT_DOUBLE_EQ((*loaded)[3], 4.0);
+  EXPECT_TRUE(ts::TimeSeries::IsMissing((*loaded)[2]));
+  EXPECT_TRUE(ts::TimeSeries::IsMissing((*loaded)[4]));
+  EXPECT_EQ(report.rows_parsed, 4u);
+  EXPECT_EQ(report.rows_malformed, 1u);
+  EXPECT_EQ(report.rows_duplicate, 1u);
+  EXPECT_EQ(report.rows_out_of_order, 1u);
+  EXPECT_EQ(report.gaps_repaired, 2u);
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("4 rows"), std::string::npos);
+  EXPECT_NE(summary.find("1 malformed"), std::string::npos);
+  EXPECT_NE(summary.find("2 gaps repaired"), std::string::npos);
+}
+
+TEST(IngestSeriesTest, EmbeddedNulByteIsMalformedNotFatal) {
+  EXPECT_FALSE(ReadTimeSeriesCsv(Fixture("embedded_nul.csv")).ok());
+  IngestReport report;
+  const auto loaded =
+      ReadTimeSeriesCsv(Fixture("embedded_nul.csv"),
+                        Policy(ErrorPolicy::kSkipAndReport), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);  // minutes 0 and 2 form a step-2 grid
+  EXPECT_EQ(report.rows_malformed, 1u);
+}
+
+TEST(IngestSeriesTest, ErrorCapFailsThoroughlyCorruptFile) {
+  const std::string path = testing::TempDir() + "/corrupt_flood.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("minute,value\n", f);
+    for (int i = 0; i < 8; ++i) std::fputs("garbage\n", f);
+    std::fclose(f);
+  }
+  ReadOptions options = Policy(ErrorPolicy::kSkipAndReport);
+  options.max_errors = 3;
+  const auto loaded = ReadTimeSeriesCsv(path, options);
+  // InvalidArgument, not IoError: a content problem must never be retried.
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("too many bad rows"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IngestSeriesTest, QuarantineSampleIsCappedButCountsAreExact) {
+  const std::string path = testing::TempDir() + "/many_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("minute,value\n", f);
+    for (int i = 0; i < 30; ++i) std::fputs("junk\n", f);
+    std::fputs("0,1.0\n1,2.0\n", f);
+    std::fclose(f);
+  }
+  IngestReport report;
+  const auto loaded = ReadTimeSeriesCsv(
+      path, Policy(ErrorPolicy::kSkipAndReport), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(report.rows_malformed, 30u);
+  EXPECT_LT(report.quarantine.size(), 30u);
+  std::remove(path.c_str());
+}
+
+TEST(IngestSeriesTest, IngestMetricsAggregateAcrossReads) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* const malformed =
+      registry.GetCounter(obs::kIngestRowsMalformed);
+  obs::Counter* const gaps = registry.GetCounter(obs::kIngestGapsRepaired);
+  const uint64_t malformed_before = malformed->Value();
+  const uint64_t gaps_before = gaps->Value();
+  ASSERT_TRUE(
+      ReadTimeSeriesCsv(Fixture("mess.csv"), Policy(ErrorPolicy::kRepair))
+          .ok());
+  EXPECT_EQ(malformed->Value(), malformed_before + 1);
+  EXPECT_EQ(gaps->Value(), gaps_before + 2);
+}
+
+TEST(IngestGatewayTest, DuplicateObservationFirstRowWins) {
+  const auto strict = ReadGatewayCsv(Fixture("gateway_dup.csv"));
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(strict.status().message().find("duplicate observation"),
+            std::string::npos);
+  IngestReport report;
+  const auto loaded =
+      ReadGatewayCsv(Fixture("gateway_dup.csv"),
+                     Policy(ErrorPolicy::kSkipAndReport), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->devices.size(), 2u);
+  EXPECT_EQ(report.rows_duplicate, 1u);
+  EXPECT_EQ(report.rows_parsed, 3u);
+  // devices are name-sorted: cam first.
+  EXPECT_EQ(loaded->devices[0].name, "cam");
+  EXPECT_DOUBLE_EQ(loaded->devices[0].incoming[1], 3.0);  // not the 9.0 dup
+}
+
+TEST(IngestGatewayTest, UnknownDeviceTypeQuarantined) {
+  EXPECT_EQ(ReadGatewayCsv(Fixture("gateway_badtype.csv")).status().code(),
+            StatusCode::kInvalidArgument);
+  IngestReport report;
+  const auto loaded =
+      ReadGatewayCsv(Fixture("gateway_badtype.csv"),
+                     Policy(ErrorPolicy::kSkipAndReport), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->devices.size(), 1u);
+  EXPECT_EQ(loaded->devices[0].true_type, simgen::DeviceType::kFixed);
+  EXPECT_EQ(report.rows_malformed, 1u);
+  EXPECT_EQ(report.rows_parsed, 2u);
+  ASSERT_FALSE(report.quarantine.empty());
+  EXPECT_EQ(report.quarantine[0].reason, "unparseable cell or type");
+}
+
+TEST(IngestGatewayTest, StrictOverloadMatchesDefaultOptions) {
+  // The one-argument overload is exactly ReadOptions{} — same failure, same
+  // code — so existing call sites kept their behavior through the refactor.
+  const auto wrapper = ReadGatewayCsv(Fixture("gateway_dup.csv"));
+  const auto explicit_strict =
+      ReadGatewayCsv(Fixture("gateway_dup.csv"), ReadOptions{});
+  EXPECT_EQ(wrapper.status().code(), explicit_strict.status().code());
+  EXPECT_EQ(wrapper.status().message(), explicit_strict.status().message());
+}
+
+}  // namespace
+}  // namespace homets::io

@@ -95,6 +95,17 @@ check "metrics: 1 metric-dead-constant hit" \
     test "$(hits metric-dead-constant)" -eq 1
 check "metrics: dead constant named" grep -q kFixtureDead "$workdir/out"
 
+# --- discarded-status -----------------------------------------------------
+run_case discarded_status
+check "discarded_status exits 1" test "$rc" -eq 1
+check "discarded_status: 3 hits" test "$(hits discarded-status)" -eq 3
+check "discarded_status flags the member call" \
+    grep -q "bad.cc:8: discarded-status: result of 'Flush'" "$workdir/out"
+check "discarded_status: assigned and inspected calls are fine" \
+    sh -c "! grep -qE 'bad.cc:(10|12):' '$workdir/out'"
+check "discarded_status: suppressed variant is silent" \
+    sh -c "! grep -q suppressed.cc '$workdir/out'"
+
 # --- clean tree and rule filtering ----------------------------------------
 run_case clean
 check "clean tree exits 0" test "$rc" -eq 0
@@ -116,6 +127,6 @@ rc=0
 check "unknown rule id exits 2" test "$rc" -eq 2
 
 check "--list-rules names every rule" \
-    test "$("$lint" --list-rules | wc -l)" -eq 9
+    test "$("$lint" --list-rules | wc -l)" -eq 10
 
 exit "$fail"

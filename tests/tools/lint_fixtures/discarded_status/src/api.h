@@ -1,0 +1,22 @@
+// Fixture: the Status/Result-returning surface discarded-status matches
+// call sites against. Local stand-ins, not the real homets types.
+#ifndef FIXTURE_API_H_
+#define FIXTURE_API_H_
+
+struct Status {
+  bool ok() const { return true; }
+};
+template <typename T>
+struct Result {
+  bool ok() const { return true; }
+};
+
+Status SaveState(int v);
+Result<int> LoadState();
+void Log(int v);
+
+struct Writer {
+  Status Flush();
+};
+
+#endif  // FIXTURE_API_H_

@@ -1,0 +1,13 @@
+// Fixture: discarded Status/Result values — each marked line is a hit.
+#include "api.h"
+
+void Caller() {
+  SaveState(1);  // hit: Status dropped at statement start
+  LoadState();   // hit: Result dropped
+  Writer w;
+  w.Flush();     // hit: Status dropped through a member call
+  Log(2);        // void return: fine
+  const Status kept = SaveState(3);  // assigned: fine
+  (void)kept;
+  if (SaveState(4).ok()) Log(4);  // inspected: fine
+}

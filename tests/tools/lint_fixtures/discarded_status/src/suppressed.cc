@@ -1,0 +1,10 @@
+// Fixture: suppressed discarded-status sites — zero findings expected.
+#include "api.h"
+
+void CallerAllowed() {
+  SaveState(1);  // homets-lint: allow(discarded-status)
+  LoadState();   // homets-lint: allow(discarded-status)
+  Writer w;
+  // homets-lint: allow(discarded-status)
+  w.Flush();
+}

@@ -14,9 +14,19 @@
 //                                      exposition blocks during the run
 //   --metrics-flush-interval-sec SEC   flush period (default 60); requires
 //                                      --metrics-flush-out
+// the resilience flags
+//   --read-policy strict|skip|repair   bad-row handling for trace ingestion
+//   --read-retries N                   retry transient IO failures N times
+//   --failpoints SPEC                  arm fault injection (DESIGN.md §8)
+//   --failpoints-seed N                seed for probabilistic failpoints
 // and prints a metrics summary on stderr when the run succeeds. The flusher
 // writes only to its own file, so analytical stdout is byte-identical with
 // and without flushing.
+//
+// Exit codes (documented in tools/README.md): 0 success, 2 usage error,
+// 10 + StatusCode for a Status failure (e.g. 17 = IoError), 1 for failures
+// with no Status attached. Status failures print the canonical code name on
+// stderr so scripts can match either channel.
 //
 // Flags are strict: unknown --flags and a trailing --flag with no value are
 // usage errors, never positionals. Traces use the WriteGatewayCsv long
@@ -31,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "core/background.h"
@@ -63,18 +74,68 @@ int Usage() {
          "  --trace-out FILE     write a Chrome/Perfetto trace of the run\n"
          "  --metrics-flush-out FILE          append Prometheus-text "
          "flushes during the run\n"
-         "  --metrics-flush-interval-sec SEC  flush period (default 60)\n";
+         "  --metrics-flush-interval-sec SEC  flush period (default 60)\n"
+         "  --read-policy strict|skip|repair  bad-row handling (default "
+         "strict)\n"
+         "  --read-retries N     retry transient IO failures N times\n"
+         "  --failpoints SPEC    arm fault injection (see tools/README.md)\n"
+         "  --failpoints-seed N  seed for probabilistic failpoints\n";
   return 2;
 }
 
-// The observability flags every subcommand accepts.
-const std::set<std::string> kObsFlags = {"metrics-out", "trace-out",
-                                         "metrics-flush-out",
-                                         "metrics-flush-interval-sec"};
+// The observability and resilience flags every subcommand accepts.
+const std::set<std::string> kObsFlags = {
+    "metrics-out",  "trace-out",    "metrics-flush-out",
+    "metrics-flush-interval-sec",   "read-policy",
+    "read-retries", "failpoints",   "failpoints-seed"};
 
 std::set<std::string> WithObsFlags(std::set<std::string> flags) {
   flags.insert(kObsFlags.begin(), kObsFlags.end());
   return flags;
+}
+
+// Status failures exit as 10 + the numeric StatusCode (IoError = 17,
+// InvalidArgument = 11, ...) so scripts can tell a transient IO problem from
+// corrupt input without parsing stderr. `context` names the failing step.
+int FailWith(const std::string& context, const Status& status) {
+  std::cerr << context << ": [" << StatusCodeToString(status.code()) << "] "
+            << status.message() << "\n";
+  return 10 + static_cast<int>(status.code());
+}
+
+// Resilient-ingestion options from the common flags; exits via usage error
+// on a bad policy name.
+Result<io::ReadOptions> ReadOptionsFromFlags(const ParsedArgs& args) {
+  io::ReadOptions options;
+  const std::string policy = args.GetString("read-policy", "strict");
+  if (policy == "skip") {
+    options.policy = io::ErrorPolicy::kSkipAndReport;
+  } else if (policy == "repair") {
+    options.policy = io::ErrorPolicy::kRepair;
+  } else if (policy != "strict") {
+    return Status::InvalidArgument(
+        "--read-policy must be strict, skip, or repair");
+  }
+  HOMETS_ASSIGN_OR_RETURN(const int64_t retries,
+                          args.GetInt("read-retries", 0));
+  if (retries < 0) {
+    return Status::InvalidArgument("--read-retries must be >= 0");
+  }
+  options.max_retries = static_cast<int>(retries);
+  return options;
+}
+
+// Reads one gateway trace under the session read options, narrating any
+// quarantine/repair activity to stderr so lenient runs stay auditable.
+Result<simgen::GatewayTrace> ReadGateway(const std::string& path,
+                                         const io::ReadOptions& options) {
+  io::IngestReport report;
+  auto gw = io::ReadGatewayCsv(path, options, &report);
+  if (report.SkippedTotal() > 0 || report.gaps_repaired > 0 ||
+      report.retries > 0 || report.truncated) {
+    std::cerr << "ingest: " << report.Summary() << "\n";
+  }
+  return gw;
 }
 
 int FlagIntOr(const ParsedArgs& args, const std::string& flag,
@@ -116,10 +177,7 @@ int RunGenerate(const ParsedArgs& args) {
     const std::string path =
         StrFormat("%s/gateway_%03d.csv", out_dir.c_str(), id);
     const Status status = io::WriteGatewayCsv(path, gw);
-    if (!status.ok()) {
-      std::cerr << "write failed: " << status.ToString() << "\n";
-      return 1;
-    }
+    if (!status.ok()) return FailWith("write failed", status);
     std::cout << path << ": " << gw.devices.size() << " devices, "
               << gw.AggregateTraffic().CountObserved()
               << " observed minutes\n";
@@ -127,27 +185,23 @@ int RunGenerate(const ParsedArgs& args) {
   return 0;
 }
 
-int RunProfile(const ParsedArgs& args) {
+int RunProfile(const ParsedArgs& args, const io::ReadOptions& read_options) {
   if (args.positional.size() != 1) {
     std::cerr << "profile: exactly one TRACE.csv expected\n";
     return 2;
   }
-  const auto gw = io::ReadGatewayCsv(args.positional[0]);
-  if (!gw.ok()) {
-    std::cerr << "read failed: " << gw.status().ToString() << "\n";
-    return 1;
-  }
+  const auto gw = ReadGateway(args.positional[0], read_options);
+  if (!gw.ok()) return FailWith("read failed", gw.status());
   obs::ScopedSpan span("cli.profile");
   const auto profile = core::ProfileGateway(*gw);
   if (!profile.ok()) {
-    std::cerr << "profiling failed: " << profile.status().ToString() << "\n";
-    return 1;
+    return FailWith("profiling failed", profile.status());
   }
   std::cout << core::FormatProfile(*profile);
   return 0;
 }
 
-int RunMotifs(const ParsedArgs& args) {
+int RunMotifs(const ParsedArgs& args, const io::ReadOptions& read_options) {
   if (args.positional.empty()) {
     std::cerr << "motifs: at least one TRACE.csv expected\n";
     return 2;
@@ -168,7 +222,7 @@ int RunMotifs(const ParsedArgs& args) {
   {
     obs::ScopedSpan span("cli.read_traces");
     for (const std::string& path : args.positional) {
-      const auto gw = io::ReadGatewayCsv(path);
+      const auto gw = ReadGateway(path, read_options);
       if (!gw.ok()) {
         std::cerr << "skipping " << path << ": " << gw.status().ToString()
                   << "\n";
@@ -217,10 +271,7 @@ int RunMotifs(const ParsedArgs& args) {
     obs::ScopedSpan span("cli.mine_motifs");
     return core::MotifDiscovery().Discover(windows);
   }();
-  if (!motifs.ok()) {
-    std::cerr << "mining failed: " << motifs.status().ToString() << "\n";
-    return 1;
-  }
+  if (!motifs.ok()) return FailWith("mining failed", motifs.status());
   std::cout << motifs->size() << " " << period << " motifs from "
             << windows.size() << " windows of " << next_id << " gateways\n";
   io::TextTable table({"motif", "support", "gateways", "recurrence_%"});
@@ -244,7 +295,7 @@ int RunMotifs(const ParsedArgs& args) {
 // StreamingMotifMiner — the paper's "integrate into a streaming analytics
 // platform" mode, and the long-running workload the periodic metrics
 // flusher exists for.
-int RunStream(const ParsedArgs& args) {
+int RunStream(const ParsedArgs& args, const io::ReadOptions& read_options) {
   if (args.positional.empty()) {
     std::cerr << "stream: at least one TRACE.csv expected\n";
     return 2;
@@ -267,16 +318,13 @@ int RunStream(const ParsedArgs& args) {
 
   obs::ScopedSpan span("cli.stream");
   auto assembler = core::WindowAssembler::Make(window, granularity, anchor);
-  if (!assembler.ok()) {
-    std::cerr << "stream: " << assembler.status().ToString() << "\n";
-    return 1;
-  }
+  if (!assembler.ok()) return FailWith("stream", assembler.status());
   core::StreamingMotifMiner miner(core::MotifOptions{},
                                   static_cast<size_t>(horizon));
   size_t minutes = 0, windows_streamed = 0;
   int next_id = 0;
   for (const std::string& path : args.positional) {
-    const auto gw = io::ReadGatewayCsv(path);
+    const auto gw = ReadGateway(path, read_options);
     if (!gw.ok()) {
       std::cerr << "skipping " << path << ": " << gw.status().ToString()
                 << "\n";
@@ -378,6 +426,30 @@ int main(int argc, char** argv) {
   }
   const ParsedArgs& args = *parsed;
 
+  // Arm fault injection before any work: the flag wins over the
+  // HOMETS_FAILPOINTS environment variable; a malformed spec is a usage
+  // error, not a run failure.
+  {
+    Status armed;
+    if (args.Has("failpoints")) {
+      int64_t fp_seed = 0;
+      if (FlagIntOr(args, "failpoints-seed", 0, &fp_seed) != 0) return 2;
+      armed = Failpoints::Global().Configure(args.GetString("failpoints"),
+                                             static_cast<uint64_t>(fp_seed));
+    } else {
+      armed = Failpoints::Global().ConfigureFromEnv();
+    }
+    if (!armed.ok()) {
+      std::cerr << "failpoints: " << armed.ToString() << "\n";
+      return 2;
+    }
+  }
+  const auto read_options = ReadOptionsFromFlags(args);
+  if (!read_options.ok()) {
+    std::cerr << "error: " << read_options.status().ToString() << "\n";
+    return 2;
+  }
+
   // Install the trace session before any work so every span of the run is
   // captured; uninstall before writing so the write itself is not traced.
   obs::TraceSession session;
@@ -408,41 +480,31 @@ int main(int argc, char** argv) {
   obs::MetricsFlusher flusher(flush_options);
   if (!flush_path.empty()) {
     const Status started = flusher.Start();
-    if (!started.ok()) {
-      std::cerr << "metrics-flush-out: " << started.ToString() << "\n";
-      return 1;
-    }
+    if (!started.ok()) return FailWith("metrics-flush-out", started);
   }
 
   int rc = 1;
   if (command == "generate") rc = RunGenerate(args);
-  if (command == "profile") rc = RunProfile(args);
-  if (command == "motifs") rc = RunMotifs(args);
-  if (command == "stream") rc = RunStream(args);
+  if (command == "profile") rc = RunProfile(args, *read_options);
+  if (command == "motifs") rc = RunMotifs(args, *read_options);
+  if (command == "stream") rc = RunStream(args, *read_options);
 
   if (!flush_path.empty()) {
     const Status stopped = flusher.Stop();
-    if (!stopped.ok()) {
-      std::cerr << "metrics-flush-out: " << stopped.ToString() << "\n";
-      if (rc == 0) rc = 1;
+    if (!stopped.ok() && rc == 0) {
+      rc = FailWith("metrics-flush-out", stopped);
     }
   }
   obs::InstallGlobalTraceSession(nullptr);
   if (!trace_path.empty() && rc == 0) {
     const Status status = WriteFile(trace_path, session.ToChromeJson());
-    if (!status.ok()) {
-      std::cerr << "trace-out: " << status.ToString() << "\n";
-      rc = 1;
-    }
+    if (!status.ok()) rc = FailWith("trace-out", status);
   }
   const std::string metrics_path = args.GetString("metrics-out");
   if (!metrics_path.empty() && rc == 0) {
     const Status status =
         WriteFile(metrics_path, obs::MetricsRegistry::Global().ExportJson());
-    if (!status.ok()) {
-      std::cerr << "metrics-out: " << status.ToString() << "\n";
-      rc = 1;
-    }
+    if (!status.ok()) rc = FailWith("metrics-out", status);
   }
   if (rc == 0) PrintMetricsSummary(std::cerr);
   return rc;

@@ -63,6 +63,7 @@ const std::vector<std::string>& AllRules() {
       "no-raw-random",    "float-equality",       "no-stdout-in-lib",
       "no-cc-include",    "unsafe-call",          "metric-name-format",
       "metric-name-duplicate", "metric-raw-literal", "metric-dead-constant",
+      "discarded-status",
   };
   return rules;
 }
@@ -340,6 +341,9 @@ class Linter {
                               const std::string& rel_path);
   void CollectMetricReferences(const FileViews& views,
                                const std::string& rel_path);
+  void CollectStatusDecls(const FileViews& views);
+  void CollectStatusCallSites(const FileViews& views,
+                              const std::string& rel_path);
 
   LintConfig config_;
   std::set<std::string> enabled_;
@@ -354,6 +358,19 @@ class Linter {
   std::string metric_header_path_;
   /// The views of metric_names.h, kept so Finish() can honor suppressions.
   FileViews metric_header_views_;
+
+  /// discarded-status state: every function name declared anywhere with a
+  /// Status or Result<…> return, plus statement-start call sites whose
+  /// result is dropped. A call site only becomes a violation in Finish(),
+  /// once all declarations have been seen (files scan in path order, so a
+  /// caller may precede the header that declares its callee).
+  struct DroppedCall {
+    std::string file;
+    size_t line = 0;
+    std::string name;
+  };
+  std::set<std::string> status_returning_;
+  std::vector<DroppedCall> dropped_calls_;
 };
 
 void Linter::CheckRandomness(const FileViews& views,
@@ -669,18 +686,139 @@ void Linter::CollectMetricReferences(const FileViews& views,
   }
 }
 
+/// Harvests names of functions declared to return Status or Result<…> from
+/// the pure view: `Status Name(` and `Result<…> Name(`. Names are collected
+/// tree-wide (not per class), so an unchecked call to any same-named
+/// overload is flagged — the conservative reading.
+void Linter::CollectStatusDecls(const FileViews& views) {
+  const auto word_ends_at = [](const std::string& line, size_t pos,
+                               size_t len) {
+    return pos + len >= line.size() || !IsWordChar(line[pos + len]);
+  };
+  const auto harvest_name_at = [this](const std::string& line, size_t pos) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < line.size() && IsWordChar(line[pos])) name += line[pos++];
+    if (!name.empty() && pos < line.size() && line[pos] == '(' &&
+        !std::isdigit(static_cast<unsigned char>(name[0]))) {
+      status_returning_.insert(name);
+    }
+  };
+  for (const std::string& line : views.pure) {
+    for (size_t pos = FindWord(line, "Status"); pos != std::string::npos;
+         pos = FindWord(line, "Status", pos + 6)) {
+      if (word_ends_at(line, pos, 6)) harvest_name_at(line, pos + 6);
+    }
+    for (size_t pos = FindWord(line, "Result"); pos != std::string::npos;
+         pos = FindWord(line, "Result", pos + 6)) {
+      size_t j = pos + 6;
+      if (j >= line.size() || line[j] != '<') continue;
+      int depth = 0;
+      while (j < line.size()) {
+        if (line[j] == '<') ++depth;
+        if (line[j] == '>' && --depth == 0) break;
+        ++j;
+      }
+      // `Result<…>` split across lines never declares a one-line name.
+      if (j < line.size() && depth == 0) harvest_name_at(line, j + 1);
+    }
+  }
+}
+
+/// Statement-start calls whose value is dropped: an identifier chain
+/// (`a::b`, `a.b`, `a->b`) opening a call directly after `;`, `{`, `}` or
+/// `:` — i.e. not returned, assigned, wrapped in a macro, or part of a
+/// larger expression. Matched against the declaration set in Finish().
+void Linter::CollectStatusCallSites(const FileViews& views,
+                                    const std::string& rel_path) {
+  if (!RuleEnabled("discarded-status", rel_path)) return;
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",  "for",    "switch", "return", "case",
+      "else",   "do",     "new",    "delete", "sizeof", "throw",
+      "catch",  "goto",   "using",  "namespace", "operator",
+      "static_assert", "co_return", "co_await", "co_yield"};
+  char prev = ';';  // the start of a file is a statement boundary
+  for (size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& line = views.code[i];
+    size_t col = 0;
+    while (col < line.size()) {
+      const char c = line[col];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++col;
+        continue;
+      }
+      // ':' is deliberately not a boundary: a ternary's second arm wrapped
+      // onto its own line (`: Status::OK();`) is indistinguishable from a
+      // case label here, and the former is far more common in this tree.
+      const bool boundary = prev == ';' || prev == '{' || prev == '}';
+      if (!IsWordChar(c) || std::isdigit(static_cast<unsigned char>(c))) {
+        prev = c;
+        ++col;
+        continue;
+      }
+      // Always consume the whole identifier chain — char-by-char skipping
+      // would leave prev on a '::' separator and fake a label boundary.
+      // `last` is the called name.
+      size_t j = col;
+      std::string first;
+      std::string last;
+      while (j < line.size() && IsWordChar(line[j])) {
+        std::string word;
+        while (j < line.size() && IsWordChar(line[j])) word += line[j++];
+        if (first.empty()) first = word;
+        last = word;
+        if (j + 1 < line.size() && line[j] == ':' && line[j + 1] == ':') {
+          j += 2;
+        } else if (j + 1 < line.size() && line[j] == '-' &&
+                   line[j + 1] == '>') {
+          j += 2;
+        } else if (j < line.size() && line[j] == '.') {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      if (boundary && j < line.size() && line[j] == '(' &&
+          kKeywords.count(first) == 0 && kKeywords.count(last) == 0) {
+        const auto it = views.allowed.find(i + 1);
+        const bool suppressed =
+            it != views.allowed.end() && it->second.count("discarded-status");
+        if (!suppressed) {
+          dropped_calls_.push_back(DroppedCall{rel_path, i + 1, last});
+        }
+      }
+      prev = line[j > col ? j - 1 : col];
+      col = j > col ? j : col + 1;
+    }
+  }
+}
+
 void Linter::Finish() {
   const bool enabled =
       !metric_header_path_.empty() &&
       RuleEnabled("metric-dead-constant", metric_header_path_);
-  if (!enabled) return;
-  for (const auto& [constant, line] : metric_constants_) {
-    if (metric_references_.count(constant) > 0) continue;
-    Report(metric_header_views_, metric_header_path_, line,
-           "metric-dead-constant",
-           constant +
-               " is declared in metric_names.h but referenced nowhere in "
-               "src/, tools/, bench/ or tests/");
+  if (enabled) {
+    for (const auto& [constant, line] : metric_constants_) {
+      if (metric_references_.count(constant) > 0) continue;
+      Report(metric_header_views_, metric_header_path_, line,
+             "metric-dead-constant",
+             constant +
+                 " is declared in metric_names.h but referenced nowhere in "
+                 "src/, tools/, bench/ or tests/");
+    }
+  }
+  // discarded-status: suppressions and path exemptions were applied at
+  // collection time; what remains only needs the declaration set.
+  for (const DroppedCall& call : dropped_calls_) {
+    if (status_returning_.count(call.name) == 0) continue;
+    violations_.push_back(
+        {call.file, call.line, "discarded-status",
+         "result of '" + call.name +
+             "' is discarded — it returns Status/Result; wrap the call in "
+             "HOMETS_RETURN_IF_ERROR or inspect .ok()"});
   }
 }
 
@@ -695,6 +833,8 @@ void Linter::ScanFile(const std::string& rel_path, const std::string& text) {
   CheckMetricCatalog(views, rel_path);
   CheckMetricRawLiterals(views, rel_path);
   CollectMetricReferences(views, rel_path);
+  CollectStatusDecls(views);
+  CollectStatusCallSites(views, rel_path);
 }
 
 // ---------------------------------------------------------------------------
