@@ -1,9 +1,10 @@
 // Full-pipeline performance harness: exercises every engine stage end to
-// end — CSV ingest, series preparation, pairwise correlation, the strong-
-// stationarity funnel, best-aggregation search, φ-dominance, background
-// thresholding, motif mining and the streaming path — on deterministic
-// simgen workloads at several fleet sizes, and writes the schema-versioned
-// BENCH_pipeline.json trajectory artifact.
+// end — CSV ingest, csv→homets compaction, columnar ingest, series
+// preparation, pairwise correlation, the strong-stationarity funnel,
+// best-aggregation search, φ-dominance, background thresholding, motif
+// mining and the streaming path — on deterministic simgen workloads at
+// several fleet sizes, and writes the schema-versioned BENCH_pipeline.json
+// trajectory artifact.
 //
 // Each entry couples a stage's wall time with the delta of the process
 // metrics registry across the stage (pairs computed, KS rejections, values
@@ -32,7 +33,7 @@
 #include "core/similarity_engine.h"
 #include "core/stationarity.h"
 #include "core/streaming.h"
-#include "io/csv.h"
+#include "io/dataset.h"
 #include "obs/metrics.h"
 #include "simgen/fleet.h"
 #include "ts/time_series.h"
@@ -43,7 +44,8 @@ using namespace homets;  // NOLINT: bench binary
 
 /// The artifact's wire format version. Bump when entry fields change
 /// incompatibly; tools/bench_compare refuses to diff across versions.
-constexpr int kSchemaVersion = 1;
+/// v2: added convert/col_ingest stages and the threads_used field.
+constexpr int kSchemaVersion = 2;
 
 struct SizeSpec {
   const char* name;
@@ -180,18 +182,58 @@ void RunSize(const SizeSpec& spec, std::vector<std::string>* entries) {
     }
   }
 
-  bench.Stage("csv_ingest", "rows", [&] {
+  // Both ingest stages count the same unit — observed incoming
+  // device-minutes on the decoded grid — so their units_per_sec are
+  // directly comparable (the columnar hot path's speedup over CSV).
+  const auto ingest_rows = [](io::DatasetReader* reader) {
     size_t rows = 0;
-    for (const auto& path : csv_paths) {
-      const auto gw = io::ReadGatewayCsv(path);
+    for (size_t g = 0; g < reader->gateway_count(); ++g) {
+      const auto gw = reader->ReadGateway(g);
       if (!gw.ok()) continue;
       for (const auto& device : gw->devices) {
         rows += device.incoming.CountObserved();
       }
     }
     return rows;
+  };
+
+  bench.Stage("csv_ingest", "rows", [&] {
+    size_t rows = 0;
+    for (const auto& path : csv_paths) {
+      auto reader = io::DatasetReader::Open(path);
+      if (!reader.ok()) continue;
+      rows += ingest_rows(&*reader);
+    }
+    return rows;
   });
+
+  // csv→homets compaction: the one-time cost of moving a fleet off the CSV
+  // edge onto the columnar hot path.
+  std::vector<std::string> homets_paths;
+  bench.Stage("convert", "rows", [&] {
+    size_t rows = 0;
+    for (const auto& path : csv_paths) {
+      const std::string out = path.substr(0, path.size() - 4) + ".homets";
+      const auto stats = io::CompactCsvToHomets(path, out);
+      if (!stats.ok()) continue;
+      rows += stats->rows;
+      homets_paths.push_back(out);
+    }
+    return rows;
+  });
+
+  bench.Stage("col_ingest", "rows", [&] {
+    size_t rows = 0;
+    for (const auto& path : homets_paths) {
+      auto reader = io::DatasetReader::Open(path);
+      if (!reader.ok()) continue;
+      rows += ingest_rows(&*reader);
+    }
+    return rows;
+  });
+
   for (const auto& path : csv_paths) std::remove(path.c_str());
+  for (const auto& path : homets_paths) std::remove(path.c_str());
   if (tmpdir != nullptr) rmdir(tmpdir);
 
   // Background thresholding (Section 6.1): τ estimation + zeroing per
@@ -341,11 +383,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // hardware_threads is what the machine offers; threads_used is what the
+  // similarity engine actually runs with (its default of 0 resolves to
+  // hardware concurrency) — perf_microbench records both the same way.
+  const core::SimilarityEngineOptions engine_options;
+  const int threads_used = engine_options.threads > 0
+                               ? engine_options.threads
+                               : bench::HardwareThreads();
   bench::JsonWriter json;
   json.Set("schema", "homets.bench_pipeline")
       .Set("schema_version", kSchemaVersion)
       .Set("scenario", "full_pipeline")
       .Set("hardware_threads", bench::HardwareThreads())
+      .Set("threads_used", threads_used)
       .SetRaw("sizes", bench::JsonWriter::Array(size_names))
       .Set("total_seconds", SecondsSince(start))
       .SetRaw("entries", bench::JsonWriter::Array(entries));

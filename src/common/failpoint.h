@@ -111,6 +111,9 @@ class Failpoints {
 inline constexpr std::string_view kFailpointCsvOpen = "io.csv.open";
 inline constexpr std::string_view kFailpointCsvRow = "io.csv.row";
 inline constexpr std::string_view kFailpointCsvWrite = "io.csv.write";
+inline constexpr std::string_view kFailpointColOpen = "io.col.open";
+inline constexpr std::string_view kFailpointColChunk = "io.col.chunk";
+inline constexpr std::string_view kFailpointColWrite = "io.col.write";
 inline constexpr std::string_view kFailpointTablePrint = "io.table.print";
 inline constexpr std::string_view kFailpointThreadPoolTask =
     "threadpool.task";

@@ -108,6 +108,29 @@ inline constexpr std::string_view kIngestRetries = "homets.ingest.retries";
 inline constexpr std::string_view kIngestFilesQuarantined =
     "homets.ingest.files_quarantined";
 
+// storage/homets_format — columnar chunk IO. raw_bytes is the uncompressed
+// size of what chunks_written encoded (8 bytes/bin), so
+// raw_bytes / bytes_written is the compression ratio; chunks_skipped counts
+// chunks a read left untouched (the mmap pages never faulted in).
+inline constexpr std::string_view kStorageChunksWritten =
+    "homets.storage.chunks_written";
+inline constexpr std::string_view kStorageChunksRead =
+    "homets.storage.chunks_read";
+inline constexpr std::string_view kStorageChunksSkipped =
+    "homets.storage.chunks_skipped";
+inline constexpr std::string_view kStorageBytesWritten =
+    "homets.storage.bytes_written";
+inline constexpr std::string_view kStorageBytesRead =
+    "homets.storage.bytes_read";
+inline constexpr std::string_view kStorageRawBytes =
+    "homets.storage.raw_bytes";
+inline constexpr std::string_view kStorageFilesWritten =
+    "homets.storage.files_written";
+inline constexpr std::string_view kStorageFilesOpened =
+    "homets.storage.files_opened";
+inline constexpr std::string_view kStorageCrcFailures =
+    "homets.storage.crc_failures";
+
 // common/failpoint — fault-injection registry (counts only while armed, so
 // both stay zero in production runs).
 inline constexpr std::string_view kFailpointEvaluations =

@@ -20,6 +20,8 @@
 #include "io/csv.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "simgen/types.h"
+#include "storage/homets_format.h"
 #include "ts/time_series.h"
 
 namespace homets {
@@ -235,6 +237,94 @@ TEST_F(ChaosTest, WriteFailpointPropagates) {
   // The budget is spent; the very next write goes through untouched.
   ASSERT_TRUE(io::WriteTimeSeriesCsv(path, series).ok());
   EXPECT_TRUE(io::ReadTimeSeriesCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+/// A small gateway trace for the columnar-store schedules.
+simgen::GatewayTrace ColumnarGateway() {
+  const double miss = ts::TimeSeries::Missing();
+  simgen::GatewayTrace gw;
+  gw.id = 7;
+  simgen::DeviceTrace dev;
+  dev.name = "chaos-dev";
+  dev.incoming = ts::TimeSeries(0, 1, {1.25, miss, 3.5, 4.0});
+  dev.outgoing = ts::TimeSeries(0, 1, {0.25, miss, 0.5, miss});
+  gw.devices = {dev};
+  return gw;
+}
+
+// Schedule 7: a transient open error on the columnar reader. The failure
+// names the site, spends the budget, and the very next open succeeds with
+// bit-identical data.
+TEST_F(ChaosTest, ColumnarOpenErrorPropagatesThenClears) {
+  const std::string path = testing::TempDir() + "/chaos_col_open.homets";
+  ASSERT_TRUE(storage::WriteGatewayHomets(path, ColumnarGateway()).ok());
+
+  ASSERT_TRUE(Failpoints::Global().Configure("io.col.open=error*1").ok());
+  const auto failed = storage::HometsReader::Open(path);
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  EXPECT_NE(failed.status().message().find("io.col.open"), std::string::npos);
+
+  auto retried = storage::HometsReader::Open(path);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  const auto gw = retried->ReadGateway(0);
+  ASSERT_TRUE(gw.ok()) << gw.status().ToString();
+  ASSERT_EQ(gw->devices.size(), 1u);
+  EXPECT_TRUE(SameBits(gw->devices[0].incoming[0], 1.25));
+  std::remove(path.c_str());
+}
+
+// Schedule 8: one corrupted chunk payload. The CRC catches it and the read
+// reports a clean IoError; once the budget is spent the same reader serves
+// the data untouched — corruption injection never poisons the mmap.
+TEST_F(ChaosTest, ColumnarChunkCorruptionCaughtByCrc) {
+  const std::string path = testing::TempDir() + "/chaos_col_chunk.homets";
+  ASSERT_TRUE(storage::WriteGatewayHomets(path, ColumnarGateway()).ok());
+  auto reader = storage::HometsReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+  ASSERT_TRUE(Failpoints::Global().Configure("io.col.chunk=corrupt*1").ok());
+  const auto corrupted = reader->ReadGateway(0);
+  EXPECT_EQ(corrupted.status().code(), StatusCode::kIoError);
+  EXPECT_NE(corrupted.status().message().find("crc mismatch"),
+            std::string::npos);
+
+  const auto clean = reader->ReadGateway(0);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(SameBits(clean->devices[0].incoming[2], 3.5));
+  std::remove(path.c_str());
+}
+
+// Schedule 9: write-side faults. An injected error during Append surfaces
+// as a Status; an error during Finish leaves a torn file that the reader
+// refuses with a clean Status instead of serving half a fleet.
+TEST_F(ChaosTest, ColumnarWriteFaultsLeaveNoReadableHalfFile) {
+  const std::string path = testing::TempDir() + "/chaos_col_write.homets";
+
+  ASSERT_TRUE(Failpoints::Global().Configure("io.col.write=error*1").ok());
+  auto writer = storage::HometsWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  const Status append = writer->Append(ColumnarGateway());
+  EXPECT_EQ(append.code(), StatusCode::kIoError);
+  EXPECT_NE(append.message().find("io.col.write"), std::string::npos);
+
+  // Second schedule: the Append goes through, the Finish is the casualty —
+  // the footer never lands, so Open must report the file as torn. The
+  // writer is scoped so its stream flushes the chunk bytes before we look.
+  ASSERT_TRUE(Failpoints::Global().Configure("io.col.write=error@2*1").ok());
+  {
+    auto torn_writer = storage::HometsWriter::Create(path);
+    ASSERT_TRUE(torn_writer.ok()) << torn_writer.status().ToString();
+    ASSERT_TRUE(torn_writer->Append(ColumnarGateway()).ok());
+    EXPECT_EQ(torn_writer->Finish().code(), StatusCode::kIoError);
+  }
+  const auto torn = storage::HometsReader::Open(path);
+  EXPECT_EQ(torn.status().code(), StatusCode::kIoError);
+  EXPECT_NE(torn.status().message().find("torn"), std::string::npos);
+
+  // Budgets spent: the same path writes and reads back cleanly.
+  ASSERT_TRUE(storage::WriteGatewayHomets(path, ColumnarGateway()).ok());
+  EXPECT_TRUE(storage::HometsReader::Open(path).ok());
   std::remove(path.c_str());
 }
 

@@ -73,6 +73,19 @@ check "cc_include: header include allowed" \
 check "cc_include: suppressed variant is silent" \
     sh -c "! grep -q suppressed.cc '$workdir/out'"
 
+# --- csv-include ----------------------------------------------------------
+run_case csv_include
+check "csv_include exits 1" test "$rc" -eq 1
+check "csv_include: 1 hit" test "$(hits csv-include)" -eq 1
+check "csv_include flags src/core" \
+    grep -q 'src/core/bad.cc:2: csv-include' "$workdir/out"
+check "csv_include: src/io is in scope for the CSV edge" \
+    sh -c "! grep -q 'src/io/ok.cc' '$workdir/out'"
+check "csv_include: tests/ may use the edge directly" \
+    sh -c "! grep -q 'tests/ok.cc' '$workdir/out'"
+check "csv_include: suppressed variant is silent" \
+    sh -c "! grep -q suppressed.cc '$workdir/out'"
+
 # --- unsafe-call ----------------------------------------------------------
 run_case unsafe_call
 check "unsafe_call exits 1" test "$rc" -eq 1
@@ -127,6 +140,6 @@ rc=0
 check "unknown rule id exits 2" test "$rc" -eq 2
 
 check "--list-rules names every rule" \
-    test "$("$lint" --list-rules | wc -l)" -eq 10
+    test "$("$lint" --list-rules | wc -l)" -eq 11
 
 exit "$fail"

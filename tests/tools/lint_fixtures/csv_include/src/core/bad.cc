@@ -1,0 +1,5 @@
+// Fixture: the CSV reader is the io layer's private ingest edge.
+#include "io/csv.h"      // hit: outside src/io, src/storage, tests/
+#include "io/dataset.h"  // the sanctioned door
+
+int UseCsv() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: suppressed direct CSV include — zero findings expected.
+#include "io/csv.h"  // homets-lint: allow(csv-include)
+
+int UseCsvAllowed() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: src/io owns the CSV reader, so the include is in scope here.
+#include "io/csv.h"
+
+int IoLayer() { return 1; }

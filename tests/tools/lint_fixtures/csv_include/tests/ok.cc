@@ -1,0 +1,4 @@
+// Fixture: tests exercise the CSV edge directly, so the include is allowed.
+#include "io/csv.h"
+
+int TestUsesCsv() { return 1; }

@@ -5,6 +5,9 @@
 #   2. Observability: a generate + motifs run with --trace-out/--metrics-out
 #      writes a Chrome trace and a metrics JSON whose per-stage counters
 #      (pairs computed, KS rejections, values zeroed) are nonzero.
+#   3. Columnar storage: convert round-trips CSV through .homets without
+#      changing a byte, and the motifs output is byte-identical whichever
+#      format feeds it.
 #
 # Usage: cli_usage_test.sh /path/to/homets_cli
 set -eu
@@ -68,6 +71,36 @@ check "stationarity KS rejections" nonzero homets.stationarity.ks_rejections
 check "background values zeroed" nonzero homets.background.values_zeroed
 check "io rows parsed" nonzero homets.io.rows_parsed
 check "motif windows mined" nonzero homets.motif.windows_mined
+
+# --- columnar convert + byte-identical analysis ---------------------------
+mkdir -p "$workdir/col" "$workdir/back"
+"$cli" convert --to homets --out "$workdir/col" "$workdir"/gateway_*.csv \
+    >"$workdir/convert.log" 2>"$workdir/convert.err"
+check "convert wrote columnar traces" test -s "$workdir/col/gateway_002.homets"
+check "convert narrates row counts" grep -q ' rows, ' "$workdir/convert.log"
+
+"$cli" convert --to csv --out "$workdir/back" "$workdir/col"/*.homets \
+    >"$workdir/back.log" 2>"$workdir/back.err"
+for csv in "$workdir"/gateway_*.csv; do
+    check "round trip is byte-identical: $(basename "$csv")" \
+        cmp -s "$csv" "$workdir/back/$(basename "$csv")"
+done
+
+"$cli" motifs "$workdir/col"/*.homets \
+    >"$workdir/motifs_col.log" 2>"$workdir/motifs_col.err"
+check "motifs output identical across input formats" \
+    cmp -s "$workdir/motifs.log" "$workdir/motifs_col.log"
+
+# Forcing the wrong format is a clean failure, not a crash.
+rc=0
+"$cli" motifs --input-format csv "$workdir/col/gateway_000.homets" \
+    >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "forced csv on a binary file fails cleanly" test "$rc" -eq 1
+
+rc=0
+"$cli" convert --to parquet "$workdir/gateway_000.csv" \
+    >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "unknown convert target exits 2" test "$rc" -eq 2
 
 # --- stream subcommand + periodic metrics flushing ------------------------
 "$cli" stream "$workdir"/gateway_*.csv \

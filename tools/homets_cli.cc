@@ -2,9 +2,18 @@
 // traces, and mine motifs — the framework's operations without writing C++.
 //
 //   homets_cli generate --out DIR [--gateways N] [--weeks W] [--seed S]
-//   homets_cli profile TRACE.csv
-//   homets_cli motifs [--period daily|weekly] TRACE.csv [TRACE.csv ...]
-//   homets_cli stream [--period daily|weekly] [--horizon N] TRACE.csv [...]
+//                       [--format csv|homets]
+//   homets_cli convert --to homets|csv [--out DIR] TRACE [TRACE ...]
+//   homets_cli profile TRACE
+//   homets_cli motifs [--period daily|weekly] TRACE [TRACE ...]
+//   homets_cli stream [--period daily|weekly] [--horizon N] TRACE [...]
+//
+// TRACE arguments are read through DatasetReader: `.homets` files decode as
+// the binary columnar format (DESIGN.md §11), anything else as the
+// WriteGatewayCsv long format; --input-format=csv|homets overrides the
+// extension. A .homets file may hold a whole fleet — each gateway inside is
+// analyzed as if it had been passed as its own CSV, so analytical stdout is
+// byte-identical across formats.
 //
 // Every subcommand also takes the observability flags
 //   --metrics-out FILE   write the end-of-run metrics registry as JSON
@@ -15,6 +24,8 @@
 //   --metrics-flush-interval-sec SEC   flush period (default 60); requires
 //                                      --metrics-flush-out
 // the resilience flags
+//   --input-format auto|csv|homets     how to decode TRACE args (default
+//                                      auto: by extension)
 //   --read-policy strict|skip|repair   bad-row handling for trace ingestion
 //   --read-retries N                   retry transient IO failures N times
 //   --failpoints SPEC                  arm fault injection (DESIGN.md §8)
@@ -29,8 +40,7 @@
 // stderr so scripts can match either channel.
 //
 // Flags are strict: unknown --flags and a trailing --flag with no value are
-// usage errors, never positionals. Traces use the WriteGatewayCsv long
-// format (device,true_type,reported_type,minute,incoming,outgoing).
+// usage errors, never positionals.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -49,12 +59,13 @@
 #include "core/profiling.h"
 #include "core/stationarity.h"
 #include "core/streaming.h"
-#include "io/csv.h"
+#include "io/dataset.h"
 #include "io/table.h"
 #include "obs/flusher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simgen/fleet.h"
+#include "storage/homets_format.h"
 
 namespace {
 
@@ -64,17 +75,20 @@ int Usage() {
   std::cerr
       << "usage:\n"
          "  homets_cli generate --out DIR [--gateways N] [--weeks W] "
-         "[--seed S]\n"
-         "  homets_cli profile TRACE.csv\n"
-         "  homets_cli motifs [--period daily|weekly] TRACE.csv [...]\n"
+         "[--seed S] [--format csv|homets]\n"
+         "  homets_cli convert --to homets|csv [--out DIR] TRACE [...]\n"
+         "  homets_cli profile TRACE\n"
+         "  homets_cli motifs [--period daily|weekly] TRACE [...]\n"
          "  homets_cli stream [--period daily|weekly] [--horizon N] "
-         "TRACE.csv [...]\n"
+         "TRACE [...]\n"
          "common flags (all subcommands):\n"
          "  --metrics-out FILE   write end-of-run metrics as JSON\n"
          "  --trace-out FILE     write a Chrome/Perfetto trace of the run\n"
          "  --metrics-flush-out FILE          append Prometheus-text "
          "flushes during the run\n"
          "  --metrics-flush-interval-sec SEC  flush period (default 60)\n"
+         "  --input-format auto|csv|homets    TRACE decoding (default "
+         "auto: by extension)\n"
          "  --read-policy strict|skip|repair  bad-row handling (default "
          "strict)\n"
          "  --read-retries N     retry transient IO failures N times\n"
@@ -86,7 +100,7 @@ int Usage() {
 // The observability and resilience flags every subcommand accepts.
 const std::set<std::string> kObsFlags = {
     "metrics-out",  "trace-out",    "metrics-flush-out",
-    "metrics-flush-interval-sec",   "read-policy",
+    "metrics-flush-interval-sec",   "input-format", "read-policy",
     "read-retries", "failpoints",   "failpoints-seed"};
 
 std::set<std::string> WithObsFlags(std::set<std::string> flags) {
@@ -103,15 +117,18 @@ int FailWith(const std::string& context, const Status& status) {
   return 10 + static_cast<int>(status.code());
 }
 
-// Resilient-ingestion options from the common flags; exits via usage error
-// on a bad policy name.
-Result<io::ReadOptions> ReadOptionsFromFlags(const ParsedArgs& args) {
-  io::ReadOptions options;
+// Dataset options (format + resilient ingestion) from the common flags;
+// exits via usage error on a bad policy or format name.
+Result<io::DatasetOptions> DatasetOptionsFromFlags(const ParsedArgs& args) {
+  io::DatasetOptions options;
+  HOMETS_ASSIGN_OR_RETURN(
+      options.format,
+      io::ParseInputFormat(args.GetString("input-format", "auto")));
   const std::string policy = args.GetString("read-policy", "strict");
   if (policy == "skip") {
-    options.policy = io::ErrorPolicy::kSkipAndReport;
+    options.read.policy = io::ErrorPolicy::kSkipAndReport;
   } else if (policy == "repair") {
-    options.policy = io::ErrorPolicy::kRepair;
+    options.read.policy = io::ErrorPolicy::kRepair;
   } else if (policy != "strict") {
     return Status::InvalidArgument(
         "--read-policy must be strict, skip, or repair");
@@ -121,21 +138,17 @@ Result<io::ReadOptions> ReadOptionsFromFlags(const ParsedArgs& args) {
   if (retries < 0) {
     return Status::InvalidArgument("--read-retries must be >= 0");
   }
-  options.max_retries = static_cast<int>(retries);
+  options.read.max_retries = static_cast<int>(retries);
   return options;
 }
 
-// Reads one gateway trace under the session read options, narrating any
-// quarantine/repair activity to stderr so lenient runs stay auditable.
-Result<simgen::GatewayTrace> ReadGateway(const std::string& path,
-                                         const io::ReadOptions& options) {
-  io::IngestReport report;
-  auto gw = io::ReadGatewayCsv(path, options, &report);
+// Narrates quarantine/repair activity of the CSV edge to stderr so lenient
+// runs stay auditable (stdout stays byte-identical across formats).
+void NarrateIngest(const io::IngestReport& report) {
   if (report.SkippedTotal() > 0 || report.gaps_repaired > 0 ||
       report.retries > 0 || report.truncated) {
     std::cerr << "ingest: " << report.Summary() << "\n";
   }
-  return gw;
 }
 
 int FlagIntOr(const ParsedArgs& args, const std::string& flag,
@@ -170,13 +183,30 @@ int RunGenerate(const ParsedArgs& args) {
     std::cerr << "generate: " << valid.ToString() << "\n";
     return 2;
   }
+  const std::string format = args.GetString("format", "csv");
+  if (format != "csv" && format != "homets") {
+    std::cerr << "generate: --format must be csv or homets\n";
+    return 2;
+  }
   obs::ScopedSpan span("cli.generate");
   simgen::FleetGenerator generator(config);
+  if (format == "homets") {
+    // Out-of-core: the whole fleet streams into one columnar file, one
+    // gateway in memory at a time.
+    const std::string path = out_dir + "/fleet.homets";
+    const auto stats = storage::WriteFleetHomets(generator, path);
+    if (!stats.ok()) return FailWith("write failed", stats.status());
+    std::cout << path << ": " << stats->gateways << " gateways, "
+              << stats->devices << " devices, " << stats->chunks
+              << " chunks\n";
+    return 0;
+  }
   for (int id = 0; id < config.n_gateways; ++id) {
     const auto gw = generator.Generate(id);
     const std::string path =
         StrFormat("%s/gateway_%03d.csv", out_dir.c_str(), id);
-    const Status status = io::WriteGatewayCsv(path, gw);
+    const Status status =
+        io::WriteGatewayFile(path, gw, io::InputFormat::kCsv);
     if (!status.ok()) return FailWith("write failed", status);
     std::cout << path << ": " << gw.devices.size() << " devices, "
               << gw.AggregateTraffic().CountObserved()
@@ -185,13 +215,87 @@ int RunGenerate(const ParsedArgs& args) {
   return 0;
 }
 
-int RunProfile(const ParsedArgs& args, const io::ReadOptions& read_options) {
-  if (args.positional.size() != 1) {
-    std::cerr << "profile: exactly one TRACE.csv expected\n";
+// Splits `path` into (directory, stem without the final extension) for
+// convert output naming.
+void SplitPath(const std::string& path, std::string* dir,
+               std::string* stem) {
+  const size_t slash = path.find_last_of('/');
+  *dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  *stem = dot == std::string::npos || dot == 0 ? base : base.substr(0, dot);
+}
+
+// csv→homets compaction and homets→csv export. Outputs land next to each
+// input (or under --out DIR) with the extension swapped; a multi-gateway
+// .homets file exports one numbered CSV per gateway.
+int RunConvert(const ParsedArgs& args,
+               const io::DatasetOptions& dataset_options) {
+  if (args.positional.empty()) {
+    std::cerr << "convert: at least one TRACE expected\n";
     return 2;
   }
-  const auto gw = ReadGateway(args.positional[0], read_options);
+  const std::string to = args.GetString("to");
+  if (to != "homets" && to != "csv") {
+    std::cerr << "convert: --to homets|csv is required\n";
+    return 2;
+  }
+  obs::ScopedSpan span("cli.convert");
+  for (const std::string& path : args.positional) {
+    std::string dir, stem;
+    SplitPath(path, &dir, &stem);
+    const std::string out_dir =
+        args.Has("out") ? args.GetString("out") : dir;
+    if (to == "homets") {
+      const std::string out = out_dir + "/" + stem + ".homets";
+      io::IngestReport report;
+      const auto stats =
+          io::CompactCsvToHomets(path, out, dataset_options.read, &report);
+      NarrateIngest(report);
+      if (!stats.ok()) return FailWith("convert failed", stats.status());
+      std::cout << path << " -> " << out << ": " << stats->rows
+                << " rows, " << stats->devices << " devices\n";
+      continue;
+    }
+    const auto reader = storage::HometsReader::Open(path);
+    if (!reader.ok()) return FailWith("convert failed", reader.status());
+    const size_t gateways = reader->gateway_count();
+    for (size_t g = 0; g < gateways; ++g) {
+      const auto gw = reader->ReadGateway(g);
+      if (!gw.ok()) return FailWith("convert failed", gw.status());
+      const std::string out =
+          gateways == 1
+              ? out_dir + "/" + stem + ".csv"
+              : StrFormat("%s/%s_%03zu.csv", out_dir.c_str(), stem.c_str(),
+                          g);
+      const Status status =
+          io::WriteGatewayFile(out, *gw, io::InputFormat::kCsv);
+      if (!status.ok()) return FailWith("convert failed", status);
+      std::cout << path << " -> " << out << ": " << gw->devices.size()
+                << " devices\n";
+    }
+  }
+  return 0;
+}
+
+int RunProfile(const ParsedArgs& args,
+               const io::DatasetOptions& dataset_options) {
+  if (args.positional.size() != 1) {
+    std::cerr << "profile: exactly one TRACE expected\n";
+    return 2;
+  }
+  auto reader = io::DatasetReader::Open(args.positional[0], dataset_options);
+  if (!reader.ok()) return FailWith("read failed", reader.status());
+  if (reader->gateway_count() != 1) {
+    std::cerr << "profile: " << args.positional[0] << " holds "
+              << reader->gateway_count()
+              << " gateways; profile expects exactly one\n";
+    return 2;
+  }
+  const auto gw = reader->ReadGateway(0);
   if (!gw.ok()) return FailWith("read failed", gw.status());
+  NarrateIngest(reader->report());
   obs::ScopedSpan span("cli.profile");
   const auto profile = core::ProfileGateway(*gw);
   if (!profile.ok()) {
@@ -201,9 +305,10 @@ int RunProfile(const ParsedArgs& args, const io::ReadOptions& read_options) {
   return 0;
 }
 
-int RunMotifs(const ParsedArgs& args, const io::ReadOptions& read_options) {
+int RunMotifs(const ParsedArgs& args,
+              const io::DatasetOptions& dataset_options) {
   if (args.positional.empty()) {
-    std::cerr << "motifs: at least one TRACE.csv expected\n";
+    std::cerr << "motifs: at least one TRACE expected\n";
     return 2;
   }
   const std::string period = args.GetString("period", "daily");
@@ -222,20 +327,29 @@ int RunMotifs(const ParsedArgs& args, const io::ReadOptions& read_options) {
   {
     obs::ScopedSpan span("cli.read_traces");
     for (const std::string& path : args.positional) {
-      const auto gw = ReadGateway(path, read_options);
-      if (!gw.ok()) {
-        std::cerr << "skipping " << path << ": " << gw.status().ToString()
-                  << "\n";
+      auto reader = io::DatasetReader::Open(path, dataset_options);
+      if (!reader.ok()) {
+        std::cerr << "skipping " << path << ": "
+                  << reader.status().ToString() << "\n";
         continue;
       }
-      const int id = next_id++;
-      const auto active = core::ActiveAggregate(*gw);
-      const auto aggregated =
-          ts::Aggregate(active, granularity, anchor, ts::AggKind::kSum);
-      if (!aggregated.ok()) continue;
-      for (auto& w : ts::SliceWindows(*aggregated, window, anchor)) {
-        provenance.push_back({id, w.start_minute()});
-        windows.push_back(std::move(w));
+      for (size_t g = 0; g < reader->gateway_count(); ++g) {
+        const auto gw = reader->ReadGateway(g);
+        if (!gw.ok()) {
+          std::cerr << "skipping " << path << ": " << gw.status().ToString()
+                    << "\n";
+          continue;
+        }
+        NarrateIngest(reader->report());
+        const int id = next_id++;
+        const auto active = core::ActiveAggregate(*gw);
+        const auto aggregated =
+            ts::Aggregate(active, granularity, anchor, ts::AggKind::kSum);
+        if (!aggregated.ok()) continue;
+        for (auto& w : ts::SliceWindows(*aggregated, window, anchor)) {
+          provenance.push_back({id, w.start_minute()});
+          windows.push_back(std::move(w));
+        }
       }
     }
   }
@@ -295,9 +409,10 @@ int RunMotifs(const ParsedArgs& args, const io::ReadOptions& read_options) {
 // StreamingMotifMiner — the paper's "integrate into a streaming analytics
 // platform" mode, and the long-running workload the periodic metrics
 // flusher exists for.
-int RunStream(const ParsedArgs& args, const io::ReadOptions& read_options) {
+int RunStream(const ParsedArgs& args,
+              const io::DatasetOptions& dataset_options) {
   if (args.positional.empty()) {
-    std::cerr << "stream: at least one TRACE.csv expected\n";
+    std::cerr << "stream: at least one TRACE expected\n";
     return 2;
   }
   const std::string period = args.GetString("period", "daily");
@@ -324,27 +439,36 @@ int RunStream(const ParsedArgs& args, const io::ReadOptions& read_options) {
   size_t minutes = 0, windows_streamed = 0;
   int next_id = 0;
   for (const std::string& path : args.positional) {
-    const auto gw = ReadGateway(path, read_options);
-    if (!gw.ok()) {
-      std::cerr << "skipping " << path << ": " << gw.status().ToString()
+    auto reader = io::DatasetReader::Open(path, dataset_options);
+    if (!reader.ok()) {
+      std::cerr << "skipping " << path << ": " << reader.status().ToString()
                 << "\n";
       continue;
     }
-    const int id = next_id++;
-    const auto active = core::ActiveAggregate(*gw);
-    const auto feed = [&](int64_t minute, double value) {
-      const auto completed = assembler->Ingest(id, minute, value);
-      if (!completed.ok()) return;
-      for (const auto& w : *completed) {
-        if (miner.AddWindow(id, w).ok()) ++windows_streamed;
+    for (size_t g = 0; g < reader->gateway_count(); ++g) {
+      const auto gw = reader->ReadGateway(g);
+      if (!gw.ok()) {
+        std::cerr << "skipping " << path << ": " << gw.status().ToString()
+                  << "\n";
+        continue;
       }
-    };
-    for (int64_t m = active.start_minute(); m < active.EndMinute(); ++m) {
-      feed(m, active[static_cast<size_t>(m - active.start_minute())]);
-      ++minutes;
+      NarrateIngest(reader->report());
+      const int id = next_id++;
+      const auto active = core::ActiveAggregate(*gw);
+      const auto feed = [&](int64_t minute, double value) {
+        const auto completed = assembler->Ingest(id, minute, value);
+        if (!completed.ok()) return;
+        for (const auto& w : *completed) {
+          if (miner.AddWindow(id, w).ok()) ++windows_streamed;
+        }
+      };
+      for (int64_t m = active.start_minute(); m < active.EndMinute(); ++m) {
+        feed(m, active[static_cast<size_t>(m - active.start_minute())]);
+        ++minutes;
+      }
+      // Close this gateway's final window before moving to the next trace.
+      feed(active.EndMinute(), ts::TimeSeries::Missing());
     }
-    // Close this gateway's final window before moving to the next trace.
-    feed(active.EndMinute(), ts::TimeSeries::Missing());
   }
   for (auto& [id, w] : assembler->Flush()) {
     if (miner.AddWindow(id, w).ok()) ++windows_streamed;
@@ -408,7 +532,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   std::set<std::string> known_flags;
   if (command == "generate") {
-    known_flags = WithObsFlags({"out", "gateways", "weeks", "seed"});
+    known_flags =
+        WithObsFlags({"out", "gateways", "weeks", "seed", "format"});
+  } else if (command == "convert") {
+    known_flags = WithObsFlags({"to", "out"});
   } else if (command == "profile") {
     known_flags = WithObsFlags({});
   } else if (command == "motifs") {
@@ -444,9 +571,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  const auto read_options = ReadOptionsFromFlags(args);
-  if (!read_options.ok()) {
-    std::cerr << "error: " << read_options.status().ToString() << "\n";
+  const auto dataset_options = DatasetOptionsFromFlags(args);
+  if (!dataset_options.ok()) {
+    std::cerr << "error: " << dataset_options.status().ToString() << "\n";
     return 2;
   }
 
@@ -485,9 +612,10 @@ int main(int argc, char** argv) {
 
   int rc = 1;
   if (command == "generate") rc = RunGenerate(args);
-  if (command == "profile") rc = RunProfile(args, *read_options);
-  if (command == "motifs") rc = RunMotifs(args, *read_options);
-  if (command == "stream") rc = RunStream(args, *read_options);
+  if (command == "convert") rc = RunConvert(args, *dataset_options);
+  if (command == "profile") rc = RunProfile(args, *dataset_options);
+  if (command == "motifs") rc = RunMotifs(args, *dataset_options);
+  if (command == "stream") rc = RunStream(args, *dataset_options);
 
   if (!flush_path.empty()) {
     const Status stopped = flusher.Stop();

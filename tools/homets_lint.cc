@@ -61,8 +61,9 @@ struct Violation {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> rules = {
       "no-raw-random",    "float-equality",       "no-stdout-in-lib",
-      "no-cc-include",    "unsafe-call",          "metric-name-format",
-      "metric-name-duplicate", "metric-raw-literal", "metric-dead-constant",
+      "no-cc-include",    "csv-include",          "unsafe-call",
+      "metric-name-format",    "metric-name-duplicate",
+      "metric-raw-literal",    "metric-dead-constant",
       "discarded-status",
   };
   return rules;
@@ -335,6 +336,7 @@ class Linter {
   void CheckFloatEquality(const FileViews& views, const std::string& rel_path);
   void CheckStdout(const FileViews& views, const std::string& rel_path);
   void CheckCcInclude(const FileViews& views, const std::string& rel_path);
+  void CheckCsvInclude(const FileViews& views, const std::string& rel_path);
   void CheckUnsafeCalls(const FileViews& views, const std::string& rel_path);
   void CheckMetricCatalog(const FileViews& views, const std::string& rel_path);
   void CheckMetricRawLiterals(const FileViews& views,
@@ -563,6 +565,35 @@ void Linter::CheckCcInclude(const FileViews& views,
       Report(views, rel_path, i + 1, "no-cc-include",
              "#include of implementation file '" + target +
                  "' — include the header and let the build system link it");
+    }
+  }
+}
+
+void Linter::CheckCsvInclude(const FileViews& views,
+                             const std::string& rel_path) {
+  if (!RuleEnabled("csv-include", rel_path)) return;
+  // The CSV reader is the ingest edge: only the io layer itself, the
+  // columnar storage layer and tests may talk to it directly — everything
+  // else reads traces through io/dataset.h (DatasetReader).
+  if (rel_path.rfind("src/io/", 0) == 0 ||
+      rel_path.rfind("src/storage/", 0) == 0 ||
+      rel_path.rfind("tests/", 0) == 0) {
+    return;
+  }
+  for (size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& line = views.code[i];
+    const size_t hash = line.find('#');
+    if (hash == std::string::npos) continue;
+    if (line.find("include", hash) == std::string::npos) continue;
+    const size_t open = line.find_first_of("\"<", hash);
+    if (open == std::string::npos) continue;
+    const size_t close = line.find_first_of("\">", open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = line.substr(open + 1, close - open - 1);
+    if (target == "io/csv.h") {
+      Report(views, rel_path, i + 1, "csv-include",
+             "direct #include of 'io/csv.h' outside src/io, src/storage and "
+             "tests/ — read traces through io/dataset.h (DatasetReader)");
     }
   }
 }
@@ -829,6 +860,7 @@ void Linter::ScanFile(const std::string& rel_path, const std::string& text) {
   CheckFloatEquality(views, rel_path);
   CheckStdout(views, rel_path);
   CheckCcInclude(views, rel_path);
+  CheckCsvInclude(views, rel_path);
   CheckUnsafeCalls(views, rel_path);
   CheckMetricCatalog(views, rel_path);
   CheckMetricRawLiterals(views, rel_path);
@@ -971,7 +1003,7 @@ int Run(int argc, char** argv) {
         fs::relative(path, root, ec).generic_string();
     linter.ScanFile(ec ? path.generic_string() : rel, text.str());
   }
-  linter.Finish();
+  linter.Finish();  // homets-lint: allow(discarded-status) — returns void
 
   for (const Violation& v : linter.violations()) {
     std::fprintf(stdout, "%s:%zu: %s: %s\n", v.file.c_str(), v.line,

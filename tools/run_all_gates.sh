@@ -1,7 +1,7 @@
 #!/bin/sh
-# One-command CI gate: configure, build, then run the lint, threads, chaos
-# and bench-smoke ctest tiers — the exact sequence a pre-merge check should
-# run.
+# One-command CI gate: configure, build, then run the lint, threads, chaos,
+# storage and bench-smoke ctest tiers — the exact sequence a pre-merge check
+# should run.
 # Smoke-tested by the `run_all_gates_smoke` ctest via --dry-run, which prints
 # the commands without executing them.
 #
@@ -51,7 +51,7 @@ fi
 
 jobs=$( (nproc || sysctl -n hw.ncpu || echo 2) 2>/dev/null | head -n1 )
 run cmake --build "$build" -j "$jobs"
-run ctest --test-dir "$build" --output-on-failure -L "lint|threads|chaos|bench-smoke"
+run ctest --test-dir "$build" --output-on-failure -L "lint|threads|chaos|storage|bench-smoke"
 
 if [ "$dry_run" -eq 1 ]; then
     echo "DRY RUN: no commands executed"
