@@ -15,6 +15,10 @@
 // Flags:
 //   --pipeline_json=PATH   output path (default BENCH_pipeline.json)
 //   --sizes=a,b,c          subset of small,medium,large (default all)
+//   --progress             narrate live stage progress + heartbeats on
+//                          stderr (default off; the timed stages only touch
+//                          the tracker when one is installed, so the flag
+//                          costs nothing when absent)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +39,7 @@
 #include "core/streaming.h"
 #include "io/dataset.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "simgen/fleet.h"
 #include "ts/time_series.h"
 
@@ -98,9 +103,18 @@ class PipelineBench {
   void Stage(const std::string& stage, const std::string& unit, Fn&& fn) {
     const obs::MetricsSnapshot before =
         obs::MetricsRegistry::Global().Snapshot();
+    // Registering up front makes the stage visible as "active" in any
+    // heartbeat that fires while fn() runs; without --progress the accessor
+    // returns nullptr and the stage path costs one relaxed load.
+    obs::ProgressTracker::Stage* progress =
+        obs::ProgressStage(size_ + "/" + stage);
     const auto start = Clock::now();
     const size_t units = fn();
     const double seconds = SecondsSince(start);
+    if (progress != nullptr) {
+      progress->AddTotal(units);
+      progress->Finish();  // homets-lint: allow(discarded-status)
+    }
     Emit(stage, unit, seconds, units, before);
   }
 
@@ -113,7 +127,13 @@ class PipelineBench {
                         Fn&& fn) {
     const obs::MetricsSnapshot before =
         obs::MetricsRegistry::Global().Snapshot();
+    obs::ProgressTracker::Stage* progress =
+        obs::ProgressStage(size_ + "/" + stage);
     const std::pair<double, size_t> result = fn();
+    if (progress != nullptr) {
+      progress->AddTotal(result.second);
+      progress->Finish();  // homets-lint: allow(discarded-status)
+    }
     Emit(stage, unit, result.first, result.second, before);
   }
 
@@ -355,16 +375,25 @@ void RunSize(const SizeSpec& spec, std::vector<std::string>* entries) {
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_pipeline.json";
   std::string sizes_csv = "small,medium,large";
+  bool progress = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--pipeline_json=", 0) == 0) {
       json_path = arg.substr(std::string("--pipeline_json=").size());
     } else if (arg.rfind("--sizes=", 0) == 0) {
       sizes_csv = arg.substr(std::string("--sizes=").size());
+    } else if (arg == "--progress") {
+      progress = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
     }
+  }
+
+  obs::ProgressTracker tracker;
+  if (progress) {
+    obs::InstallGlobalProgressTracker(&tracker);
+    tracker.StartHeartbeat(2.0);
   }
 
   const std::vector<std::string> wanted = StrSplit(sizes_csv, ',');
@@ -377,6 +406,10 @@ int main(int argc, char** argv) {
     if (!selected) continue;
     size_names.push_back(StrFormat("\"%s\"", spec.name));
     RunSize(spec, &entries);
+  }
+  if (progress) {
+    tracker.StopHeartbeat();
+    obs::InstallGlobalProgressTracker(nullptr);
   }
   if (entries.empty()) {
     std::cerr << "no sizes selected from --sizes=" << sizes_csv << "\n";

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -160,6 +161,13 @@ FailpointAction Failpoints::Evaluate(std::string_view site) {
   }
   ++rule.fires;
   triggers->Increment();
+  // Injected faults are intentionally rare and load-bearing for the run's
+  // outcome — a structured record of each fire makes a chaos run's log
+  // self-explanatory (and the manifest's failed_stage attributable).
+  obs::LogWarn("failpoint", "failpoint fired",
+               {obs::LogField::Str("site", std::string(site)),
+                obs::LogField::Uint("fire", rule.fires),
+                obs::LogField::Uint("hit", rule.hits)});
   return rule.action;
 }
 

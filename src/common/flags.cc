@@ -23,7 +23,8 @@ Result<int64_t> ParsedArgs::GetInt(const std::string& flag,
 }
 
 Result<ParsedArgs> ParseFlags(const std::vector<std::string>& args,
-                              const std::set<std::string>& known_flags) {
+                              const std::set<std::string>& known_flags,
+                              const std::set<std::string>& bool_flags) {
   ParsedArgs parsed;
   bool flags_done = false;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -49,10 +50,15 @@ Result<ParsedArgs> ParseFlags(const std::vector<std::string>& args,
       return Status::InvalidArgument("unknown flag --" + name);
     }
     if (!has_value) {
-      if (i + 1 >= args.size()) {
-        return Status::InvalidArgument("flag --" + name + " expects a value");
+      if (bool_flags.count(name) > 0) {
+        value = "1";
+      } else {
+        if (i + 1 >= args.size()) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects a value");
+        }
+        value = args[++i];
       }
-      value = args[++i];
     }
     parsed.flags[name] = std::move(value);
   }

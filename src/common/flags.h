@@ -37,8 +37,13 @@ struct ParsedArgs {
 /// never silently demoted to positionals (a dangling `--seed` used to be
 /// swallowed that way). A literal `--` ends flag parsing; everything after
 /// it is positional, so file names starting with dashes stay usable.
+///
+/// Flags in `bool_flags` (must also be in `known_flags`) take no value:
+/// bare `--name` records "1", and an explicit `--name=VALUE` is still
+/// honored (so `--progress=0` can switch one off).
 Result<ParsedArgs> ParseFlags(const std::vector<std::string>& args,
-                              const std::set<std::string>& known_flags);
+                              const std::set<std::string>& known_flags,
+                              const std::set<std::string>& bool_flags = {});
 
 }  // namespace homets
 

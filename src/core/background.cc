@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -62,7 +63,14 @@ Result<BackgroundThreshold> EstimateBackgroundThreshold(
   static obs::Counter* const tau_capped =
       registry.GetCounter(obs::kBackgroundTauCapped);
   thresholds_estimated->Increment();
-  if (result.tau > kBackgroundCapBytes) tau_capped->Increment();
+  if (result.tau > kBackgroundCapBytes) {
+    tau_capped->Increment();
+    // A capped whisker means the gateway's background estimate hit the
+    // paper's 100 MB ceiling — worth a breadcrumb when debug-tracing a run.
+    obs::LogDebug("background", "tau capped",
+                  {obs::LogField::Double("tau", result.tau),
+                   obs::LogField::Double("cap", kBackgroundCapBytes)});
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "core/similarity_engine.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace homets::core {
@@ -86,6 +87,8 @@ Result<std::vector<Motif>> MotifDiscovery::Discover(
       registry.GetCounter(obs::kMotifCacheMisses);
   obs::ScopedSpan span("motif.discover");
   windows_mined->Increment(windows.size());
+  obs::ProgressTracker::Stage* progress = obs::ProgressStage("motif.mine");
+  if (progress != nullptr) progress->AddTotal(windows.size());
 
   SimilarityCache cache(windows, options_.alpha);
   const double group_threshold = options_.group_factor * options_.phi;
@@ -93,6 +96,7 @@ Result<std::vector<Motif>> MotifDiscovery::Discover(
   // Greedy agglomeration: each window joins the best admissible motif.
   std::vector<Motif> motifs;
   for (size_t w = 0; w < windows.size(); ++w) {
+    if (progress != nullptr) progress->Tick();
     int best_motif = -1;
     double best_score = -2.0;
     for (size_t m = 0; m < motifs.size(); ++m) {

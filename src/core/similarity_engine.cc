@@ -8,6 +8,7 @@
 #include "core/profiling.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 
 namespace homets::core {
 
@@ -124,6 +125,11 @@ SimilarityMatrix SimilarityEngine::Pairwise(
   const size_t workers = static_cast<size_t>(ResolveThreadCount(threads));
   std::vector<correlation::PairWorkspace> workspaces(workers);
   WorkerUtilization utilization(workers);
+  // One stage lookup up front; per-block ticks are then two relaxed adds
+  // (nullptr when no tracker is installed — every run without --progress).
+  obs::ProgressTracker::Stage* progress =
+      obs::ProgressStage("engine.pairwise");
+  if (progress != nullptr) progress->AddTotal(pairs);
   SimilarityResult* cells = matrix.mutable_cells();
   ParallelFor(pairs, threads, kPairsPerBlock,
               [&](size_t begin, size_t end, int worker) {
@@ -140,6 +146,7 @@ SimilarityMatrix SimilarityEngine::Pairwise(
                     }
                   }
                 });
+                if (progress != nullptr) progress->Tick(end - begin);
               });
   utilization.Publish(pairs);
   return matrix;
@@ -159,6 +166,9 @@ Result<SimilarityMatrix> SimilarityEngine::PairwiseChecked(
   WorkerUtilization utilization(workers);
   // The mask must exist before workers can mark blocks concurrently.
   if (options_.degrade_on_failure) matrix.EnsureValidityMask();
+  obs::ProgressTracker::Stage* progress =
+      obs::ProgressStage("engine.pairwise");
+  if (progress != nullptr) progress->AddTotal(pairs);
   SimilarityResult* cells = matrix.mutable_cells();
   const auto start = std::chrono::steady_clock::now();
   const auto deadline_expired = [&] {
@@ -199,6 +209,7 @@ Result<SimilarityMatrix> SimilarityEngine::PairwiseChecked(
             }
           }
         });
+        if (progress != nullptr) progress->Tick(end - begin);
         return Status::OK();
       });
   utilization.Publish(pairs);
@@ -217,6 +228,9 @@ std::vector<SimilarityResult> SimilarityEngine::PairwiseSelected(
   const size_t workers = static_cast<size_t>(ResolveThreadCount(threads));
   std::vector<correlation::PairWorkspace> workspaces(workers);
   WorkerUtilization utilization(workers);
+  obs::ProgressTracker::Stage* progress =
+      obs::ProgressStage("engine.pairwise");
+  if (progress != nullptr) progress->AddTotal(pairs.size());
   ParallelFor(pairs.size(), threads, kPairsPerBlock,
               [&](size_t begin, size_t end, int worker) {
                 utilization.Timed(worker, [&] {
@@ -228,6 +242,7 @@ std::vector<SimilarityResult> SimilarityEngine::PairwiseSelected(
                         options_.similarity, &ws);
                   }
                 });
+                if (progress != nullptr) progress->Tick(end - begin);
               });
   utilization.Publish(pairs.size());
   return results;

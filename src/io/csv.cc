@@ -14,6 +14,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -426,6 +427,10 @@ Result<T> ReadWithRetries(const std::string& path, const ReadOptions& options,
       break;
     }
     ++local.retries;
+    obs::LogWarn("io.csv", "transient read failure, retrying",
+                 {obs::LogField::Str("path", path),
+                  obs::LogField::Int("attempt", attempt_no + 1),
+                  obs::LogField::Str("error", result.status().message())});
     if (options.backoff_ms > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           options.backoff_ms * static_cast<double>(int64_t{1} << attempt_no)));
@@ -433,6 +438,17 @@ Result<T> ReadWithRetries(const std::string& path, const ReadOptions& options,
   }
   const bool quarantined_file =
       !result.ok() && options.policy != ErrorPolicy::kStrict;
+  if (local.SkippedTotal() > 0 || local.gaps_repaired > 0 ||
+      quarantined_file) {
+    obs::LogWarn("io.csv",
+                 quarantined_file ? "file quarantined" : "rows quarantined",
+                 {obs::LogField::Str("path", path),
+                  obs::LogField::Uint("rows_malformed", local.rows_malformed),
+                  obs::LogField::Uint("rows_duplicate", local.rows_duplicate),
+                  obs::LogField::Uint("rows_out_of_order",
+                                      local.rows_out_of_order),
+                  obs::LogField::Uint("gaps_repaired", local.gaps_repaired)});
+  }
   PublishIngest(local, quarantined_file);
   if (report != nullptr) *report = std::move(local);
   return result;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/log.h"
 
 namespace homets::io {
 
@@ -73,6 +74,13 @@ Result<DatasetReader> DatasetReader::Open(const std::string& path,
                             storage::HometsReader::Open(path));
     reader.homets_.emplace(std::move(homets));
   }
+  obs::LogInfo(
+      "io.dataset", "opened",
+      {obs::LogField::Str("path", path),
+       obs::LogField::Str(
+           "format",
+           reader.format_ == InputFormat::kHomets ? "homets" : "csv"),
+       obs::LogField::Uint("gateways", reader.gateway_count())});
   return reader;
 }
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/metric_names.h"
 
 namespace homets::obs {
@@ -75,6 +76,10 @@ Status MetricsFlusher::Stop() {
 }
 
 Status MetricsFlusher::FlushNow() {
+  // The flusher cadence doubles as the structured logger's drain tick, so a
+  // run with --metrics-flush-out gets its buffered log records written out
+  // on the same interval (DESIGN.md §12).
+  Logger::Global().Drain();
   MutexLock lock(&flush_mu_);
   // Count the attempt before exporting so the written block already carries
   // the up-to-date homets.obs.flushes value.

@@ -131,6 +131,25 @@ inline constexpr std::string_view kStorageFilesOpened =
 inline constexpr std::string_view kStorageCrcFailures =
     "homets.storage.crc_failures";
 
+// obs/log — structured logger funnel: records accepted into the ring,
+// records the per-(component, severity) token bucket suppressed, and
+// records dropped because the ring was full (drainer lapped).
+inline constexpr std::string_view kLogRecords = "homets.log.records";
+inline constexpr std::string_view kLogSuppressed = "homets.log.suppressed";
+inline constexpr std::string_view kLogDropped = "homets.log.dropped";
+
+// obs/progress — heartbeat/progress substrate. units_done/units_total are
+// gauges summed across live stages (a fleet orchestrator scrapes them for
+// per-shard progress); heartbeats counts emitted heartbeat lines.
+inline constexpr std::string_view kProgressHeartbeats =
+    "homets.progress.heartbeats";
+inline constexpr std::string_view kProgressUnitsDone =
+    "homets.progress.units_done";
+inline constexpr std::string_view kProgressUnitsTotal =
+    "homets.progress.units_total";
+inline constexpr std::string_view kProgressActiveStages =
+    "homets.progress.active_stages";
+
 // common/failpoint — fault-injection registry (counts only while armed, so
 // both stay zero in production runs).
 inline constexpr std::string_view kFailpointEvaluations =

@@ -1,0 +1,189 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace homets::obs {
+
+namespace {
+
+std::atomic<ProgressTracker*> g_tracker{nullptr};
+
+}  // namespace
+
+void ProgressTracker::Stage::Tick(uint64_t units) {
+  done_.fetch_add(units, std::memory_order_relaxed);
+  const int64_t now = Logger::NowUs();
+  int64_t expected = -1;
+  first_tick_us_.compare_exchange_strong(expected, now,
+                                         std::memory_order_relaxed);
+  last_tick_us_.store(now, std::memory_order_relaxed);
+}
+
+void ProgressTracker::Stage::Finish() {
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total > 0) done_.store(total, std::memory_order_relaxed);
+  last_tick_us_.store(Logger::NowUs(), std::memory_order_relaxed);
+  finished_.store(true, std::memory_order_relaxed);
+}
+
+ProgressTracker::~ProgressTracker() { StopHeartbeat(); }
+
+ProgressTracker::Stage* ProgressTracker::GetStage(std::string_view name) {
+  MutexLock lock(&mu_);
+  for (Stage& stage : stages_) {
+    if (stage.name_ == name) return &stage;
+  }
+  stages_.emplace_back(std::string(name));
+  return &stages_.back();
+}
+
+std::vector<ProgressTracker::StageSnapshot> ProgressTracker::Snapshot()
+    const {
+  MutexLock lock(&mu_);
+  std::vector<StageSnapshot> out;
+  out.reserve(stages_.size());
+  for (const Stage& stage : stages_) {
+    StageSnapshot snap;
+    snap.name = stage.name_;
+    snap.done = stage.done_.load(std::memory_order_relaxed);
+    snap.total = stage.total_.load(std::memory_order_relaxed);
+    snap.finished = stage.finished_.load(std::memory_order_relaxed);
+    const int64_t first = stage.first_tick_us_.load(std::memory_order_relaxed);
+    const int64_t last = stage.last_tick_us_.load(std::memory_order_relaxed);
+    if (first >= 0 && last > first && snap.done > 0) {
+      snap.rate_per_sec =
+          static_cast<double>(snap.done) /
+          (static_cast<double>(last - first) / 1e6);
+      if (snap.total > snap.done && snap.rate_per_sec > 0.0) {
+        snap.eta_sec =
+            static_cast<double>(snap.total - snap.done) / snap.rate_per_sec;
+      }
+    }
+    if (snap.finished) snap.eta_sec = 0.0;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void ProgressTracker::EmitHeartbeat() {
+  static Counter* heartbeats =
+      MetricsRegistry::Global().GetCounter(kProgressHeartbeats);
+  static Gauge* units_done =
+      MetricsRegistry::Global().GetGauge(kProgressUnitsDone);
+  static Gauge* units_total =
+      MetricsRegistry::Global().GetGauge(kProgressUnitsTotal);
+  static Gauge* active_stages =
+      MetricsRegistry::Global().GetGauge(kProgressActiveStages);
+  heartbeats->Increment();
+
+  const std::vector<StageSnapshot> stages = Snapshot();
+  const int64_t queue_depth =
+      MetricsRegistry::Global().GetGauge(kThreadPoolQueueDepth)->Value();
+
+  uint64_t done_sum = 0;
+  uint64_t total_sum = 0;
+  int64_t active = 0;
+  for (const StageSnapshot& s : stages) {
+    done_sum += s.done;
+    total_sum += s.total;
+    if (!s.finished && (s.done > 0 || s.total > 0)) ++active;
+  }
+  units_done->Set(static_cast<int64_t>(done_sum));
+  units_total->Set(static_cast<int64_t>(total_sum));
+  active_stages->Set(active);
+
+  Logger& logger = Logger::Global();
+  for (const StageSnapshot& s : stages) {
+    const bool started = s.done > 0 || s.total > 0;
+    if (!started) continue;
+    if (s.finished) {
+      MutexLock lock(&mu_);
+      bool already_reported = false;
+      for (const std::string& seen : hb_reported_done_) {
+        if (seen == s.name) {
+          already_reported = true;
+          break;
+        }
+      }
+      if (already_reported) continue;
+      hb_reported_done_.push_back(s.name);
+    }
+    std::vector<LogField> fields;
+    fields.push_back(LogField::Str("stage", s.name));
+    fields.push_back(LogField::Uint("done", s.done));
+    fields.push_back(LogField::Uint("total", s.total));
+    if (s.total > 0) {
+      fields.push_back(LogField::Double(
+          "pct", 100.0 * static_cast<double>(s.done) /
+                     static_cast<double>(s.total)));
+    }
+    fields.push_back(LogField::Double("rate_per_sec", s.rate_per_sec));
+    if (s.eta_sec >= 0.0) {
+      fields.push_back(LogField::Double("eta_sec", s.eta_sec));
+    }
+    fields.push_back(LogField::Int("queue_depth", queue_depth));
+    logger.Log(LogLevel::kInfo, "progress",
+               s.finished ? "stage done" : "heartbeat", std::move(fields));
+  }
+  logger.Drain();
+}
+
+void ProgressTracker::StartHeartbeat(double interval_sec) {
+  if (!(interval_sec > 0.0)) return;
+  MutexLock lock(&hb_mu_);
+  if (hb_running_) return;
+  hb_running_ = true;
+  hb_stop_ = false;
+  hb_thread_ =
+      std::thread(&ProgressTracker::HeartbeatLoop, this, interval_sec);
+}
+
+void ProgressTracker::StopHeartbeat() {
+  {
+    MutexLock lock(&hb_mu_);
+    if (!hb_running_) return;
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (hb_thread_.joinable()) hb_thread_.join();
+  EmitHeartbeat();  // final state, incl. "stage done" lines
+  MutexLock lock(&hb_mu_);
+  hb_running_ = false;
+}
+
+// Same condvar-through-native-handle escape as MetricsFlusher::Loop: the
+// analysis cannot model locks taken via hb_mu_.native().
+void ProgressTracker::HeartbeatLoop(double interval_sec)
+    HOMETS_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<std::mutex> lock(hb_mu_.native());
+  const auto interval = std::chrono::duration<double>(interval_sec);
+  while (!hb_stop_) {
+    if (hb_cv_.wait_for(lock, interval, [this] { return hb_stop_; })) {
+      break;  // StopHeartbeat emits one final heartbeat after the join
+    }
+    lock.unlock();
+    EmitHeartbeat();
+    lock.lock();
+  }
+}
+
+void InstallGlobalProgressTracker(ProgressTracker* tracker) {
+  g_tracker.store(tracker, std::memory_order_release);
+}
+
+ProgressTracker* GlobalProgressTracker() {
+  return g_tracker.load(std::memory_order_acquire);
+}
+
+ProgressTracker::Stage* ProgressStage(std::string_view name) {
+  ProgressTracker* tracker = g_tracker.load(std::memory_order_acquire);
+  return tracker == nullptr ? nullptr : tracker->GetStage(name);
+}
+
+}  // namespace homets::obs

@@ -1,0 +1,132 @@
+#ifndef HOMETS_OBS_PROGRESS_H_
+#define HOMETS_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+// Live progress for long fleet runs: pipeline stages tick units done/total
+// into named Stage accumulators; a heartbeat thread periodically turns the
+// tracker state into info-level log lines (percent, rate, ETA, thread-pool
+// queue depth) and homets.progress.* gauges — the per-shard health signal
+// the ROADMAP's fleet orchestrator will aggregate.
+//
+// Instrumentation sites use ProgressStage("stage"), which is nullptr-safe:
+// when no tracker is installed (every run without --progress, all tests by
+// default) the cost is one relaxed atomic load.
+namespace homets::obs {
+
+/// \brief Collects per-stage progress. Stage pointers are stable for the
+/// tracker's lifetime; all tick paths are lock-free.
+class ProgressTracker {
+ public:
+  /// \brief One named unit-counted stage ("csv_ingest", "pairwise", …).
+  class Stage {
+   public:
+    explicit Stage(std::string name) : name_(std::move(name)) {}
+    Stage(const Stage&) = delete;
+    Stage& operator=(const Stage&) = delete;
+
+    /// Grows the expected unit count (stages often learn their total
+    /// incrementally, e.g. per input file).
+    void AddTotal(uint64_t units) {
+      total_.fetch_add(units, std::memory_order_relaxed);
+    }
+
+    /// Records `units` finished. First tick anchors the stage's rate clock.
+    void Tick(uint64_t units = 1);
+
+    /// Marks the stage complete (done snaps to total when total is known).
+    void Finish();
+
+    const std::string& name() const { return name_; }
+    uint64_t done() const { return done_.load(std::memory_order_relaxed); }
+    uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+    bool finished() const {
+      return finished_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class ProgressTracker;
+    std::string name_;
+    std::atomic<uint64_t> done_{0};
+    std::atomic<uint64_t> total_{0};
+    std::atomic<bool> finished_{false};
+    std::atomic<int64_t> first_tick_us_{-1};  ///< Logger::NowUs clock
+    std::atomic<int64_t> last_tick_us_{-1};
+  };
+
+  /// \brief Point-in-time copy of one stage, with derived rate/ETA.
+  struct StageSnapshot {
+    std::string name;
+    uint64_t done = 0;
+    uint64_t total = 0;  ///< 0 = unknown
+    bool finished = false;
+    double rate_per_sec = 0.0;  ///< 0 until two clock-distinct ticks
+    double eta_sec = -1.0;      ///< -1 = unknown (no total or no rate)
+  };
+
+  ProgressTracker() = default;
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+  ~ProgressTracker();
+
+  /// Returns the stage registered under `name`, creating it on first use.
+  /// The pointer is stable for the tracker's lifetime.
+  Stage* GetStage(std::string_view name) HOMETS_EXCLUDES(mu_);
+
+  /// Stages in registration order (the pipeline's natural stage order).
+  std::vector<StageSnapshot> Snapshot() const HOMETS_EXCLUDES(mu_);
+
+  /// Emits one heartbeat now: logs an info line per unfinished stage (and a
+  /// final line per newly finished stage) through Logger::Global(), updates
+  /// the homets.progress.* gauges, and drains the logger so the lines land.
+  /// Also called by the heartbeat thread every `interval_sec`.
+  void EmitHeartbeat() HOMETS_EXCLUDES(mu_);
+
+  /// Starts the background heartbeat thread; no-op when one is running or
+  /// `interval_sec <= 0`.
+  void StartHeartbeat(double interval_sec) HOMETS_EXCLUDES(hb_mu_);
+
+  /// Stops the heartbeat thread (if running) after one final heartbeat.
+  void StopHeartbeat() HOMETS_EXCLUDES(hb_mu_);
+
+ private:
+  void HeartbeatLoop(double interval_sec);
+
+  mutable Mutex mu_;
+  /// Deque, not vector: Stage is pinned (atomics + handed-out pointers).
+  std::deque<Stage> stages_ HOMETS_GUARDED_BY(mu_);
+
+  Mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  std::thread hb_thread_;
+  bool hb_running_ HOMETS_GUARDED_BY(hb_mu_) = false;
+  bool hb_stop_ HOMETS_GUARDED_BY(hb_mu_) = false;
+  /// Stage names already reported as finished, so each gets exactly one
+  /// final heartbeat line.
+  std::vector<std::string> hb_reported_done_ HOMETS_GUARDED_BY(mu_);
+};
+
+/// \brief Installs `tracker` (not owned) as the process-wide tick
+/// destination; nullptr uninstalls. Same lifetime contract as
+/// InstallGlobalTraceSession: install before the tracked work, uninstall
+/// after it finishes.
+void InstallGlobalProgressTracker(ProgressTracker* tracker);
+ProgressTracker* GlobalProgressTracker();
+
+/// Stage accessor instrumentation sites use: nullptr (one relaxed load)
+/// when no tracker is installed.
+ProgressTracker::Stage* ProgressStage(std::string_view name);
+
+}  // namespace homets::obs
+
+#endif  // HOMETS_OBS_PROGRESS_H_

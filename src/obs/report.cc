@@ -1,0 +1,327 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace homets::obs {
+
+namespace {
+
+// Local code → canonical name map: StatusCodeToString lives in
+// homets_common, which obs must not link (same reasoning as the snprintf
+// formatting throughout this file vs. common/strings.h).
+std::string_view CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kComputeError:
+      return "ComputeError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kUnknown:
+      return "Unknown";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+  }
+  return "Unknown";
+}
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+void AppendQuoted(std::string_view s, std::string* out) {
+  *out += '"';
+  AppendEscaped(s, out);
+  *out += '"';
+}
+
+void AppendUint(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendInt(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void AppendSeconds(double v, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+RunManifestBuilder::RunManifestBuilder()
+    : run_start_(std::chrono::steady_clock::now()) {}
+
+void RunManifestBuilder::SetTool(std::string name) {
+  MutexLock lock(&mu_);
+  tool_ = std::move(name);
+}
+
+void RunManifestBuilder::SetCommand(std::string command) {
+  MutexLock lock(&mu_);
+  command_ = std::move(command);
+}
+
+void RunManifestBuilder::SetConfig(std::string_view key, std::string value) {
+  MutexLock lock(&mu_);
+  for (auto& [existing, existing_value] : config_) {
+    if (existing == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  config_.emplace_back(std::string(key), std::move(value));
+}
+
+void RunManifestBuilder::AddInput(std::string path, std::string format,
+                                  uint64_t bytes) {
+  MutexLock lock(&mu_);
+  inputs_.push_back(Input{std::move(path), std::move(format), bytes});
+}
+
+void RunManifestBuilder::SetFailpoints(std::string spec, uint64_t seed) {
+  MutexLock lock(&mu_);
+  has_failpoints_ = true;
+  failpoint_spec_ = std::move(spec);
+  failpoint_seed_ = seed;
+}
+
+void RunManifestBuilder::SetThreads(int hardware, int used) {
+  MutexLock lock(&mu_);
+  threads_hardware_ = hardware;
+  threads_used_ = used;
+}
+
+void RunManifestBuilder::SetReadPolicy(std::string policy, int retries) {
+  MutexLock lock(&mu_);
+  read_policy_ = std::move(policy);
+  read_retries_ = retries;
+}
+
+void RunManifestBuilder::RecordIngest(
+    const ManifestIngestCounters& counters) {
+  MutexLock lock(&mu_);
+  has_ingest_ = true;
+  ingest_.rows_parsed += counters.rows_parsed;
+  ingest_.rows_malformed += counters.rows_malformed;
+  ingest_.rows_duplicate += counters.rows_duplicate;
+  ingest_.rows_out_of_order += counters.rows_out_of_order;
+  ingest_.gaps_repaired += counters.gaps_repaired;
+  ingest_.retries += counters.retries;
+  ingest_.files_quarantined += counters.files_quarantined;
+}
+
+void RunManifestBuilder::AddStage(
+    std::string stage, double seconds, uint64_t units,
+    std::map<std::string, uint64_t> metric_deltas) {
+  MutexLock lock(&mu_);
+  stages_.push_back(StageEntry{std::move(stage), seconds, units,
+                               std::move(metric_deltas)});
+}
+
+void RunManifestBuilder::MarkFailed(std::string_view stage,
+                                    const Status& status) {
+  MutexLock lock(&mu_);
+  if (failed_) return;  // first failure wins; later ones are fallout
+  failed_ = true;
+  failed_stage_ = std::string(stage);
+  final_status_ = status;
+}
+
+void RunManifestBuilder::SetExitCode(int exit_code) {
+  MutexLock lock(&mu_);
+  exit_code_ = exit_code;
+}
+
+std::string RunManifestBuilder::ToJson() const {
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start_)
+          .count();
+  MutexLock lock(&mu_);
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"schema_version\": ";
+  AppendInt(kSchemaVersion, &out);
+  out += ",\n  \"tool\": ";
+  AppendQuoted(tool_, &out);
+  out += ",\n  \"command\": ";
+  AppendQuoted(command_, &out);
+  out += ",\n  \"config\": {";
+  for (size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    ";
+    AppendQuoted(config_[i].first, &out);
+    out += ": ";
+    AppendQuoted(config_[i].second, &out);
+  }
+  out += config_.empty() ? "}" : "\n  }";
+  out += ",\n  \"inputs\": [";
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    {\"path\": ";
+    AppendQuoted(inputs_[i].path, &out);
+    out += ", \"format\": ";
+    AppendQuoted(inputs_[i].format, &out);
+    out += ", \"bytes\": ";
+    AppendUint(inputs_[i].bytes, &out);
+    out += '}';
+  }
+  out += inputs_.empty() ? "]" : "\n  ]";
+  if (has_failpoints_) {
+    out += ",\n  \"failpoints\": {\"spec\": ";
+    AppendQuoted(failpoint_spec_, &out);
+    out += ", \"seed\": ";
+    AppendUint(failpoint_seed_, &out);
+    out += '}';
+  }
+  out += ",\n  \"threads\": {\"hardware\": ";
+  AppendInt(threads_hardware_, &out);
+  out += ", \"used\": ";
+  AppendInt(threads_used_, &out);
+  out += '}';
+  if (!read_policy_.empty()) {
+    out += ",\n  \"read_policy\": {\"policy\": ";
+    AppendQuoted(read_policy_, &out);
+    out += ", \"retries\": ";
+    AppendInt(read_retries_, &out);
+    out += '}';
+  }
+  if (has_ingest_) {
+    out += ",\n  \"ingest\": {\"rows_parsed\": ";
+    AppendUint(ingest_.rows_parsed, &out);
+    out += ", \"rows_malformed\": ";
+    AppendUint(ingest_.rows_malformed, &out);
+    out += ", \"rows_duplicate\": ";
+    AppendUint(ingest_.rows_duplicate, &out);
+    out += ", \"rows_out_of_order\": ";
+    AppendUint(ingest_.rows_out_of_order, &out);
+    out += ", \"gaps_repaired\": ";
+    AppendUint(ingest_.gaps_repaired, &out);
+    out += ", \"retries\": ";
+    AppendUint(ingest_.retries, &out);
+    out += ", \"files_quarantined\": ";
+    AppendUint(ingest_.files_quarantined, &out);
+    out += '}';
+  }
+  out += ",\n  \"stages\": [";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const StageEntry& s = stages_[i];
+    if (i > 0) out += ',';
+    out += "\n    {\"stage\": ";
+    AppendQuoted(s.stage, &out);
+    out += ", \"seconds\": ";
+    AppendSeconds(s.seconds, &out);
+    out += ", \"units\": ";
+    AppendUint(s.units, &out);
+    out += ", \"metrics\": {";
+    size_t j = 0;
+    for (const auto& [name, delta] : s.metric_deltas) {
+      if (j++ > 0) out += ", ";
+      AppendQuoted(name, &out);
+      out += ": ";
+      AppendUint(delta, &out);
+    }
+    out += "}}";
+  }
+  out += stages_.empty() ? "]" : "\n  ]";
+  const std::string_view outcome =
+      !failed_ ? "success"
+      : (final_status_.code() == StatusCode::kCancelled ||
+         final_status_.code() == StatusCode::kDeadlineExceeded)
+          ? "cancelled"
+          : "failure";
+  out += ",\n  \"outcome\": ";
+  AppendQuoted(outcome, &out);
+  if (failed_) {
+    out += ",\n  \"failed_stage\": ";
+    AppendQuoted(failed_stage_, &out);
+  }
+  out += ",\n  \"status\": {\"code\": ";
+  AppendQuoted(CodeName(final_status_.code()), &out);
+  out += ", \"message\": ";
+  AppendQuoted(final_status_.message(), &out);
+  out += '}';
+  out += ",\n  \"exit_code\": ";
+  AppendInt(exit_code_, &out);
+  out += ",\n  \"wall_seconds\": ";
+  AppendSeconds(wall_seconds, &out);
+  out += "\n}\n";
+  return out;
+}
+
+Status RunManifestBuilder::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open manifest for write: " + path);
+  }
+  out << json;
+  out.flush();
+  if (!out) {
+    return Status::IoError("manifest write failed: " + path);
+  }
+  return Status::OK();
+}
+
+RunManifestBuilder::StageTimer::StageTimer(RunManifestBuilder* builder,
+                                           std::string stage)
+    : builder_(builder),
+      stage_(std::move(stage)),
+      start_(std::chrono::steady_clock::now()),
+      // A null builder makes the timer inert; skip the registry snapshot so
+      // instrumented call sites cost nothing when no manifest is requested.
+      before_(builder == nullptr ? MetricsSnapshot{}
+                                 : MetricsRegistry::Global().Snapshot()) {}
+
+RunManifestBuilder::StageTimer::~StageTimer() {
+  if (builder_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  std::map<std::string, uint64_t> deltas;
+  for (const auto& [name, value] : after.counters) {
+    uint64_t previous = 0;
+    const auto it = before_.counters.find(name);
+    if (it != before_.counters.end()) previous = it->second;
+    if (value > previous) deltas[name] = value - previous;
+  }
+  builder_->AddStage(stage_, seconds, units_, std::move(deltas));
+}
+
+}  // namespace homets::obs

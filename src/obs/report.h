@@ -1,0 +1,154 @@
+#ifndef HOMETS_OBS_REPORT_H_
+#define HOMETS_OBS_REPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+// Run manifests: a schema-versioned machine-readable record of what a run
+// was (config, inputs, failpoint schedule, read policy), what it did
+// (per-stage wall times + metric deltas, ingest counters, thread counts) and
+// how it ended (success / failure / cancelled, failing stage, Status) —
+// written as RUN_MANIFEST.json on success AND on failure, so a fleet
+// orchestrator can audit every shard afterwards. Stage entries deliberately
+// mirror the BENCH_pipeline.json shape ({"stage", "seconds", "units",
+// "metrics": {counter deltas}}) so the same tooling reads both.
+//
+// Layering: homets_obs links only the standard library, so the builder takes
+// plain counters (the CLI copies them out of io::IngestReport) and maps
+// StatusCode to its canonical name locally.
+namespace homets::obs {
+
+/// \brief Ingest counters copied from io::IngestReport (plain numbers keep
+/// homets_obs below homets_io in the link graph).
+struct ManifestIngestCounters {
+  uint64_t rows_parsed = 0;
+  uint64_t rows_malformed = 0;
+  uint64_t rows_duplicate = 0;
+  uint64_t rows_out_of_order = 0;
+  uint64_t gaps_repaired = 0;
+  uint64_t retries = 0;
+  uint64_t files_quarantined = 0;
+};
+
+/// \brief Accumulates one run's manifest; thread-safe, write-mostly.
+///
+/// The CLI owns one instance for the whole run and calls WriteJson from
+/// every exit path (including FailWith), so a run killed by a failpoint
+/// still leaves a partial manifest with the failing stage and Status.
+class RunManifestBuilder {
+ public:
+  /// Bump on any incompatible change to the JSON shape; readers check it
+  /// (versioning policy in DESIGN.md §12).
+  static constexpr int kSchemaVersion = 1;
+
+  RunManifestBuilder();
+  RunManifestBuilder(const RunManifestBuilder&) = delete;
+  RunManifestBuilder& operator=(const RunManifestBuilder&) = delete;
+
+  void SetTool(std::string name) HOMETS_EXCLUDES(mu_);
+  /// Full command line, argv joined with single spaces.
+  void SetCommand(std::string command) HOMETS_EXCLUDES(mu_);
+  /// One resolved config flag (insertion order preserved; re-setting a key
+  /// overwrites in place).
+  void SetConfig(std::string_view key, std::string value)
+      HOMETS_EXCLUDES(mu_);
+  void AddInput(std::string path, std::string format, uint64_t bytes)
+      HOMETS_EXCLUDES(mu_);
+  void SetFailpoints(std::string spec, uint64_t seed) HOMETS_EXCLUDES(mu_);
+  void SetThreads(int hardware, int used) HOMETS_EXCLUDES(mu_);
+  void SetReadPolicy(std::string policy, int retries) HOMETS_EXCLUDES(mu_);
+  /// Accumulates (a run can ingest many files/datasets).
+  void RecordIngest(const ManifestIngestCounters& counters)
+      HOMETS_EXCLUDES(mu_);
+
+  /// Appends a completed stage. `metric_deltas` holds counters that changed
+  /// while the stage ran (StageTimer computes them automatically).
+  void AddStage(std::string stage, double seconds, uint64_t units,
+                std::map<std::string, uint64_t> metric_deltas)
+      HOMETS_EXCLUDES(mu_);
+
+  /// Records the failing stage and Status; flips the outcome to "failure"
+  /// (or "cancelled" for kCancelled/kDeadlineExceeded). First failure wins.
+  void MarkFailed(std::string_view stage, const Status& status)
+      HOMETS_EXCLUDES(mu_);
+
+  void SetExitCode(int exit_code) HOMETS_EXCLUDES(mu_);
+
+  /// The manifest as pretty-enough JSON (stable key order, one stage per
+  /// line) reflecting everything recorded so far.
+  std::string ToJson() const HOMETS_EXCLUDES(mu_);
+
+  /// Writes ToJson() to `path` (truncating); IoError on failure.
+  Status WriteJson(const std::string& path) const HOMETS_EXCLUDES(mu_);
+
+  /// \brief RAII stage clock: captures a metrics snapshot at construction
+  /// and records the stage (wall seconds + counter deltas + `units`) into
+  /// the builder at destruction. `set_units` lets the stage report its unit
+  /// count once known.
+  class StageTimer {
+   public:
+    StageTimer(RunManifestBuilder* builder, std::string stage);
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+    ~StageTimer();
+
+    void set_units(uint64_t units) { units_ = units; }
+
+   private:
+    RunManifestBuilder* builder_;
+    std::string stage_;
+    uint64_t units_ = 0;
+    std::chrono::steady_clock::time_point start_;
+    MetricsSnapshot before_;
+  };
+
+ private:
+  mutable Mutex mu_;
+  std::chrono::steady_clock::time_point run_start_;
+
+  struct Input {
+    std::string path;
+    std::string format;
+    uint64_t bytes = 0;
+  };
+  struct StageEntry {
+    std::string stage;
+    double seconds = 0.0;
+    uint64_t units = 0;
+    std::map<std::string, uint64_t> metric_deltas;
+  };
+
+  std::string tool_ HOMETS_GUARDED_BY(mu_);
+  std::string command_ HOMETS_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> config_
+      HOMETS_GUARDED_BY(mu_);
+  std::vector<Input> inputs_ HOMETS_GUARDED_BY(mu_);
+  bool has_failpoints_ HOMETS_GUARDED_BY(mu_) = false;
+  std::string failpoint_spec_ HOMETS_GUARDED_BY(mu_);
+  uint64_t failpoint_seed_ HOMETS_GUARDED_BY(mu_) = 0;
+  int threads_hardware_ HOMETS_GUARDED_BY(mu_) = 0;
+  int threads_used_ HOMETS_GUARDED_BY(mu_) = 0;
+  std::string read_policy_ HOMETS_GUARDED_BY(mu_);
+  int read_retries_ HOMETS_GUARDED_BY(mu_) = 0;
+  bool has_ingest_ HOMETS_GUARDED_BY(mu_) = false;
+  ManifestIngestCounters ingest_ HOMETS_GUARDED_BY(mu_);
+  std::vector<StageEntry> stages_ HOMETS_GUARDED_BY(mu_);
+  bool failed_ HOMETS_GUARDED_BY(mu_) = false;
+  std::string failed_stage_ HOMETS_GUARDED_BY(mu_);
+  Status final_status_ HOMETS_GUARDED_BY(mu_);
+  int exit_code_ HOMETS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace homets::obs
+
+#endif  // HOMETS_OBS_REPORT_H_

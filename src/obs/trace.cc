@@ -12,6 +12,17 @@ std::atomic<TraceSession*> g_session{nullptr};
 // thread_local — only the owning thread touches it.
 thread_local uint32_t tls_open_spans = 0;
 
+// Per-thread stack of open span ids; the top is what CurrentSpanId()
+// reports, so a log line emitted inside a span carries that span's id. A
+// fixed-depth array instead of a vector keeps span construction
+// allocation-free; spans nested deeper than the array simply stop updating
+// the innermost id (depth 16 is far beyond any real nesting in this tree).
+constexpr uint32_t kMaxSpanStack = 16;
+thread_local uint64_t tls_span_stack[kMaxSpanStack] = {};
+
+// Process-unique span ids, 1-based so 0 means "no span open".
+std::atomic<uint64_t> g_next_span_id{0};
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -57,9 +68,10 @@ std::string TraceSession::ToChromeJson() const {
            JsonEscape(e.category) + "\", ";
     std::snprintf(buf, sizeof(buf),
                   "\"ph\": \"X\", \"ts\": %lld, \"dur\": %lld, \"pid\": 1, "
-                  "\"tid\": %u, \"args\": {\"depth\": %u}}",
+                  "\"tid\": %u, \"args\": {\"depth\": %u, \"span_id\": %llu}}",
                   static_cast<long long>(e.ts_us),
-                  static_cast<long long>(e.dur_us), e.tid, e.depth);
+                  static_cast<long long>(e.dur_us), e.tid, e.depth,
+                  static_cast<unsigned long long>(e.span_id));
     out += buf;
     if (i + 1 < events.size()) out += ',';
     out += '\n';
@@ -83,13 +95,20 @@ uint32_t CurrentThreadTraceId() {
   return id;
 }
 
+uint64_t CurrentSpanId() {
+  const uint32_t depth = std::min(tls_open_spans, kMaxSpanStack);
+  return depth == 0 ? 0 : tls_span_stack[depth - 1];
+}
+
 ScopedSpan::ScopedSpan(std::string name, SpanSink* sink, std::string category)
     : name_(std::move(name)),
       category_(std::move(category)),
       sink_(sink),
       session_(GlobalTraceSession()) {
   if (session_ == nullptr && sink_ == nullptr) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
   depth_ = tls_open_spans++;
+  if (depth_ < kMaxSpanStack) tls_span_stack[depth_] = id_;
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -97,6 +116,7 @@ ScopedSpan::~ScopedSpan() {
   if (session_ == nullptr && sink_ == nullptr) return;
   const auto end = std::chrono::steady_clock::now();
   --tls_open_spans;
+  if (tls_open_spans < kMaxSpanStack) tls_span_stack[tls_open_spans] = 0;
   if (sink_ != nullptr) {
     sink_->OnSpan(name_, static_cast<uint64_t>(
                              std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -111,6 +131,7 @@ ScopedSpan::~ScopedSpan() {
     event.dur_us = session_->SinceStartUs(end) - event.ts_us;
     event.tid = CurrentThreadTraceId();
     event.depth = depth_;
+    event.span_id = id_;
     // TraceSession::Add returns void; the name collides with the
     // Result-returning TimeSeries::Add in the linter's tree-wide match.
     session_->Add(std::move(event));  // homets-lint: allow(discarded-status)

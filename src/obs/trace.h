@@ -30,6 +30,7 @@ struct TraceEvent {
   int64_t dur_us = 0;  ///< span duration in µs
   uint32_t tid = 0;    ///< small dense thread id (see CurrentThreadTraceId)
   uint32_t depth = 0;  ///< open spans on this thread above this one
+  uint64_t span_id = 0;  ///< process-unique id (see CurrentSpanId); 0 = none
 };
 
 /// \brief Collects spans for one run. Append is thread-safe.
@@ -72,6 +73,14 @@ TraceSession* GlobalTraceSession();
 /// with, chosen over std::thread::id so Perfetto rows sort sensibly.
 uint32_t CurrentThreadTraceId();
 
+/// \brief Id of the innermost span currently open on the calling thread, or
+/// 0 when none is. Spans receive a process-unique 1-based id whenever they
+/// are active (a TraceSession is installed or a sink is attached); the
+/// structured logger stamps this onto every record, so a log line written
+/// inside `cli.mine_motifs` carries the exact span it belongs to and the two
+/// artifacts (JSON-lines log, Chrome trace) join on `span_id`.
+uint64_t CurrentSpanId();
+
 /// \brief Receives completed span durations; PhaseTimings is the main
 /// implementation, adapting spans onto the legacy per-phase accumulator.
 class SpanSink {
@@ -98,6 +107,7 @@ class ScopedSpan {
   TraceSession* session_;  ///< captured once at construction
   std::chrono::steady_clock::time_point start_;
   uint32_t depth_ = 0;
+  uint64_t id_ = 0;  ///< process-unique span id, assigned when active
 };
 
 }  // namespace homets::obs

@@ -14,6 +14,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -689,6 +690,9 @@ Result<std::vector<double>> DecodeChunk(const HometsReader::Rep& rep,
   }
   if (Crc32(payload, size) != ref.crc32) {
     Metrics().crc_failures->Increment();
+    obs::LogError("storage", "chunk crc mismatch",
+                  {obs::LogField::Str("path", rep.path),
+                   obs::LogField::Uint("offset", ref.offset)});
     return Status::IoError(
         StrFormat("chunk crc mismatch in %s at offset %llu", rep.path.c_str(),
                   static_cast<unsigned long long>(ref.offset)));
@@ -743,6 +747,8 @@ Result<HometsReader> HometsReader::Open(const std::string& path) {
   }
   if (rep->size < sizeof(kFileMagic) + kTrailerSize) {
     // Good magic but no room for a trailer: a write died before Finish.
+    obs::LogWarn("storage", "torn homets file",
+                 {obs::LogField::Str("path", path)});
     return Status::IoError("torn homets file (missing trailer): " + path);
   }
   ByteReader trailer(rep->data + rep->size - kTrailerSize, kTrailerSize);
@@ -753,6 +759,8 @@ Result<HometsReader> HometsReader::Open(const std::string& path) {
   const uint8_t* magic = trailer.Skip(sizeof(kTrailerMagic));
   if (!trailer_ok || magic == nullptr ||
       std::memcmp(magic, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+    obs::LogWarn("storage", "torn homets file",
+                 {obs::LogField::Str("path", path)});
     return Status::IoError("torn homets file (missing trailer): " + path);
   }
   if (footer_offset < sizeof(kFileMagic) ||
@@ -763,6 +771,8 @@ Result<HometsReader> HometsReader::Open(const std::string& path) {
   const size_t footer_size = rep->size - kTrailerSize - footer_offset;
   if (Crc32(footer, footer_size) != footer_crc) {
     Metrics().crc_failures->Increment();
+    obs::LogError("storage", "footer crc mismatch",
+                  {obs::LogField::Str("path", path)});
     return Status::IoError("footer crc mismatch in " + path);
   }
   HOMETS_RETURN_IF_ERROR(ParseFooter(footer, footer_size, footer_offset, rep));

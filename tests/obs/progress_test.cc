@@ -1,0 +1,119 @@
+#include "obs/progress.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/log.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace homets::obs {
+namespace {
+
+TEST(ProgressTrackerTest, StagePointersAreStableAndNamed) {
+  ProgressTracker tracker;
+  ProgressTracker::Stage* a = tracker.GetStage("read");
+  ProgressTracker::Stage* b = tracker.GetStage("mine");
+  EXPECT_EQ(tracker.GetStage("read"), a);
+  EXPECT_EQ(a->name(), "read");
+  EXPECT_NE(a, b);
+}
+
+TEST(ProgressTrackerTest, TicksAccumulateAndFinishSnapsToTotal) {
+  ProgressTracker tracker;
+  ProgressTracker::Stage* stage = tracker.GetStage("read");
+  stage->AddTotal(10);
+  stage->Tick(3);
+  stage->Tick();
+  EXPECT_EQ(stage->done(), 4u);
+  EXPECT_EQ(stage->total(), 10u);
+  EXPECT_FALSE(stage->finished());
+  stage->Finish();
+  EXPECT_TRUE(stage->finished());
+  EXPECT_EQ(stage->done(), 10u);
+}
+
+TEST(ProgressTrackerTest, SnapshotPreservesRegistrationOrder) {
+  ProgressTracker tracker;
+  tracker.GetStage("one")->Tick();
+  tracker.GetStage("two")->AddTotal(5);
+  tracker.GetStage("three");
+  const std::vector<ProgressTracker::StageSnapshot> snap = tracker.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "one");
+  EXPECT_EQ(snap[1].name, "two");
+  EXPECT_EQ(snap[2].name, "three");
+  EXPECT_EQ(snap[0].done, 1u);
+  EXPECT_EQ(snap[1].total, 5u);
+  // No total and no second tick: rate and ETA stay unknown.
+  EXPECT_EQ(snap[0].eta_sec, -1.0);
+}
+
+TEST(ProgressTrackerTest, ConcurrentTicksAreLossless) {
+  ProgressTracker tracker;
+  ProgressTracker::Stage* stage = tracker.GetStage("parallel");
+  constexpr int kThreads = 4;
+  constexpr int kTicks = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([stage] {
+      for (int i = 0; i < kTicks; ++i) stage->Tick();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(stage->done(), static_cast<uint64_t>(kThreads) * kTicks);
+}
+
+TEST(ProgressTrackerTest, HeartbeatUpdatesGaugesAndCountsBeats) {
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t beats_before =
+      registry.GetCounter(kProgressHeartbeats)->Value();
+
+  ProgressTracker tracker;
+  ProgressTracker::Stage* stage = tracker.GetStage("hb");
+  stage->AddTotal(8);
+  stage->Tick(2);
+  tracker.EmitHeartbeat();
+
+  EXPECT_EQ(registry.GetCounter(kProgressHeartbeats)->Value(),
+            beats_before + 1);
+  EXPECT_EQ(registry.GetGauge(kProgressUnitsDone)->Value(), 2);
+  EXPECT_EQ(registry.GetGauge(kProgressUnitsTotal)->Value(), 8);
+  EXPECT_EQ(registry.GetGauge(kProgressActiveStages)->Value(), 1);
+
+  stage->Finish();
+  tracker.EmitHeartbeat();
+  EXPECT_EQ(registry.GetGauge(kProgressActiveStages)->Value(), 0);
+  EXPECT_EQ(registry.GetGauge(kProgressUnitsDone)->Value(), 8);
+}
+
+TEST(ProgressTrackerTest, StartStopHeartbeatIsClean) {
+  ProgressTracker tracker;
+  tracker.GetStage("thread")->AddTotal(1);
+  tracker.StartHeartbeat(3600.0);  // never fires mid-test on its own
+  tracker.StartHeartbeat(3600.0);  // second start is a no-op
+  tracker.StopHeartbeat();         // emits one final heartbeat
+  tracker.StopHeartbeat();         // idempotent
+}
+
+// The instrumentation seam: without an installed tracker the accessor is
+// null (library ticks are skipped); with one, the same call resolves.
+TEST(ProgressStageTest, GlobalAccessorIsNullptrSafe) {
+  InstallGlobalProgressTracker(nullptr);
+  EXPECT_EQ(ProgressStage("anything"), nullptr);
+  ProgressTracker tracker;
+  InstallGlobalProgressTracker(&tracker);
+  ProgressTracker::Stage* stage = ProgressStage("wired");
+  ASSERT_NE(stage, nullptr);
+  stage->Tick();
+  EXPECT_EQ(tracker.GetStage("wired")->done(), 1u);
+  InstallGlobalProgressTracker(nullptr);
+  EXPECT_EQ(ProgressStage("wired"), nullptr);
+}
+
+}  // namespace
+}  // namespace homets::obs

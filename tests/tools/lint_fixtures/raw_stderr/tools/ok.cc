@@ -1,0 +1,4 @@
+// Fixture: tools/ own their stderr — the rule is scoped to src/ only.
+#include <iostream>
+
+void Narrate() { std::cerr << "tools may narrate\n"; }

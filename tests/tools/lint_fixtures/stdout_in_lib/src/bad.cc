@@ -6,7 +6,7 @@ void Chatty(int value) {
   std::cout << "value=" << value << "\n";  // hit
   printf("value=%d\n", value);             // hit
   puts("done");                            // hit
-  std::fprintf(stderr, "diagnostics are fine: %d\n", value);
+  std::fprintf(stderr, "ok for no-stdout: %d\n", value);  // homets-lint: allow(no-raw-stderr-in-lib)
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%d", value);  // snprintf is fine
 }

@@ -1,0 +1,127 @@
+#!/bin/sh
+# Run-telemetry contract test, registered as the `cli_telemetry` ctest
+# (label `telemetry`). Asserts the PR-7 acceptance bar end to end:
+#   1. A motifs run with the telemetry flags writes valid JSON-lines whose
+#      span ids all resolve to spans in the Chrome trace.
+#   2. The run manifest is schema-versioned and its stage entries carry the
+#      BENCH_pipeline.json shape (stage, seconds, units, metrics).
+#   3. A failpoint-killed run still writes a manifest, with the failure
+#      outcome, the armed spec, and the process exit code.
+#   4. stdout is byte-identical with the telemetry flags off — observability
+#      must never leak into the analysis output contract.
+#
+# Usage: cli_telemetry_test.sh /path/to/homets_cli
+set -eu
+
+cli="${1:?usage: cli_telemetry_test.sh /path/to/homets_cli}"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+fail=0
+
+check() {
+    desc="$1"
+    shift
+    if "$@"; then
+        echo "ok: $desc"
+    else
+        echo "FAIL: $desc" >&2
+        fail=1
+    fi
+}
+
+"$cli" generate --out "$workdir" --gateways 3 --weeks 2 --seed 7 \
+    >"$workdir/gen.log" 2>"$workdir/gen.err"
+
+# --- baseline: no telemetry flags ----------------------------------------
+"$cli" motifs "$workdir"/gateway_*.csv \
+    >"$workdir/plain.out" 2>"$workdir/plain.err"
+
+# --- full telemetry run ---------------------------------------------------
+"$cli" motifs \
+    --log-out "$workdir/run.jsonl" --log-level debug \
+    --progress --progress-interval-sec 1 \
+    --run-manifest-out "$workdir/manifest.json" \
+    --trace-out "$workdir/trace.json" \
+    "$workdir"/gateway_*.csv >"$workdir/telem.out" 2>"$workdir/telem.err"
+
+check "stdout byte-identical with telemetry on" \
+    cmp -s "$workdir/plain.out" "$workdir/telem.out"
+check "structured log written" test -s "$workdir/run.jsonl"
+check "run manifest written" test -s "$workdir/manifest.json"
+check "progress narrated on stderr" \
+    grep -Eq 'progress: (heartbeat|stage done)' "$workdir/telem.err"
+
+# Every log line must parse as a JSON object, and every span id referenced
+# by a log record must name a span the Chrome trace also recorded.
+check "log lines parse and spans match the trace" \
+    python3 - "$workdir/run.jsonl" "$workdir/trace.json" <<'EOF'
+import json, sys
+log_path, trace_path = sys.argv[1], sys.argv[2]
+log_spans = set()
+with open(log_path) as log:
+    for n, line in enumerate(log, 1):
+        record = json.loads(line)
+        for key in ("ts_us", "level", "component", "msg"):
+            assert key in record, f"line {n} missing {key!r}"
+        if record.get("span", 0):
+            log_spans.add(record["span"])
+assert log_spans, "no log record carried a span id"
+trace_spans = {
+    event["args"]["span_id"]
+    for event in json.load(open(trace_path))["traceEvents"]
+    if "span_id" in event.get("args", {})
+}
+missing = log_spans - trace_spans
+assert not missing, f"log spans absent from trace: {sorted(missing)}"
+EOF
+
+# Manifest schema: versioned, success outcome, and stage entries in the
+# BENCH_pipeline.json shape so bench_compare-style tooling can diff them.
+check "manifest carries the versioned schema" \
+    python3 - "$workdir/manifest.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("schema_version", "tool", "command", "config", "inputs",
+            "threads", "stages", "outcome", "status", "exit_code",
+            "wall_seconds"):
+    assert key in doc, f"missing {key!r}"
+assert doc["schema_version"] == 1
+assert doc["tool"] == "homets_cli"
+assert doc["outcome"] == "success" and doc["exit_code"] == 0
+assert doc["inputs"] and all(
+    i["format"] == "csv" and i["bytes"] > 0 for i in doc["inputs"])
+assert doc["stages"], "no stages recorded"
+for stage in doc["stages"]:
+    for key in ("stage", "seconds", "units", "metrics"):
+        assert key in stage, f"stage missing {key!r}"
+names = [s["stage"] for s in doc["stages"]]
+assert "mine_motifs" in names, names
+EOF
+
+# --- manifest on failure --------------------------------------------------
+rc=0
+"$cli" motifs --failpoints 'io.csv.open=error*99' \
+    --run-manifest-out "$workdir/fail_manifest.json" \
+    "$workdir"/gateway_*.csv >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "failpoint run fails" test "$rc" -ne 0
+check "failed run still writes a manifest" \
+    test -s "$workdir/fail_manifest.json"
+check "failure manifest records outcome, spec, and exit code" \
+    python3 - "$workdir/fail_manifest.json" "$rc" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["outcome"] == "failure", doc["outcome"]
+assert "failed_stage" in doc
+assert doc["failpoints"]["spec"] == "io.csv.open=error*99"
+assert doc["status"]["code"] != "OK"
+assert doc["exit_code"] == int(sys.argv[2])
+EOF
+
+# --log-level validation stays a strict-flag error.
+rc=0
+"$cli" motifs --log-level loud "$workdir"/gateway_*.csv \
+    >"$workdir/out" 2>"$workdir/err" || rc=$?
+check "bad log level exits 2" test "$rc" -eq 2
+check "bad log level is diagnosed" grep -q 'log-level' "$workdir/err"
+
+exit "$fail"

@@ -30,9 +30,23 @@
 //   --read-retries N                   retry transient IO failures N times
 //   --failpoints SPEC                  arm fault injection (DESIGN.md §8)
 //   --failpoints-seed N                seed for probabilistic failpoints
-// and prints a metrics summary on stderr when the run succeeds. The flusher
-// writes only to its own file, so analytical stdout is byte-identical with
-// and without flushing.
+// and the run-telemetry flags (DESIGN.md §12)
+//   --log-out FILE       write structured JSON-lines logs to FILE
+//   --log-level LEVEL    debug|info|warn|error|off; default warn on stderr,
+//                        info when --log-out or --progress is given
+//   --progress           emit periodic heartbeat lines (percent, rate, ETA,
+//                        queue depth) per pipeline stage
+//   --progress-interval-sec SEC        heartbeat period (default 2);
+//                                      requires --progress
+//   --run-manifest-out FILE            write a schema-versioned
+//                                      RUN_MANIFEST.json describing the run
+// and prints a metrics summary on stderr when the run succeeds. The flusher,
+// logger, and heartbeats write only to stderr or their own files, so
+// analytical stdout is byte-identical with and without telemetry.
+//
+// The manifest is written on success AND on failure/cancellation (partial
+// stages plus the first failing Status), so an orchestrator can audit a
+// killed shard from its manifest alone.
 //
 // Exit codes (documented in tools/README.md): 0 success, 2 usage error,
 // 10 + StatusCode for a Status failure (e.g. 17 = IoError), 1 for failures
@@ -44,11 +58,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -62,7 +78,10 @@
 #include "io/dataset.h"
 #include "io/table.h"
 #include "obs/flusher.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "simgen/fleet.h"
 #include "storage/homets_format.h"
@@ -93,7 +112,12 @@ int Usage() {
          "strict)\n"
          "  --read-retries N     retry transient IO failures N times\n"
          "  --failpoints SPEC    arm fault injection (see tools/README.md)\n"
-         "  --failpoints-seed N  seed for probabilistic failpoints\n";
+         "  --failpoints-seed N  seed for probabilistic failpoints\n"
+         "  --log-out FILE       write structured JSON-lines logs\n"
+         "  --log-level LEVEL    debug|info|warn|error|off (default warn)\n"
+         "  --progress           heartbeat lines (rate, ETA, queue depth)\n"
+         "  --progress-interval-sec SEC  heartbeat period (default 2)\n"
+         "  --run-manifest-out FILE      write a run manifest JSON\n";
   return 2;
 }
 
@@ -101,17 +125,27 @@ int Usage() {
 const std::set<std::string> kObsFlags = {
     "metrics-out",  "trace-out",    "metrics-flush-out",
     "metrics-flush-interval-sec",   "input-format", "read-policy",
-    "read-retries", "failpoints",   "failpoints-seed"};
+    "read-retries", "failpoints",   "failpoints-seed",
+    "log-out",      "log-level",    "progress",
+    "progress-interval-sec",        "run-manifest-out"};
+
+// Flags that take no value (bare `--progress`; `--progress=0` still parses).
+const std::set<std::string> kBoolFlags = {"progress"};
 
 std::set<std::string> WithObsFlags(std::set<std::string> flags) {
   flags.insert(kObsFlags.begin(), kObsFlags.end());
   return flags;
 }
 
+// The run's manifest, when --run-manifest-out asked for one. File scope so
+// FailWith can record the first failing Status from any subcommand depth.
+obs::RunManifestBuilder* g_manifest = nullptr;
+
 // Status failures exit as 10 + the numeric StatusCode (IoError = 17,
 // InvalidArgument = 11, ...) so scripts can tell a transient IO problem from
 // corrupt input without parsing stderr. `context` names the failing step.
 int FailWith(const std::string& context, const Status& status) {
+  if (g_manifest != nullptr) g_manifest->MarkFailed(context, status);
   std::cerr << context << ": [" << StatusCodeToString(status.code()) << "] "
             << status.message() << "\n";
   return 10 + static_cast<int>(status.code());
@@ -143,12 +177,31 @@ Result<io::DatasetOptions> DatasetOptionsFromFlags(const ParsedArgs& args) {
 }
 
 // Narrates quarantine/repair activity of the CSV edge to stderr so lenient
-// runs stay auditable (stdout stays byte-identical across formats).
+// runs stay auditable (stdout stays byte-identical across formats), and
+// accumulates the counters into the run manifest.
 void NarrateIngest(const io::IngestReport& report) {
+  if (g_manifest != nullptr) {
+    obs::ManifestIngestCounters counters;
+    counters.rows_parsed = report.rows_parsed;
+    counters.rows_malformed = report.rows_malformed;
+    counters.rows_duplicate = report.rows_duplicate;
+    counters.rows_out_of_order = report.rows_out_of_order;
+    counters.gaps_repaired = report.gaps_repaired;
+    counters.retries = report.retries;
+    counters.files_quarantined = report.truncated ? 1 : 0;
+    g_manifest->RecordIngest(counters);
+  }
   if (report.SkippedTotal() > 0 || report.gaps_repaired > 0 ||
       report.retries > 0 || report.truncated) {
     std::cerr << "ingest: " << report.Summary() << "\n";
   }
+}
+
+// Manifest label for one TRACE argument under the resolved input format.
+std::string InputFormatLabel(const std::string& path,
+                             const io::DatasetOptions& options) {
+  return std::string(
+      io::InputFormatName(io::GuessFormat(path, options.format)));
 }
 
 int FlagIntOr(const ParsedArgs& args, const std::string& flag,
@@ -189,6 +242,8 @@ int RunGenerate(const ParsedArgs& args) {
     return 2;
   }
   obs::ScopedSpan span("cli.generate");
+  obs::RunManifestBuilder::StageTimer stage(g_manifest, "generate");
+  stage.set_units(static_cast<uint64_t>(config.n_gateways));
   simgen::FleetGenerator generator(config);
   if (format == "homets") {
     // Out-of-core: the whole fleet streams into one columnar file, one
@@ -242,6 +297,8 @@ int RunConvert(const ParsedArgs& args,
     return 2;
   }
   obs::ScopedSpan span("cli.convert");
+  obs::RunManifestBuilder::StageTimer stage(g_manifest, "convert");
+  stage.set_units(args.positional.size());
   for (const std::string& path : args.positional) {
     std::string dir, stem;
     SplitPath(path, &dir, &stem);
@@ -297,6 +354,8 @@ int RunProfile(const ParsedArgs& args,
   if (!gw.ok()) return FailWith("read failed", gw.status());
   NarrateIngest(reader->report());
   obs::ScopedSpan span("cli.profile");
+  obs::RunManifestBuilder::StageTimer stage(g_manifest, "profile");
+  stage.set_units(1);
   const auto profile = core::ProfileGateway(*gw);
   if (!profile.ok()) {
     return FailWith("profiling failed", profile.status());
@@ -326,11 +385,16 @@ int RunMotifs(const ParsedArgs& args,
   int next_id = 0;
   {
     obs::ScopedSpan span("cli.read_traces");
+    obs::RunManifestBuilder::StageTimer stage(g_manifest, "read_traces");
+    obs::ProgressTracker::Stage* progress =
+        obs::ProgressStage("cli.read_traces");
+    if (progress != nullptr) progress->AddTotal(args.positional.size());
     for (const std::string& path : args.positional) {
       auto reader = io::DatasetReader::Open(path, dataset_options);
       if (!reader.ok()) {
         std::cerr << "skipping " << path << ": "
                   << reader.status().ToString() << "\n";
+        if (progress != nullptr) progress->Tick();
         continue;
       }
       for (size_t g = 0; g < reader->gateway_count(); ++g) {
@@ -351,7 +415,10 @@ int RunMotifs(const ParsedArgs& args,
           windows.push_back(std::move(w));
         }
       }
+      if (progress != nullptr) progress->Tick();
     }
+    if (progress != nullptr) progress->Finish();
+    stage.set_units(windows.size());
   }
   if (windows.empty()) {
     std::cerr << "motifs: no usable windows\n";
@@ -364,6 +431,8 @@ int RunMotifs(const ParsedArgs& args,
   // for the whole input even when mining itself converges early.
   {
     obs::ScopedSpan span("cli.stationarity");
+    obs::RunManifestBuilder::StageTimer stage(g_manifest, "stationarity");
+    stage.set_units(windows.size());
     std::map<int, std::vector<ts::TimeSeries>> by_gateway;
     for (size_t w = 0; w < windows.size(); ++w) {
       by_gateway[provenance[w].gateway_id].push_back(windows[w]);
@@ -383,6 +452,8 @@ int RunMotifs(const ParsedArgs& args,
 
   const auto motifs = [&] {
     obs::ScopedSpan span("cli.mine_motifs");
+    obs::RunManifestBuilder::StageTimer stage(g_manifest, "mine_motifs");
+    stage.set_units(windows.size());
     return core::MotifDiscovery().Discover(windows);
   }();
   if (!motifs.ok()) return FailWith("mining failed", motifs.status());
@@ -432,6 +503,9 @@ int RunStream(const ParsedArgs& args,
   const int64_t window = weekly ? ts::kMinutesPerWeek : ts::kMinutesPerDay;
 
   obs::ScopedSpan span("cli.stream");
+  obs::RunManifestBuilder::StageTimer stage(g_manifest, "stream");
+  obs::ProgressTracker::Stage* progress = obs::ProgressStage("cli.stream");
+  if (progress != nullptr) progress->AddTotal(args.positional.size());
   auto assembler = core::WindowAssembler::Make(window, granularity, anchor);
   if (!assembler.ok()) return FailWith("stream", assembler.status());
   core::StreamingMotifMiner miner(core::MotifOptions{},
@@ -443,6 +517,7 @@ int RunStream(const ParsedArgs& args,
     if (!reader.ok()) {
       std::cerr << "skipping " << path << ": " << reader.status().ToString()
                 << "\n";
+      if (progress != nullptr) progress->Tick();
       continue;
     }
     for (size_t g = 0; g < reader->gateway_count(); ++g) {
@@ -469,10 +544,13 @@ int RunStream(const ParsedArgs& args,
       // Close this gateway's final window before moving to the next trace.
       feed(active.EndMinute(), ts::TimeSeries::Missing());
     }
+    if (progress != nullptr) progress->Tick();
   }
   for (auto& [id, w] : assembler->Flush()) {
     if (miner.AddWindow(id, w).ok()) ++windows_streamed;
   }
+  if (progress != nullptr) progress->Finish();
+  stage.set_units(windows_streamed);
   if (windows_streamed == 0) {
     std::cerr << "stream: no usable windows\n";
     return 1;
@@ -546,12 +624,78 @@ int main(int argc, char** argv) {
     return Usage();
   }
   const auto parsed = ParseFlags(
-      std::vector<std::string>(argv + 2, argv + argc), known_flags);
+      std::vector<std::string>(argv + 2, argv + argc), known_flags,
+      kBoolFlags);
   if (!parsed.ok()) {
     std::cerr << "error: " << parsed.status().ToString() << "\n";
     return Usage();
   }
   const ParsedArgs& args = *parsed;
+
+  // --- run telemetry (DESIGN.md §12): structured logger policy ---
+  // Defaults keep the run byte-identical with telemetry off: only warn+
+  // reaches stderr, nothing reaches a file. A file sink or --progress
+  // raises the record level to info; an explicit --log-level wins.
+  obs::LogLevel flag_level = obs::LogLevel::kWarn;
+  const bool level_given = args.Has("log-level");
+  if (level_given &&
+      !obs::ParseLogLevel(args.GetString("log-level"), &flag_level)) {
+    std::cerr << "error: --log-level must be debug, info, warn, error, or "
+                 "off\n";
+    return 2;
+  }
+  const std::string log_path = args.GetString("log-out");
+  const bool progress_on =
+      args.Has("progress") && args.GetString("progress") != "0";
+  int64_t progress_interval_sec = 0;
+  if (FlagIntOr(args, "progress-interval-sec", 2, &progress_interval_sec) !=
+      0) {
+    return 2;
+  }
+  if (args.Has("progress-interval-sec") && !args.Has("progress")) {
+    std::cerr << "error: --progress-interval-sec requires --progress\n";
+    return 2;
+  }
+  if (progress_interval_sec <= 0) {
+    std::cerr << "error: --progress-interval-sec must be positive\n";
+    return 2;
+  }
+  obs::LoggerOptions log_options;
+  log_options.file_path = log_path;
+  log_options.min_level =
+      level_given ? flag_level
+                  : (log_path.empty() && !progress_on ? obs::LogLevel::kWarn
+                                                      : obs::LogLevel::kInfo);
+  log_options.stderr_level = level_given ? flag_level : obs::LogLevel::kWarn;
+  if (progress_on) {
+    // Heartbeats are info records; make sure they are recorded and visible.
+    log_options.min_level = std::min(log_options.min_level,
+                                     obs::LogLevel::kInfo);
+    log_options.stderr_level = std::min(log_options.stderr_level,
+                                        obs::LogLevel::kInfo);
+  }
+  {
+    const Status configured = obs::Logger::Global().Configure(log_options);
+    if (!configured.ok()) return FailWith("log-out", configured);
+  }
+
+  // The manifest accumulates from here on; it is written on every exit path
+  // below (success, failure, cancellation) when --run-manifest-out is given.
+  obs::RunManifestBuilder manifest;
+  const std::string manifest_path = args.GetString("run-manifest-out");
+  g_manifest = &manifest;
+  manifest.SetTool("homets_cli");
+  {
+    std::string cmdline;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) cmdline += ' ';
+      cmdline += argv[i];
+    }
+    manifest.SetCommand(std::move(cmdline));
+  }
+  for (const auto& [flag, value] : args.flags) manifest.SetConfig(flag, value);
+  const int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  manifest.SetThreads(hardware, hardware);
 
   // Arm fault injection before any work: the flag wins over the
   // HOMETS_FAILPOINTS environment variable; a malformed spec is a usage
@@ -563,6 +707,8 @@ int main(int argc, char** argv) {
       if (FlagIntOr(args, "failpoints-seed", 0, &fp_seed) != 0) return 2;
       armed = Failpoints::Global().Configure(args.GetString("failpoints"),
                                              static_cast<uint64_t>(fp_seed));
+      manifest.SetFailpoints(args.GetString("failpoints"),
+                             static_cast<uint64_t>(fp_seed));
     } else {
       armed = Failpoints::Global().ConfigureFromEnv();
     }
@@ -575,6 +721,14 @@ int main(int argc, char** argv) {
   if (!dataset_options.ok()) {
     std::cerr << "error: " << dataset_options.status().ToString() << "\n";
     return 2;
+  }
+  manifest.SetReadPolicy(args.GetString("read-policy", "strict"),
+                         dataset_options->read.max_retries);
+  for (const std::string& path : args.positional) {
+    std::error_code ec;
+    const uintmax_t bytes = std::filesystem::file_size(path, ec);
+    manifest.AddInput(path, InputFormatLabel(path, *dataset_options),
+                      ec ? 0 : static_cast<uint64_t>(bytes));
   }
 
   // Install the trace session before any work so every span of the run is
@@ -610,6 +764,15 @@ int main(int argc, char** argv) {
     if (!started.ok()) return FailWith("metrics-flush-out", started);
   }
 
+  // Live progress: stages tick the tracker; a heartbeat thread turns the
+  // ticks into info log lines and homets.progress.* gauges.
+  obs::ProgressTracker progress_tracker;
+  if (progress_on) {
+    obs::InstallGlobalProgressTracker(&progress_tracker);
+    progress_tracker.StartHeartbeat(
+        static_cast<double>(progress_interval_sec));
+  }
+
   int rc = 1;
   if (command == "generate") rc = RunGenerate(args);
   if (command == "convert") rc = RunConvert(args, *dataset_options);
@@ -617,6 +780,10 @@ int main(int argc, char** argv) {
   if (command == "motifs") rc = RunMotifs(args, *dataset_options);
   if (command == "stream") rc = RunStream(args, *dataset_options);
 
+  if (progress_on) {
+    progress_tracker.StopHeartbeat();  // emits one final heartbeat
+    obs::InstallGlobalProgressTracker(nullptr);
+  }
   if (!flush_path.empty()) {
     const Status stopped = flusher.Stop();
     if (!stopped.ok() && rc == 0) {
@@ -633,6 +800,21 @@ int main(int argc, char** argv) {
     const Status status =
         WriteFile(metrics_path, obs::MetricsRegistry::Global().ExportJson());
     if (!status.ok()) rc = FailWith("metrics-out", status);
+  }
+  // Flush any buffered log records (and close the file sink) before the
+  // summary, so the JSONL file is complete whatever the outcome was.
+  obs::Logger::Global().Close();
+  g_manifest = nullptr;
+  if (!manifest_path.empty()) {
+    if (rc != 0) {
+      // No-op when FailWith already recorded the real failure; covers exits
+      // with no Status attached (usage errors inside subcommands, rc == 1).
+      manifest.MarkFailed(
+          "cli", Status::Unknown(StrFormat("exit code %d", rc)));
+    }
+    manifest.SetExitCode(rc);
+    const Status written = manifest.WriteJson(manifest_path);
+    if (!written.ok() && rc == 0) rc = FailWith("run-manifest-out", written);
   }
   if (rc == 0) PrintMetricsSummary(std::cerr);
   return rc;

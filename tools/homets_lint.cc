@@ -61,6 +61,7 @@ struct Violation {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> rules = {
       "no-raw-random",    "float-equality",       "no-stdout-in-lib",
+      "no-raw-stderr-in-lib",
       "no-cc-include",    "csv-include",          "unsafe-call",
       "metric-name-format",    "metric-name-duplicate",
       "metric-raw-literal",    "metric-dead-constant",
@@ -335,6 +336,7 @@ class Linter {
   void CheckRandomness(const FileViews& views, const std::string& rel_path);
   void CheckFloatEquality(const FileViews& views, const std::string& rel_path);
   void CheckStdout(const FileViews& views, const std::string& rel_path);
+  void CheckStderr(const FileViews& views, const std::string& rel_path);
   void CheckCcInclude(const FileViews& views, const std::string& rel_path);
   void CheckCsvInclude(const FileViews& views, const std::string& rel_path);
   void CheckUnsafeCalls(const FileViews& views, const std::string& rel_path);
@@ -540,6 +542,36 @@ void Linter::CheckStdout(const FileViews& views, const std::string& rel_path) {
                "stdout write ('" + token +
                    "') in library code — stdout is a byte-exact CLI "
                    "contract (cli_usage ctest); return data or use stderr");
+        break;
+      }
+    }
+  }
+}
+
+void Linter::CheckStderr(const FileViews& views, const std::string& rel_path) {
+  if (!RuleEnabled("no-raw-stderr-in-lib", rel_path)) return;
+  // Library code only: src/. The structured logger (obs/log) owns the
+  // process's single human-readable stderr sink; library narration goes
+  // through it so fleet runs stay machine-parseable (allow_paths exempts
+  // the sink itself).
+  if (rel_path.rfind("src/", 0) != 0) return;
+  static const std::vector<std::string> kTokens = {"cerr", "stderr"};
+  for (size_t i = 0; i < views.pure.size(); ++i) {
+    const std::string& line = views.pure[i];
+    for (const std::string& token : kTokens) {
+      // Whole-word: `stderr_level_` must not match a search for `stderr`.
+      size_t pos = FindWord(line, token);
+      while (pos != std::string::npos &&
+             pos + token.size() < line.size() &&
+             IsWordChar(line[pos + token.size()])) {
+        pos = FindWord(line, token, pos + token.size());
+      }
+      if (pos != std::string::npos) {
+        Report(views, rel_path, i + 1, "no-raw-stderr-in-lib",
+               "raw stderr write ('" + token +
+                   "') in library code — narrate through the structured "
+                   "logger (obs/log.h: LogWarn/LogError) so diagnostics "
+                   "stay rate-limited and machine-parseable");
         break;
       }
     }
@@ -859,6 +891,7 @@ void Linter::ScanFile(const std::string& rel_path, const std::string& text) {
   CheckRandomness(views, rel_path);
   CheckFloatEquality(views, rel_path);
   CheckStdout(views, rel_path);
+  CheckStderr(views, rel_path);
   CheckCcInclude(views, rel_path);
   CheckCsvInclude(views, rel_path);
   CheckUnsafeCalls(views, rel_path);

@@ -1,7 +1,8 @@
 #!/bin/sh
 # One-command CI gate: configure, build, then run the lint, threads, chaos,
-# storage and bench-smoke ctest tiers — the exact sequence a pre-merge check
-# should run.
+# storage, telemetry and bench-smoke ctest tiers — the exact sequence a
+# pre-merge check should run. The telemetry tier includes the run-manifest
+# schema check (cli_telemetry), so a manifest field drift fails the gate.
 # Smoke-tested by the `run_all_gates_smoke` ctest via --dry-run, which prints
 # the commands without executing them.
 #
@@ -51,7 +52,7 @@ fi
 
 jobs=$( (nproc || sysctl -n hw.ncpu || echo 2) 2>/dev/null | head -n1 )
 run cmake --build "$build" -j "$jobs"
-run ctest --test-dir "$build" --output-on-failure -L "lint|threads|chaos|storage|bench-smoke"
+run ctest --test-dir "$build" --output-on-failure -L "lint|threads|chaos|storage|telemetry|bench-smoke"
 
 if [ "$dry_run" -eq 1 ]; then
     echo "DRY RUN: no commands executed"
