@@ -11,6 +11,13 @@
 //   --similarity_json=PATH     output path (default BENCH_similarity.json)
 //   --similarity_windows=N     scenario size (default 1000 windows)
 //   --similarity_only          skip the google-benchmark suite
+//   --prof                     enable the execution profiler (lock/pool
+//                              accounting feeds the manifest stage deltas)
+//   --similarity_manifest=PATH write a run manifest with one StageTimer per
+//                              engine thread count (pairwise_threads_N) —
+//                              the input tools/homets_profile diagnoses
+//   --similarity_metrics=PATH  write the final metrics registry as JSON
+//                              (histogram percentiles for homets_profile)
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -30,6 +37,9 @@
 #include "core/similarity_engine.h"
 #include "correlation/coefficients.h"
 #include "distance/distance.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/report.h"
 #include "sax/sax.h"
 #include "simgen/fleet.h"
 #include "stats/kde.h"
@@ -222,7 +232,8 @@ BENCHMARK(BM_FleetGenerateGateway)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond
 // SimilarityEngine at several thread counts, verifies the engine output is
 // bit-identical to the legacy path and across thread counts, and writes the
 // numbers to `path` as JSON.
-void RunSimilarityScenario(const std::string& path, size_t n_windows) {
+void RunSimilarityScenario(const std::string& path, size_t n_windows,
+                           obs::RunManifestBuilder* manifest) {
   constexpr size_t kBins = 56;
   std::vector<std::vector<double>> windows;
   windows.reserve(n_windows);
@@ -243,6 +254,10 @@ void RunSimilarityScenario(const std::string& path, size_t n_windows) {
   std::vector<double> legacy(n_pairs);
   const auto legacy_start = Clock::now();
   {
+    // A null manifest makes the timer a no-op, so the un-instrumented run
+    // pays nothing here.
+    obs::RunManifestBuilder::StageTimer stage(manifest, "legacy_pairwise");
+    stage.set_units(n_pairs);
     size_t k = 0;
     for (size_t i = 0; i < n_windows; ++i) {
       for (size_t j = i + 1; j < n_windows; ++j) {
@@ -273,31 +288,40 @@ void RunSimilarityScenario(const std::string& path, size_t n_windows) {
     double prepare_seconds = 0.0;
     double pairwise_seconds = 0.0;
     core::SimilarityMatrix matrix;
-    for (int trial = -1; trial < kTrials; ++trial) {
-      core::PhaseTimings timings;
-      options.timings = &timings;
-      const core::SimilarityEngine engine(options);
-      // Prepare is inside the timed region: the legacy path pays its
-      // profiling per pair, so the engine must pay its one-time profiling
-      // here too.
-      const auto start = Clock::now();
-      std::vector<correlation::PreparedSeries> prepared;
-      {
-        core::ScopedPhaseTimer timer(&timings, "similarity_engine.prepare");
-        prepared = core::SimilarityEngine::PrepareVectors(windows);
-      }
-      core::SimilarityMatrix trial_matrix = engine.Pairwise(prepared);
-      const double trial_seconds = seconds_since(start);
-      if (trial < 0) continue;  // warm-up, discard
-      if (trial == 0 || trial_seconds < engine_seconds) {
-        engine_seconds = trial_seconds;
-        prepare_seconds =
-            1e-9 *
-            static_cast<double>(timings.TotalNs("similarity_engine.prepare"));
-        pairwise_seconds =
-            1e-9 *
-            static_cast<double>(timings.TotalNs("similarity_engine.pairwise"));
-        matrix = std::move(trial_matrix);
+    {
+      // One stage per thread count (warm-up + all trials, excluding the
+      // bit-compare verification below): the manifest's per-stage
+      // cpu/lock/queue deltas are what homets_profile turns into the
+      // thread-scaling diagnosis.
+      obs::RunManifestBuilder::StageTimer stage(
+          manifest, StrFormat("pairwise_threads_%d", threads));
+      stage.set_units(n_pairs * static_cast<size_t>(kTrials + 1));
+      for (int trial = -1; trial < kTrials; ++trial) {
+        core::PhaseTimings timings;
+        options.timings = &timings;
+        const core::SimilarityEngine engine(options);
+        // Prepare is inside the timed region: the legacy path pays its
+        // profiling per pair, so the engine must pay its one-time profiling
+        // here too.
+        const auto start = Clock::now();
+        std::vector<correlation::PreparedSeries> prepared;
+        {
+          core::ScopedPhaseTimer timer(&timings, "similarity_engine.prepare");
+          prepared = core::SimilarityEngine::PrepareVectors(windows);
+        }
+        core::SimilarityMatrix trial_matrix = engine.Pairwise(prepared);
+        const double trial_seconds = seconds_since(start);
+        if (trial < 0) continue;  // warm-up, discard
+        if (trial == 0 || trial_seconds < engine_seconds) {
+          engine_seconds = trial_seconds;
+          prepare_seconds =
+              1e-9 * static_cast<double>(
+                         timings.TotalNs("similarity_engine.prepare"));
+          pairwise_seconds =
+              1e-9 * static_cast<double>(
+                         timings.TotalNs("similarity_engine.pairwise"));
+          matrix = std::move(trial_matrix);
+        }
       }
     }
 
@@ -361,14 +385,24 @@ void RunSimilarityScenario(const std::string& path, size_t n_windows) {
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_similarity.json";
+  std::string manifest_path;
+  std::string metrics_path;
   size_t n_windows = 1000;
   bool similarity_only = false;
+  bool prof = false;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--similarity_json=", 0) == 0) {
       json_path = arg.substr(std::string("--similarity_json=").size());
+    } else if (arg.rfind("--similarity_manifest=", 0) == 0) {
+      manifest_path =
+          arg.substr(std::string("--similarity_manifest=").size());
+    } else if (arg.rfind("--similarity_metrics=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--similarity_metrics=").size());
+    } else if (arg == "--prof") {
+      prof = true;
     } else if (arg.rfind("--similarity_windows=", 0) == 0) {
       const long parsed =
           std::atol(arg.c_str() + std::string("--similarity_windows=").size());
@@ -390,7 +424,49 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
     return 1;
   }
-  RunSimilarityScenario(json_path, n_windows);
+
+  if (prof) obs::EnableProfiler(true);
+  obs::RunManifestBuilder manifest;
+  const bool want_manifest = !manifest_path.empty();
+  if (want_manifest) {
+    manifest.SetTool("perf_microbench");
+    std::string command = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      command += ' ';
+      command += argv[i];
+    }
+    manifest.SetCommand(std::move(command));
+    manifest.SetConfig("similarity_windows",
+                       StrFormat("%zu", n_windows));
+    manifest.SetConfig("prof", prof ? "1" : "0");
+    // "used" is the widest thread count the scenario exercises: on a box
+    // with fewer hardware threads, homets_profile's efficiency ceiling
+    // diagnosis keys off exactly this pair of numbers.
+    const int hardware = bench::HardwareThreads();
+    manifest.SetThreads(hardware, std::max(4, hardware));
+  }
+
+  RunSimilarityScenario(json_path, n_windows,
+                        want_manifest ? &manifest : nullptr);
+
+  if (want_manifest) {
+    manifest.SetExitCode(0);
+    const Status status = manifest.WriteJson(manifest_path);
+    if (!status.ok()) {
+      std::cerr << "manifest write failed: " << status.message() << "\n";
+      return 1;
+    }
+    std::cout << "run manifest -> " << manifest_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    metrics_out << obs::MetricsRegistry::Global().ExportJson();
+    if (!metrics_out) {
+      std::cerr << "metrics write failed: " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "metrics -> " << metrics_path << "\n";
+  }
   if (similarity_only) return 0;
 
   benchmark::RunSpecifiedBenchmarks();

@@ -19,6 +19,10 @@
 //                          stderr (default off; the timed stages only touch
 //                          the tracker when one is installed, so the flag
 //                          costs nothing when absent)
+//   --prof                 enable the execution profiler: stage metric
+//                          deltas gain homets.prof.* lock-wait and pool
+//                          busy/idle/queue-wait counters (default off; the
+//                          per-stage rusage accounting below is always on)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +43,7 @@
 #include "core/streaming.h"
 #include "io/dataset.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/progress.h"
 #include "simgen/fleet.h"
 #include "ts/time_series.h"
@@ -50,7 +55,9 @@ using namespace homets;  // NOLINT: bench binary
 /// The artifact's wire format version. Bump when entry fields change
 /// incompatibly; tools/bench_compare refuses to diff across versions.
 /// v2: added convert/col_ingest stages and the threads_used field.
-constexpr int kSchemaVersion = 2;
+/// v3: added per-entry cpu_seconds, peak_rss_bytes and (when the stage ran
+/// long enough for rusage ticks to resolve) parallel_efficiency.
+constexpr int kSchemaVersion = 3;
 
 struct SizeSpec {
   const char* name;
@@ -69,6 +76,25 @@ using Clock = std::chrono::steady_clock;
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// Process CPU time (user+sys) consumed so far. getrusage advances in
+/// scheduler ticks (1–4 ms), so deltas over sub-tick regions can read zero —
+/// Emit only derives parallel_efficiency when the stage's wall time clears
+/// the same floor the run-manifest writer uses.
+double CpuSecondsNow() {
+  const obs::ResourceUsage usage = obs::CaptureRusage();
+  return usage.user_seconds + usage.sys_seconds;
+}
+
+constexpr double kEfficiencyWallFloorSeconds = 0.01;
+
+/// What a StageAccumulated callback hands back: its own fine-grained wall +
+/// CPU timing (both summed over the timed regions only) and the unit count.
+struct AccumulatedTiming {
+  double seconds = 0.0;
+  double cpu_seconds = 0.0;
+  size_t units = 0;
+};
 
 /// Counter/histogram-count deltas across a stage, as an inline JSON object.
 /// Gauges are instantaneous (queue depth) and meaningless as deltas, so only
@@ -96,61 +122,81 @@ std::string MetricsDeltaJson(const obs::MetricsSnapshot& before,
 /// pairs, rows, …) it processed.
 class PipelineBench {
  public:
-  explicit PipelineBench(const std::string& size) : size_(size) {}
+  PipelineBench(const std::string& size, int threads_used)
+      : size_(size), threads_used_(threads_used) {}
 
   /// Times `fn` as one contiguous region.
   template <typename Fn>
   void Stage(const std::string& stage, const std::string& unit, Fn&& fn) {
-    const obs::MetricsSnapshot before =
-        obs::MetricsRegistry::Global().Snapshot();
+    const obs::MetricsSnapshot before = SnapshotWithProf();
     // Registering up front makes the stage visible as "active" in any
     // heartbeat that fires while fn() runs; without --progress the accessor
     // returns nullptr and the stage path costs one relaxed load.
     obs::ProgressTracker::Stage* progress =
         obs::ProgressStage(size_ + "/" + stage);
+    const double cpu_start = CpuSecondsNow();
     const auto start = Clock::now();
     const size_t units = fn();
     const double seconds = SecondsSince(start);
+    const double cpu_seconds = CpuSecondsNow() - cpu_start;
     if (progress != nullptr) {
       progress->AddTotal(units);
       progress->Finish();  // homets-lint: allow(discarded-status)
     }
-    Emit(stage, unit, seconds, units, before);
+    Emit(stage, unit, seconds, cpu_seconds, units, before);
   }
 
   /// For stages interleaved with untimed setup (trace regeneration): `fn`
-  /// does its own fine-grained timing and returns {seconds, units}. The
-  /// metrics delta still brackets the whole pass — setup (simgen, CSV
-  /// writes) moves no counters, so the delta is the stage's alone.
+  /// does its own fine-grained wall + CPU timing and returns an
+  /// AccumulatedTiming. The metrics delta still brackets the whole pass —
+  /// setup (simgen, CSV writes) moves no counters, so the delta is the
+  /// stage's alone.
   template <typename Fn>
   void StageAccumulated(const std::string& stage, const std::string& unit,
                         Fn&& fn) {
-    const obs::MetricsSnapshot before =
-        obs::MetricsRegistry::Global().Snapshot();
+    const obs::MetricsSnapshot before = SnapshotWithProf();
     obs::ProgressTracker::Stage* progress =
         obs::ProgressStage(size_ + "/" + stage);
-    const std::pair<double, size_t> result = fn();
+    const AccumulatedTiming result = fn();
     if (progress != nullptr) {
-      progress->AddTotal(result.second);
+      progress->AddTotal(result.units);
       progress->Finish();  // homets-lint: allow(discarded-status)
     }
-    Emit(stage, unit, result.first, result.second, before);
+    Emit(stage, unit, result.seconds, result.cpu_seconds, result.units,
+         before);
   }
 
   const std::vector<std::string>& entries() const { return entries_; }
 
  private:
+  /// Registry snapshot with the profiler's lock/alloc accumulators flushed
+  /// first, so per-stage counter deltas attribute homets.prof.* movement to
+  /// the stage that caused it (a no-op while the profiler is off).
+  static obs::MetricsSnapshot SnapshotWithProf() {
+    if (obs::ProfilerEnabled()) obs::PublishProfMetrics();
+    return obs::MetricsRegistry::Global().Snapshot();
+  }
+
   void Emit(const std::string& stage, const std::string& unit,
-            double seconds, size_t units,
+            double seconds, double cpu_seconds, size_t units,
             const obs::MetricsSnapshot& before) {
-    const obs::MetricsSnapshot after =
-        obs::MetricsRegistry::Global().Snapshot();
+    const obs::MetricsSnapshot after = SnapshotWithProf();
     bench::JsonWriter entry;
     entry.Set("stage", stage).Set("size", size_).Set("seconds", seconds);
     entry.Set("unit", unit).Set("units", units);
     if (units > 0 && seconds > 0.0) {
       entry.Set("ns_per_unit", seconds * 1e9 / static_cast<double>(units));
       entry.Set("units_per_sec", static_cast<double>(units) / seconds);
+    }
+    entry.Set("cpu_seconds", cpu_seconds < 0.0 ? 0.0 : cpu_seconds);
+    entry.Set("peak_rss_bytes",
+              static_cast<size_t>(obs::CaptureRusage().max_rss_bytes));
+    // Only meaningful once the wall time clears the rusage tick floor;
+    // bench_compare treats the field as optional (informational when absent).
+    if (threads_used_ > 0 && seconds >= kEfficiencyWallFloorSeconds &&
+        cpu_seconds > 0.0) {
+      entry.Set("parallel_efficiency",
+                cpu_seconds / (seconds * threads_used_));
     }
     entry.SetRaw("metrics", MetricsDeltaJson(before, after));
     entries_.push_back(entry.Inline());
@@ -160,6 +206,7 @@ class PipelineBench {
   }
 
   std::string size_;
+  int threads_used_;
   std::vector<std::string> entries_;
 };
 
@@ -178,13 +225,14 @@ std::vector<ts::TimeSeries> DailyWindows(const ts::TimeSeries& active) {
   return ts::SliceWindows(*aggregated, ts::kMinutesPerDay, 0);
 }
 
-void RunSize(const SizeSpec& spec, std::vector<std::string>* entries) {
+void RunSize(const SizeSpec& spec, int threads_used,
+             std::vector<std::string>* entries) {
   simgen::SimConfig config = bench::PaperConfig();
   config.n_gateways = spec.gateways;
   config.weeks = spec.weeks;
   bench::ApplySmokeClamps(&config);
   simgen::FleetGenerator generator(config);
-  PipelineBench bench(spec.name);
+  PipelineBench bench(spec.name, threads_used);
   std::cout << spec.name << ": " << config.n_gateways << " gateways x "
             << config.weeks << " weeks\n";
 
@@ -261,32 +309,34 @@ void RunSize(const SizeSpec& spec, std::vector<std::string>* entries) {
   // later stage consumes.
   std::vector<ts::TimeSeries> actives;
   bench.StageAccumulated("background", "trace_minutes", [&] {
-    double seconds = 0.0;
-    size_t minutes = 0;
+    AccumulatedTiming timing;
     for (int id = 0; id < config.n_gateways; ++id) {
       const simgen::GatewayTrace gw = generator.Generate(id);
+      const double cpu_start = CpuSecondsNow();
       const auto start = Clock::now();
       ts::TimeSeries active = core::ActiveAggregate(gw);
-      seconds += SecondsSince(start);
-      minutes += active.size();
+      timing.seconds += SecondsSince(start);
+      timing.cpu_seconds += CpuSecondsNow() - cpu_start;
+      timing.units += active.size();
       actives.push_back(std::move(active));
     }
-    return std::make_pair(seconds, minutes);
+    return timing;
   });
 
   // φ-dominance (Definition 4) over the raw per-minute traces.
   bench.StageAccumulated("dominance", "devices", [&] {
-    double seconds = 0.0;
-    size_t devices = 0;
+    AccumulatedTiming timing;
     for (int id = 0; id < config.n_gateways; ++id) {
       const simgen::GatewayTrace gw = generator.Generate(id);
+      const double cpu_start = CpuSecondsNow();
       const auto start = Clock::now();
       const auto dominant = core::FindDominantDevices(gw);
-      seconds += SecondsSince(start);
-      devices += gw.devices.size();
+      timing.seconds += SecondsSince(start);
+      timing.cpu_seconds += CpuSecondsNow() - cpu_start;
+      timing.units += gw.devices.size();
       (void)dominant;
     }
-    return std::make_pair(seconds, devices);
+    return timing;
   });
 
   std::vector<ts::TimeSeries> weekly;
@@ -376,6 +426,7 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_pipeline.json";
   std::string sizes_csv = "small,medium,large";
   bool progress = false;
+  bool prof = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--pipeline_json=", 0) == 0) {
@@ -384,17 +435,29 @@ int main(int argc, char** argv) {
       sizes_csv = arg.substr(std::string("--sizes=").size());
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--prof") {
+      prof = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
     }
   }
 
+  if (prof) obs::EnableProfiler(true);
+
   obs::ProgressTracker tracker;
   if (progress) {
     obs::InstallGlobalProgressTracker(&tracker);
     tracker.StartHeartbeat(2.0);
   }
+
+  // hardware_threads is what the machine offers; threads_used is what the
+  // similarity engine actually runs with (its default of 0 resolves to
+  // hardware concurrency) — perf_microbench records both the same way.
+  const core::SimilarityEngineOptions engine_options;
+  const int threads_used = engine_options.threads > 0
+                               ? engine_options.threads
+                               : bench::HardwareThreads();
 
   const std::vector<std::string> wanted = StrSplit(sizes_csv, ',');
   std::vector<std::string> entries;
@@ -405,7 +468,7 @@ int main(int argc, char** argv) {
     for (const auto& w : wanted) selected = selected || w == spec.name;
     if (!selected) continue;
     size_names.push_back(StrFormat("\"%s\"", spec.name));
-    RunSize(spec, &entries);
+    RunSize(spec, threads_used, &entries);
   }
   if (progress) {
     tracker.StopHeartbeat();
@@ -416,13 +479,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // hardware_threads is what the machine offers; threads_used is what the
-  // similarity engine actually runs with (its default of 0 resolves to
-  // hardware concurrency) — perf_microbench records both the same way.
-  const core::SimilarityEngineOptions engine_options;
-  const int threads_used = engine_options.threads > 0
-                               ? engine_options.threads
-                               : bench::HardwareThreads();
   bench::JsonWriter json;
   json.Set("schema", "homets.bench_pipeline")
       .Set("schema_version", kSchemaVersion)

@@ -1,0 +1,155 @@
+#ifndef HOMETS_COMMON_PROF_HOOKS_H_
+#define HOMETS_COMMON_PROF_HOOKS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+// Lock-free accumulators for the execution profiler (obs/prof).
+//
+// This header is the substrate the instrumented hot paths write into:
+// common/mutex.h records contended acquisitions here, common/thread_pool.h
+// records per-worker block accounting, and the opt-in operator-new tally in
+// obs/prof.cc records allocation volume. The obs/prof module reads these
+// accumulators, publishes them as homets.prof.* metrics, and renders the
+// --prof-out report — but the hooks themselves must stay standard-library
+// only and must NEVER touch obs::MetricsRegistry: registry methods lock a
+// homets::Mutex, whose instrumented Lock would re-enter the hooks (and,
+// for the alloc tally, every registry allocation would recurse).
+//
+// Cost discipline (an acceptance criterion of the profiler PR): with the
+// profiler disabled, every hook below is a single relaxed atomic load.
+// Enabled, the counters are relaxed fetch_adds — safe under TSan, never
+// ordered, and read only for monotonically-growing totals whose transient
+// skew between fields is acceptable.
+namespace homets::prof {
+
+/// Master gate. One relaxed load on every instrumented hot path; flipped by
+/// obs::EnableProfiler (CLI --prof, perf_pipeline --prof, tests).
+inline std::atomic<bool> g_enabled{false};
+
+inline bool ProfilerEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+// --- Lock contention -------------------------------------------------------
+
+/// Fixed-capacity per-named-mutex table. Slots are claimed by CAS on the
+/// name pointer (names must have static storage duration — string literals
+/// in practice); once full, further named mutexes fold into the global
+/// totals only. 64 slots is an order of magnitude above the number of named
+/// mutexes in the tree.
+inline constexpr int kLockProfSlots = 64;
+
+struct LockProfSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> contended{0};
+  std::atomic<uint64_t> wait_ns{0};
+};
+
+struct LockProfState {
+  std::atomic<uint64_t> contended_total{0};
+  std::atomic<uint64_t> wait_ns_total{0};
+  LockProfSlot slots[kLockProfSlots];
+};
+
+inline LockProfState g_lock_prof;
+
+/// Records one contended acquisition (the try_lock fast path failed and the
+/// caller had to block for `wait_ns`). Called only on the contended path, so
+/// contention events are their own sampling: the uncontended path never
+/// reaches here.
+inline void RecordLockContention(const char* name, uint64_t wait_ns) {
+  g_lock_prof.contended_total.fetch_add(1, std::memory_order_relaxed);
+  g_lock_prof.wait_ns_total.fetch_add(wait_ns, std::memory_order_relaxed);
+  if (name == nullptr) return;
+  for (auto& slot : g_lock_prof.slots) {
+    const char* have = slot.name.load(std::memory_order_acquire);
+    if (have == nullptr) {
+      const char* expected = nullptr;
+      if (!slot.name.compare_exchange_strong(expected, name,
+                                             std::memory_order_acq_rel)) {
+        have = expected;  // someone else claimed it first
+      } else {
+        have = name;
+      }
+    }
+    if (have == name) {
+      slot.contended.fetch_add(1, std::memory_order_relaxed);
+      slot.wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Table full: counted in the totals above, unnamed in the breakdown.
+}
+
+// --- Thread-pool worker accounting -----------------------------------------
+
+/// Per-worker slots are indexed by the loop-local worker id, which ParallelFor
+/// caps at the hardware concurrency of any machine we target; workers beyond
+/// the table fold into the totals only.
+inline constexpr int kPoolProfWorkers = 64;
+
+struct PoolProfWorkerSlot {
+  std::atomic<uint64_t> blocks{0};
+  std::atomic<uint64_t> run_ns{0};
+  std::atomic<uint64_t> queue_wait_ns{0};
+};
+
+struct PoolProfState {
+  std::atomic<uint64_t> loops{0};
+  std::atomic<uint64_t> blocks_total{0};
+  std::atomic<uint64_t> busy_ns_total{0};
+  std::atomic<uint64_t> idle_ns_total{0};
+  std::atomic<uint64_t> queue_wait_ns_total{0};
+  PoolProfWorkerSlot workers[kPoolProfWorkers];
+};
+
+inline PoolProfState g_pool_prof;
+
+/// Records one executed block: `queue_wait_ns` is the time the block sat in
+/// the dispatch queue (loop start -> block start), `run_ns` its execution.
+inline void RecordPoolBlock(int worker, uint64_t queue_wait_ns,
+                            uint64_t run_ns) {
+  g_pool_prof.blocks_total.fetch_add(1, std::memory_order_relaxed);
+  g_pool_prof.busy_ns_total.fetch_add(run_ns, std::memory_order_relaxed);
+  g_pool_prof.queue_wait_ns_total.fetch_add(queue_wait_ns,
+                                            std::memory_order_relaxed);
+  if (worker < 0 || worker >= kPoolProfWorkers) return;
+  auto& slot = g_pool_prof.workers[worker];
+  slot.blocks.fetch_add(1, std::memory_order_relaxed);
+  slot.run_ns.fetch_add(run_ns, std::memory_order_relaxed);
+  slot.queue_wait_ns.fetch_add(queue_wait_ns, std::memory_order_relaxed);
+}
+
+/// Records loop-level idle time: `workers * wall_ns` is the total worker-time
+/// the loop had available, `busy_ns` what the blocks actually used; the
+/// difference is workers spinning on the handout counter or joined early.
+inline void RecordPoolLoop(int workers, uint64_t wall_ns, uint64_t busy_ns) {
+  g_pool_prof.loops.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t capacity = static_cast<uint64_t>(workers) * wall_ns;
+  if (capacity > busy_ns) {
+    g_pool_prof.idle_ns_total.fetch_add(capacity - busy_ns,
+                                        std::memory_order_relaxed);
+  }
+}
+
+// --- Allocation tally (opt-in operator new replacement) --------------------
+
+/// Separate gate from g_enabled: the operator-new replacement (defined in
+/// obs/prof.cc, linked only into binaries that reference prof symbols) pays
+/// this one relaxed load per allocation even when profiling, so the tally
+/// stays opt-in on top of --prof.
+inline std::atomic<bool> g_alloc_tally_enabled{false};
+inline std::atomic<uint64_t> g_alloc_count{0};
+inline std::atomic<uint64_t> g_alloc_bytes{0};
+
+inline void NoteAlloc(std::size_t bytes) {
+  if (!g_alloc_tally_enabled.load(std::memory_order_relaxed)) return;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace homets::prof
+
+#endif  // HOMETS_COMMON_PROF_HOOKS_H_

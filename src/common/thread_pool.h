@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <utility>
@@ -12,6 +13,7 @@
 
 #include "common/cancellation.h"
 #include "common/failpoint.h"
+#include "common/prof_hooks.h"
 #include "common/status.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -55,14 +57,45 @@ inline void ParallelFor(size_t n, int threads, size_t block,
       registry.GetGauge(obs::kThreadPoolQueueDepth);
   static obs::Histogram* const task_latency_us =
       registry.GetHistogram(obs::kThreadPoolTaskLatencyUs);
+  static obs::Histogram* const queue_wait_us =
+      registry.GetHistogram(obs::kThreadPoolQueueWaitUs);
+  static obs::Counter* const prof_busy_us =
+      registry.GetCounter(obs::kProfPoolBusyUs);
+  static obs::Counter* const prof_idle_us =
+      registry.GetCounter(obs::kProfPoolIdleUs);
+  static obs::Counter* const prof_queue_wait_us =
+      registry.GetCounter(obs::kProfQueueWaitUs);
   using Clock = std::chrono::steady_clock;
-  const auto timed_block = [&fn](size_t begin, size_t end, int worker) {
+  const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+  // Profiler accounting is fully gated on this one relaxed load: with --prof
+  // off, the loop pays no extra clock reads or atomic traffic.
+  const bool prof_on = prof::ProfilerEnabled();
+  Clock::time_point loop_start{};
+  if (prof_on) loop_start = Clock::now();
+  std::atomic<uint64_t> busy_ns{0};
+  std::atomic<uint64_t> wait_ns{0};
+  const auto timed_block = [&](size_t begin, size_t end, int worker) {
     const auto start = Clock::now();
     fn(begin, end, worker);
+    const auto stop = Clock::now();
     task_latency_us->Observe(
         static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                Clock::now() - start)
+                                stop - start)
                                 .count()));
+    if (prof_on) {
+      const uint64_t run = ns_between(start, stop);
+      // Queue wait for a batch-submitted block: dispatch start -> block
+      // start. With more blocks than cores this grows over the loop and is
+      // exactly the serialization the profiler wants to show.
+      const uint64_t waited = ns_between(loop_start, start);
+      prof::RecordPoolBlock(worker, waited, run);
+      queue_wait_us->Observe(static_cast<double>(waited) / 1000.0);
+      busy_ns.fetch_add(run, std::memory_order_relaxed);
+      wait_ns.fetch_add(waited, std::memory_order_relaxed);
+    }
   };
   const int requested = ResolveThreadCount(threads);
   const size_t n_blocks = (n + block - 1) / block;
@@ -72,9 +105,21 @@ inline void ParallelFor(size_t n, int threads, size_t block,
   const int workers =
       static_cast<int>(std::min<size_t>(static_cast<size_t>(requested),
                                         n_blocks));
+  const auto finish_prof = [&](int used_workers) {
+    if (!prof_on) return;
+    const uint64_t wall = ns_between(loop_start, Clock::now());
+    const uint64_t busy = busy_ns.load(std::memory_order_relaxed);
+    prof::RecordPoolLoop(used_workers, wall, busy);
+    prof_busy_us->Increment(busy / 1000);
+    const uint64_t capacity = static_cast<uint64_t>(used_workers) * wall;
+    prof_idle_us->Increment(capacity > busy ? (capacity - busy) / 1000 : 0);
+    prof_queue_wait_us->Increment(wait_ns.load(std::memory_order_relaxed) /
+                                  1000);
+  };
   if (workers <= 1) {
     timed_block(0, n, 0);
     queue_depth->Set(0);
+    finish_prof(1);
     return;
   }
   std::atomic<size_t> next{0};
@@ -93,6 +138,7 @@ inline void ParallelFor(size_t n, int threads, size_t block,
   drain(0);
   for (auto& t : pool) t.join();
   queue_depth->Set(0);
+  finish_prof(workers);
 }
 
 /// \brief Hardened variant of ParallelFor: tasks return Status instead of
@@ -123,18 +169,43 @@ inline Status ParallelForStatus(
       registry.GetGauge(obs::kThreadPoolQueueDepth);
   static obs::Histogram* const task_latency_us =
       registry.GetHistogram(obs::kThreadPoolTaskLatencyUs);
+  static obs::Histogram* const queue_wait_us =
+      registry.GetHistogram(obs::kThreadPoolQueueWaitUs);
+  static obs::Counter* const prof_busy_us =
+      registry.GetCounter(obs::kProfPoolBusyUs);
+  static obs::Counter* const prof_idle_us =
+      registry.GetCounter(obs::kProfPoolIdleUs);
+  static obs::Counter* const prof_queue_wait_us =
+      registry.GetCounter(obs::kProfQueueWaitUs);
   using Clock = std::chrono::steady_clock;
-  const auto run_block = [&fn](size_t begin, size_t end,
-                               int worker) -> Status {
+  const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+  const bool prof_on = prof::ProfilerEnabled();
+  Clock::time_point loop_start{};
+  if (prof_on) loop_start = Clock::now();
+  std::atomic<uint64_t> busy_ns{0};
+  std::atomic<uint64_t> wait_ns{0};
+  const auto run_block = [&](size_t begin, size_t end,
+                             int worker) -> Status {
     const auto start = Clock::now();
     Status st = Failpoints::Global().armed()
                     ? Failpoints::Global().InjectedError(kFailpointThreadPoolTask)
                     : Status::OK();
     if (st.ok()) st = fn(begin, end, worker);
+    const auto stop = Clock::now();
     task_latency_us->Observe(static_cast<double>(
-        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                              start)
+        std::chrono::duration_cast<std::chrono::microseconds>(stop - start)
             .count()));
+    if (prof_on) {
+      const uint64_t run = ns_between(start, stop);
+      const uint64_t waited = ns_between(loop_start, start);
+      prof::RecordPoolBlock(worker, waited, run);
+      queue_wait_us->Observe(static_cast<double>(waited) / 1000.0);
+      busy_ns.fetch_add(run, std::memory_order_relaxed);
+      wait_ns.fetch_add(waited, std::memory_order_relaxed);
+    }
     return st;
   };
   const int requested = ResolveThreadCount(threads);
@@ -179,6 +250,17 @@ inline Status ParallelForStatus(
     for (auto& t : pool) t.join();
   }
   queue_depth->Set(0);
+  if (prof_on) {
+    const uint64_t wall = ns_between(loop_start, Clock::now());
+    const uint64_t busy = busy_ns.load(std::memory_order_relaxed);
+    const int used_workers = std::max(workers, 1);
+    prof::RecordPoolLoop(used_workers, wall, busy);
+    prof_busy_us->Increment(busy / 1000);
+    const uint64_t capacity = static_cast<uint64_t>(used_workers) * wall;
+    prof_idle_us->Increment(capacity > busy ? (capacity - busy) / 1000 : 0);
+    prof_queue_wait_us->Increment(wait_ns.load(std::memory_order_relaxed) /
+                                  1000);
+  }
   size_t min_block = SIZE_MAX;
   Status result = Status::OK();
   for (auto& [failed_block, status] : worker_errors) {

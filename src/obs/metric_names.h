@@ -150,6 +150,35 @@ inline constexpr std::string_view kProgressUnitsTotal =
 inline constexpr std::string_view kProgressActiveStages =
     "homets.progress.active_stages";
 
+// common/thread_pool.h + obs/prof — execution-profiler surface. All of these
+// advance only while the profiler is enabled (--prof), so they read zero in
+// ordinary runs. queue_wait_us is a histogram of block time-in-queue
+// (dispatch start -> block start); pool_busy_us/pool_idle_us split worker
+// wall-time so a stage's parallel efficiency is busy/(busy+idle); the
+// contended-lock and alloc counters are published from the prof_hooks
+// accumulators at stage boundaries.
+inline constexpr std::string_view kThreadPoolQueueWaitUs =
+    "homets.threadpool.queue_wait_us";
+inline constexpr std::string_view kProfPoolBusyUs =
+    "homets.prof.pool_busy_us";
+inline constexpr std::string_view kProfPoolIdleUs =
+    "homets.prof.pool_idle_us";
+inline constexpr std::string_view kProfQueueWaitUs =
+    "homets.prof.queue_wait_us";
+inline constexpr std::string_view kProfContendedLocks =
+    "homets.prof.contended_locks";
+inline constexpr std::string_view kProfLockWaitUs =
+    "homets.prof.lock_wait_us";
+inline constexpr std::string_view kProfAllocs = "homets.prof.allocs";
+inline constexpr std::string_view kProfAllocBytes =
+    "homets.prof.alloc_bytes";
+// obs/progress heartbeat mirrors (gauges, live even between stage
+// boundaries): current peak RSS and the contended-lock total.
+inline constexpr std::string_view kProfPeakRssBytes =
+    "homets.prof.peak_rss_bytes";
+inline constexpr std::string_view kProfLockContention =
+    "homets.prof.lock_contention";
+
 // common/failpoint — fault-injection registry (counts only while armed, so
 // both stay zero in production runs).
 inline constexpr std::string_view kFailpointEvaluations =

@@ -243,6 +243,33 @@ std::string PrometheusName(const std::string& name) {
 
 }  // namespace
 
+double HistogramPercentile(const HistogramSnapshot& hist, double quantile) {
+  if (hist.count == 0 || hist.buckets.empty()) return 0.0;
+  if (quantile < 0.0) quantile = 0.0;
+  if (quantile > 1.0) quantile = 1.0;
+  const double target = quantile * static_cast<double>(hist.count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < hist.buckets.size(); ++b) {
+    const uint64_t in_bucket = hist.buckets[b];
+    if (static_cast<double>(cumulative + in_bucket) < target || in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b >= hist.bounds.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward — clamp
+      // to the highest finite bound (Prometheus histogram_quantile does the
+      // same).
+      return hist.bounds.empty() ? 0.0 : hist.bounds.back();
+    }
+    const double lower = b == 0 ? 0.0 : hist.bounds[b - 1];
+    const double upper = hist.bounds[b];
+    const double into =
+        (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * into;
+  }
+  return hist.bounds.empty() ? 0.0 : hist.bounds.back();
+}
+
 std::string MetricsRegistry::ExportPrometheus() const {
   const MetricsSnapshot snapshot = Snapshot();
   std::string out;
@@ -269,6 +296,22 @@ std::string MetricsRegistry::ExportPrometheus() const {
     }
     out += prom + "_sum " + FormatDouble(h.sum) + "\n";
     out += prom + "_count " + FormatU64(h.count) + "\n";
+    // Percentile estimates as derived gauges: a histogram family may only
+    // contain _bucket/_sum/_count samples, so these get their own names.
+    // Skipped for empty histograms — an interpolated quantile of nothing is
+    // noise, not data.
+    if (h.count > 0) {
+      static constexpr struct {
+        const char* suffix;
+        double quantile;
+      } kPercentiles[] = {
+          {"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+      for (const auto& p : kPercentiles) {
+        out += "# TYPE " + prom + p.suffix + " gauge\n";
+        out += prom + p.suffix + " " +
+               FormatDouble(HistogramPercentile(h, p.quantile)) + "\n";
+      }
+    }
   }
   return out;
 }

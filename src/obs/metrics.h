@@ -96,6 +96,13 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+/// Percentile estimate from cumulative bucket counts, Prometheus
+/// histogram_quantile style: linear interpolation inside the winning bucket
+/// (lower edge 0 for the first), observations in the overflow bucket clamp
+/// to the highest finite bound. `quantile` is in [0, 1]; returns 0 for an
+/// empty histogram.
+double HistogramPercentile(const HistogramSnapshot& hist, double quantile);
+
 /// \brief Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
@@ -135,8 +142,11 @@ class MetricsRegistry {
   /// mangled to [a-zA-Z0-9_] (dots become underscores), each metric gets a
   /// `# TYPE` line, and histograms expand to cumulative `_bucket{le="…"}`
   /// series plus `_sum` and `_count`, ending with the mandatory
-  /// `le="+Inf"` bucket. Suitable for a node-exporter-style textfile
-  /// collector or an HTTP /metrics endpoint.
+  /// `le="+Inf"` bucket. Non-empty histograms additionally export
+  /// `<name>_p50`/`_p95`/`_p99` gauges (HistogramPercentile estimates —
+  /// derived series, since a native histogram family may only contain
+  /// _bucket/_sum/_count samples). Suitable for a node-exporter-style
+  /// textfile collector or an HTTP /metrics endpoint.
   std::string ExportPrometheus() const;
   /// Flat JSON object: counters and gauges as numbers, histograms as
   /// {"count", "sum", "buckets": [{"le", "count"}, …]} objects.
@@ -148,7 +158,7 @@ class MetricsRegistry {
  private:
   /// Guards the name maps only — never the metric values, which are atomics
   /// reached through pointers handed out under the lock.
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.metrics_registry"};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       HOMETS_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

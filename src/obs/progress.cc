@@ -4,9 +4,11 @@
 #include <mutex>
 #include <utility>
 
+#include "common/prof_hooks.h"
 #include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace homets::obs {
 
@@ -80,11 +82,25 @@ void ProgressTracker::EmitHeartbeat() {
       MetricsRegistry::Global().GetGauge(kProgressUnitsTotal);
   static Gauge* active_stages =
       MetricsRegistry::Global().GetGauge(kProgressActiveStages);
+  static Gauge* peak_rss =
+      MetricsRegistry::Global().GetGauge(kProfPeakRssBytes);
+  static Gauge* lock_contention =
+      MetricsRegistry::Global().GetGauge(kProfLockContention);
   heartbeats->Increment();
 
   const std::vector<StageSnapshot> stages = Snapshot();
   const int64_t queue_depth =
       MetricsRegistry::Global().GetGauge(kThreadPoolQueueDepth)->Value();
+  // Mirror the live resource picture next to queue depth: peak RSS from
+  // getrusage and the contended-lock total from the profiler accumulator
+  // (zero until --prof enables it). Gauges, so a scraper sees them between
+  // stage boundaries, not only in the final manifest.
+  const uint64_t rss_bytes = CaptureRusage().max_rss_bytes;
+  const uint64_t contended =
+      homets::prof::g_lock_prof.contended_total.load(
+          std::memory_order_relaxed);
+  peak_rss->Set(static_cast<int64_t>(rss_bytes));
+  lock_contention->Set(static_cast<int64_t>(contended));
 
   uint64_t done_sum = 0;
   uint64_t total_sum = 0;
@@ -128,6 +144,8 @@ void ProgressTracker::EmitHeartbeat() {
       fields.push_back(LogField::Double("eta_sec", s.eta_sec));
     }
     fields.push_back(LogField::Int("queue_depth", queue_depth));
+    fields.push_back(LogField::Uint("rss_bytes", rss_bytes));
+    fields.push_back(LogField::Uint("contended_locks", contended));
     logger.Log(LogLevel::kInfo, "progress",
                s.finished ? "stage done" : "heartbeat", std::move(fields));
   }

@@ -1,8 +1,12 @@
 #include "obs/report.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+
+#include "common/prof_hooks.h"
 
 namespace homets::obs {
 
@@ -80,6 +84,18 @@ void AppendSeconds(double v, std::string* out) {
   *out += buf;
 }
 
+void AppendDouble(double v, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+// parallel_efficiency = cpu_seconds / (wall_seconds * threads_used) is only
+// emitted for stages at least this long: getrusage CPU time advances in
+// scheduler ticks (1-4 ms), so on sub-centisecond stages the ratio flips
+// between 0 and >1 on tick luck and would poison the bench-compare gate.
+constexpr double kEfficiencyWallFloorSeconds = 0.01;
+
 }  // namespace
 
 RunManifestBuilder::RunManifestBuilder()
@@ -149,7 +165,17 @@ void RunManifestBuilder::AddStage(
     std::map<std::string, uint64_t> metric_deltas) {
   MutexLock lock(&mu_);
   stages_.push_back(StageEntry{std::move(stage), seconds, units,
-                               std::move(metric_deltas)});
+                               std::move(metric_deltas), false,
+                               StageResources{}});
+}
+
+void RunManifestBuilder::AddStage(
+    std::string stage, double seconds, uint64_t units,
+    std::map<std::string, uint64_t> metric_deltas,
+    const StageResources& resources) {
+  MutexLock lock(&mu_);
+  stages_.push_back(StageEntry{std::move(stage), seconds, units,
+                               std::move(metric_deltas), true, resources});
 }
 
 void RunManifestBuilder::MarkFailed(std::string_view stage,
@@ -171,6 +197,12 @@ std::string RunManifestBuilder::ToJson() const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     run_start_)
           .count();
+  // Snapshot the global registry before taking mu_ (the registry has its own
+  // lock); only non-empty histograms enter the percentile digest.
+  std::map<std::string, HistogramSnapshot> histograms;
+  for (auto& [name, h] : MetricsRegistry::Global().Snapshot().histograms) {
+    if (h.count > 0) histograms.emplace(name, std::move(h));
+  }
   MutexLock lock(&mu_);
   std::string out;
   out.reserve(1024);
@@ -255,9 +287,57 @@ std::string RunManifestBuilder::ToJson() const {
       out += ": ";
       AppendUint(delta, &out);
     }
-    out += "}}";
+    out += '}';
+    if (s.has_resources) {
+      const double cpu_seconds =
+          s.resources.cpu_user_seconds + s.resources.cpu_sys_seconds;
+      out += ", \"resources\": {\"cpu_user_seconds\": ";
+      AppendSeconds(s.resources.cpu_user_seconds, &out);
+      out += ", \"cpu_sys_seconds\": ";
+      AppendSeconds(s.resources.cpu_sys_seconds, &out);
+      out += ", \"cpu_seconds\": ";
+      AppendSeconds(cpu_seconds, &out);
+      out += ", \"max_rss_bytes\": ";
+      AppendUint(s.resources.max_rss_bytes, &out);
+      out += ", \"minor_faults\": ";
+      AppendUint(s.resources.minor_faults, &out);
+      out += ", \"major_faults\": ";
+      AppendUint(s.resources.major_faults, &out);
+      out += ", \"alloc_bytes\": ";
+      AppendUint(s.resources.alloc_bytes, &out);
+      if (threads_used_ > 0 && s.seconds >= kEfficiencyWallFloorSeconds) {
+        out += ", \"parallel_efficiency\": ";
+        AppendDouble(cpu_seconds / (s.seconds * threads_used_), &out);
+      }
+      out += '}';
+    }
+    out += '}';
   }
   out += stages_.empty() ? "]" : "\n  ]";
+  // Percentile digest of every non-empty histogram (satellite of the
+  // profiler PR): manifests carry the latency distribution shape, not just
+  // count/sum, without inlining full bucket arrays.
+  if (!histograms.empty()) {
+    out += ",\n  \"histograms\": {";
+    size_t h_index = 0;
+    for (const auto& [name, h] : histograms) {
+      if (h_index++ > 0) out += ',';
+      out += "\n    ";
+      AppendQuoted(name, &out);
+      out += ": {\"count\": ";
+      AppendUint(h.count, &out);
+      out += ", \"sum\": ";
+      AppendDouble(h.sum, &out);
+      out += ", \"p50\": ";
+      AppendDouble(HistogramPercentile(h, 0.50), &out);
+      out += ", \"p95\": ";
+      AppendDouble(HistogramPercentile(h, 0.95), &out);
+      out += ", \"p99\": ";
+      AppendDouble(HistogramPercentile(h, 0.99), &out);
+      out += '}';
+    }
+    out += "\n  }";
+  }
   const std::string_view outcome =
       !failed_ ? "success"
       : (final_status_.code() == StatusCode::kCancelled ||
@@ -299,13 +379,20 @@ Status RunManifestBuilder::WriteJson(const std::string& path) const {
 
 RunManifestBuilder::StageTimer::StageTimer(RunManifestBuilder* builder,
                                            std::string stage)
-    : builder_(builder),
-      stage_(std::move(stage)),
-      start_(std::chrono::steady_clock::now()),
-      // A null builder makes the timer inert; skip the registry snapshot so
-      // instrumented call sites cost nothing when no manifest is requested.
-      before_(builder == nullptr ? MetricsSnapshot{}
-                                 : MetricsRegistry::Global().Snapshot()) {}
+    : builder_(builder), stage_(std::move(stage)) {
+  // A null builder makes the timer inert; skip the snapshots so instrumented
+  // call sites cost nothing when no manifest is requested.
+  if (builder_ == nullptr) return;
+  // Fold the profiler accumulators into the registry first, so the before
+  // snapshot carries the published prefix and the stage delta is exactly
+  // what this stage contributes.
+  PublishProfMetrics();
+  before_ = MetricsRegistry::Global().Snapshot();
+  rusage_before_ = CaptureRusage();
+  alloc_bytes_before_ =
+      homets::prof::g_alloc_bytes.load(std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+}
 
 RunManifestBuilder::StageTimer::~StageTimer() {
   if (builder_ == nullptr) return;
@@ -313,6 +400,7 @@ RunManifestBuilder::StageTimer::~StageTimer() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_)
           .count();
+  PublishProfMetrics();
   const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
   std::map<std::string, uint64_t> deltas;
   for (const auto& [name, value] : after.counters) {
@@ -321,7 +409,24 @@ RunManifestBuilder::StageTimer::~StageTimer() {
     if (it != before_.counters.end()) previous = it->second;
     if (value > previous) deltas[name] = value - previous;
   }
-  builder_->AddStage(stage_, seconds, units_, std::move(deltas));
+  const ResourceUsage now = CaptureRusage();
+  StageResources resources;
+  resources.cpu_user_seconds =
+      std::max(0.0, now.user_seconds - rusage_before_.user_seconds);
+  resources.cpu_sys_seconds =
+      std::max(0.0, now.sys_seconds - rusage_before_.sys_seconds);
+  resources.max_rss_bytes = now.max_rss_bytes;
+  resources.minor_faults = now.minor_faults >= rusage_before_.minor_faults
+                               ? now.minor_faults - rusage_before_.minor_faults
+                               : 0;
+  resources.major_faults = now.major_faults >= rusage_before_.major_faults
+                               ? now.major_faults - rusage_before_.major_faults
+                               : 0;
+  const uint64_t alloc_now =
+      homets::prof::g_alloc_bytes.load(std::memory_order_relaxed);
+  resources.alloc_bytes =
+      alloc_now >= alloc_bytes_before_ ? alloc_now - alloc_bytes_before_ : 0;
+  builder_->AddStage(stage_, seconds, units_, std::move(deltas), resources);
 }
 
 }  // namespace homets::obs

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 // Run manifests: a schema-versioned machine-readable record of what a run
 // was (config, inputs, failpoint schedule, read policy), what it did
@@ -40,6 +41,18 @@ struct ManifestIngestCounters {
   uint64_t files_quarantined = 0;
 };
 
+/// \brief Per-stage OS resource accounting (schema v2): CPU, fault and
+/// allocation figures are deltas over the stage; max_rss_bytes is the
+/// process peak as of stage end (RSS peaks never come back down).
+struct StageResources {
+  double cpu_user_seconds = 0.0;
+  double cpu_sys_seconds = 0.0;
+  uint64_t max_rss_bytes = 0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t alloc_bytes = 0;  ///< opt-in operator-new tally; 0 when off
+};
+
 /// \brief Accumulates one run's manifest; thread-safe, write-mostly.
 ///
 /// The CLI owns one instance for the whole run and calls WriteJson from
@@ -48,8 +61,10 @@ struct ManifestIngestCounters {
 class RunManifestBuilder {
  public:
   /// Bump on any incompatible change to the JSON shape; readers check it
-  /// (versioning policy in DESIGN.md §12).
-  static constexpr int kSchemaVersion = 1;
+  /// (versioning policy in DESIGN.md §12). v2 adds per-stage "resources"
+  /// (CPU/RSS/faults/allocs + parallel_efficiency) and the top-level
+  /// "histograms" percentile digest.
+  static constexpr int kSchemaVersion = 2;
 
   RunManifestBuilder();
   RunManifestBuilder(const RunManifestBuilder&) = delete;
@@ -76,6 +91,11 @@ class RunManifestBuilder {
   void AddStage(std::string stage, double seconds, uint64_t units,
                 std::map<std::string, uint64_t> metric_deltas)
       HOMETS_EXCLUDES(mu_);
+  /// Same, with resource accounting (StageTimer captures it via
+  /// CaptureRusage + the prof alloc tally).
+  void AddStage(std::string stage, double seconds, uint64_t units,
+                std::map<std::string, uint64_t> metric_deltas,
+                const StageResources& resources) HOMETS_EXCLUDES(mu_);
 
   /// Records the failing stage and Status; flips the outcome to "failure"
   /// (or "cancelled" for kCancelled/kDeadlineExceeded). First failure wins.
@@ -91,10 +111,13 @@ class RunManifestBuilder {
   /// Writes ToJson() to `path` (truncating); IoError on failure.
   Status WriteJson(const std::string& path) const HOMETS_EXCLUDES(mu_);
 
-  /// \brief RAII stage clock: captures a metrics snapshot at construction
-  /// and records the stage (wall seconds + counter deltas + `units`) into
-  /// the builder at destruction. `set_units` lets the stage report its unit
-  /// count once known.
+  /// \brief RAII stage clock: captures a metrics snapshot and a
+  /// getrusage reading at construction and records the stage (wall seconds +
+  /// counter deltas + resource deltas + `units`) into the builder at
+  /// destruction. Publishes the profiler accumulators into the registry at
+  /// both edges, so the counter deltas attribute lock waits / pool busy time
+  /// to this stage. `set_units` lets the stage report its unit count once
+  /// known.
   class StageTimer {
    public:
     StageTimer(RunManifestBuilder* builder, std::string stage);
@@ -110,10 +133,12 @@ class RunManifestBuilder {
     uint64_t units_ = 0;
     std::chrono::steady_clock::time_point start_;
     MetricsSnapshot before_;
+    ResourceUsage rusage_before_;
+    uint64_t alloc_bytes_before_ = 0;
   };
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.run_manifest"};
   std::chrono::steady_clock::time_point run_start_;
 
   struct Input {
@@ -126,6 +151,8 @@ class RunManifestBuilder {
     double seconds = 0.0;
     uint64_t units = 0;
     std::map<std::string, uint64_t> metric_deltas;
+    bool has_resources = false;
+    StageResources resources;
   };
 
   std::string tool_ HOMETS_GUARDED_BY(mu_);

@@ -112,5 +112,92 @@ TEST(PrometheusExportTest, EmptyRegistryExportsNothing) {
   EXPECT_EQ(registry.ExportPrometheus(), "");
 }
 
+TEST(PrometheusExportTest, ZeroCountHistogramRendersBucketsButNoPercentiles) {
+  // A registered histogram nobody observed into still renders a complete
+  // family (all-zero cumulative buckets, the mandatory +Inf bucket, _sum,
+  // _count) — but no derived percentile gauges: an interpolated quantile of
+  // nothing is noise, not data.
+  MetricsRegistry registry;
+  registry.GetHistogram("homets.io.read_us", {1.0, 10.0});
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"1\"} 0")) << text;
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"10\"} 0")) << text;
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"+Inf\"} 0"))
+      << text;
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_count 0")) << text;
+  EXPECT_EQ(text.find("_p50"), std::string::npos) << text;
+  EXPECT_EQ(text.find("_p99"), std::string::npos) << text;
+}
+
+TEST(PrometheusExportTest, PercentileGaugesAccompanyNonEmptyHistograms) {
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("homets.io.read_us", {10.0, 100.0, 1000.0});
+  for (int i = 0; i < 100; ++i) h->Observe(50.0);
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_TRUE(HasLine(text, "# TYPE homets_io_read_us_p50 gauge")) << text;
+  EXPECT_TRUE(HasLine(text, "# TYPE homets_io_read_us_p95 gauge")) << text;
+  EXPECT_TRUE(HasLine(text, "# TYPE homets_io_read_us_p99 gauge")) << text;
+  // All mass sits in the (10, 100] bucket, so every percentile interpolates
+  // inside it.
+  for (const auto& line : Lines(text)) {
+    if (line.rfind("homets_io_read_us_p", 0) == 0 &&
+        line.find("# TYPE") == std::string::npos) {
+      const double v = std::stod(line.substr(line.find(' ') + 1));
+      EXPECT_GT(v, 10.0) << line;
+      EXPECT_LE(v, 100.0) << line;
+    }
+  }
+}
+
+TEST(PrometheusExportTest, MismatchedBoundsReturnTheExistingHistogram) {
+  // GetHistogram is get-or-create keyed on name alone: a second caller with
+  // different bounds gets the registered instance, not a new family that
+  // would double-export under one name.
+  MetricsRegistry registry;
+  Histogram* first =
+      registry.GetHistogram("homets.io.read_us", {1.0, 10.0});
+  Histogram* second =
+      registry.GetHistogram("homets.io.read_us", {5.0, 50.0, 500.0});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->bounds(), (std::vector<double>{1.0, 10.0}));
+  first->Observe(3.0);
+  const std::string text = registry.ExportPrometheus();
+  // Exactly one histogram family under the name, with the original bounds.
+  EXPECT_TRUE(HasLine(text, "homets_io_read_us_bucket{le=\"10\"} 1")) << text;
+  EXPECT_EQ(text.find("le=\"50\""), std::string::npos) << text;
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  HistogramSnapshot hist;
+  hist.bounds = {1.0, 10.0};
+  hist.buckets = {0, 0, 0};
+  hist.count = 0;
+  EXPECT_EQ(HistogramPercentile(hist, 0.5), 0.0);
+}
+
+TEST(HistogramPercentileTest, InterpolatesWithinTheWinningBucket) {
+  // 10 observations in (10, 20]: p50 lands halfway through the bucket.
+  HistogramSnapshot hist;
+  hist.bounds = {10.0, 20.0};
+  hist.buckets = {0, 10, 0};
+  hist.count = 10;
+  EXPECT_DOUBLE_EQ(HistogramPercentile(hist, 0.5), 15.0);
+  // The first bucket interpolates from a lower edge of 0.
+  HistogramSnapshot low;
+  low.bounds = {10.0, 20.0};
+  low.buckets = {10, 0, 0};
+  low.count = 10;
+  EXPECT_DOUBLE_EQ(HistogramPercentile(low, 0.5), 5.0);
+}
+
+TEST(HistogramPercentileTest, OverflowBucketClampsToHighestFiniteBound) {
+  HistogramSnapshot hist;
+  hist.bounds = {1.0, 10.0};
+  hist.buckets = {1, 0, 9};  // 90% of the mass beyond the last bound
+  hist.count = 10;
+  EXPECT_DOUBLE_EQ(HistogramPercentile(hist, 0.99), 10.0);
+}
+
 }  // namespace
 }  // namespace homets::obs

@@ -133,6 +133,23 @@ check "discarded_status: assigned and inspected calls are fine" \
 check "discarded_status: suppressed variant is silent" \
     sh -c "! grep -q suppressed.cc '$workdir/out'"
 
+# --- clock-discipline -----------------------------------------------------
+run_case clock_discipline
+check "clock_discipline exits 1" test "$rc" -eq 1
+check "clock_discipline: 2 hits" test "$(hits clock-discipline)" -eq 2
+check "clock_discipline flags system_clock" \
+    grep -q 'src/core/bad.cc:7: clock-discipline' "$workdir/out"
+check "clock_discipline flags clock_gettime" \
+    grep -q 'src/core/bad.cc:9: clock-discipline' "$workdir/out"
+check "clock_discipline: steady_clock durations are fine" \
+    sh -c "! grep -q 'bad.cc:10:' '$workdir/out'"
+check "clock_discipline: src/obs owns the wall clock" \
+    sh -c "! grep -q 'src/obs/ok.cc' '$workdir/out'"
+check "clock_discipline: src/common hosts the timing substrate" \
+    sh -c "! grep -q 'src/common/ok.cc' '$workdir/out'"
+check "clock_discipline: suppressed variant is silent" \
+    sh -c "! grep -q suppressed.cc '$workdir/out'"
+
 # --- clean tree and rule filtering ----------------------------------------
 run_case clean
 check "clean tree exits 0" test "$rc" -eq 0
@@ -154,6 +171,6 @@ rc=0
 check "unknown rule id exits 2" test "$rc" -eq 2
 
 check "--list-rules names every rule" \
-    test "$("$lint" --list-rules | wc -l)" -eq 12
+    test "$("$lint" --list-rules | wc -l)" -eq 13
 
 exit "$fail"

@@ -1,0 +1,9 @@
+// Fixture: src/common hosts the low-level timing substrate (prof hooks),
+// so direct clock reads are in scope here.
+#include <ctime>
+
+long CommonTicks() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_nsec;
+}

@@ -1,0 +1,16 @@
+// Fixture: wall-clock reads in the engine layers break determinism and
+// bypass the obs layer's timestamp discipline.
+#include <chrono>
+#include <ctime>
+
+int64_t WallClockNow() {
+  const auto now = std::chrono::system_clock::now();  // hit
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);  // hit
+  const auto mono = std::chrono::steady_clock::now();  // durations are fine
+  (void)mono;
+  return static_cast<int64_t>(ts.tv_sec) +
+         std::chrono::duration_cast<std::chrono::seconds>(
+             now.time_since_epoch())
+             .count();
+}

@@ -1,0 +1,15 @@
+// Fixture: the same violations, each silenced with the suppression comment —
+// this file must produce zero findings.
+#include <chrono>
+#include <ctime>
+
+int64_t WallClockNowAllowed() {
+  // homets-lint: allow(clock-discipline)
+  const auto now = std::chrono::system_clock::now();
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);  // homets-lint: allow(clock-discipline)
+  return static_cast<int64_t>(ts.tv_sec) +
+         std::chrono::duration_cast<std::chrono::seconds>(
+             now.time_since_epoch())
+             .count();
+}

@@ -1,0 +1,8 @@
+// Fixture: src/obs owns the wall clock (Logger timestamps, trace epochs).
+#include <chrono>
+
+int64_t ObsNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}

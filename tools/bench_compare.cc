@@ -5,7 +5,9 @@
 //
 // Entries are matched by (stage, size). A candidate entry whose `--field`
 // value exceeds the baseline by more than `--threshold-pct` percent is a
-// regression. Stage-set changes are informational, not failures: a
+// regression. For higher-is-better fields (units_per_sec,
+// parallel_efficiency) the direction flips: a *decrease* past the threshold
+// regresses. Stage-set changes are informational, not failures: a
 // (stage, size) pair missing from the candidate or new in it is printed but
 // never fails the diff — harnesses add and retire stages as the pipeline
 // evolves, and the gate's job is catching per-stage slowdowns, not pinning
@@ -15,6 +17,7 @@
 // Exit codes: 0 no regressions, 1 at least one regression, 2 usage or
 // artifact error. This is the binary behind the opt-in `bench-gate` ctest
 // (see tools/bench_gate.sh).
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -37,6 +40,17 @@ struct BenchDoc {
   std::vector<std::pair<std::pair<std::string, std::string>, const JsonValue*>>
       entries;
 };
+
+// Fields where larger is better (rates, efficiencies): the regression
+// direction flips for these.
+bool HigherIsBetter(const std::string& field) {
+  return field == "units_per_sec" || field == "parallel_efficiency";
+}
+
+// Fields a stage may legitimately omit.
+bool OptionalField(const std::string& field) {
+  return field == "parallel_efficiency";
+}
 
 Result<BenchDoc> LoadDoc(const std::string& path, const JsonValue& root) {
   if (!root.is_object()) {
@@ -105,6 +119,15 @@ int Run(const ParsedArgs& args) {
                  "refusing to diff across schema versions\n",
                  docs[0].schema.c_str(), docs[0].schema_version,
                  docs[1].schema.c_str(), docs[1].schema_version);
+    if (docs[0].schema == docs[1].schema &&
+        std::min(docs[0].schema_version, docs[1].schema_version) == 2 &&
+        std::max(docs[0].schema_version, docs[1].schema_version) == 3) {
+      std::fprintf(stderr,
+                   "bench_compare: hint: pipeline schema v3 added per-stage "
+                   "cpu_seconds/peak_rss_bytes/parallel_efficiency; "
+                   "regenerate the baseline with perf_pipeline "
+                   "--pipeline_json\n");
+    }
     return 2;
   }
 
@@ -131,6 +154,14 @@ int Run(const ParsedArgs& args) {
     const JsonValue* cand_field = it->second->Find(field);
     if (base_field == nullptr || !base_field->is_number() ||
         cand_field == nullptr || !cand_field->is_number()) {
+      if (OptionalField(field)) {
+        // parallel_efficiency is only emitted above a wall-time floor
+        // (rusage tick granularity); a short stage lacking it on either
+        // side is expected, not an artifact error.
+        std::printf("  %-32s field \"%s\" absent (informational)\n",
+                    label.c_str(), field.c_str());
+        continue;
+      }
       std::fprintf(stderr, "bench_compare: %s: field \"%s\" missing or "
                    "non-numeric\n", label.c_str(), field.c_str());
       return 2;
@@ -138,13 +169,16 @@ int Run(const ParsedArgs& args) {
     const double base = base_field->number_value();
     const double cand = cand_field->number_value();
     const double delta_pct = base > 0 ? (cand - base) / base * 100.0 : 0.0;
-    const bool regressed = delta_pct > threshold_pct;
+    // For a higher-is-better field a drop is the regression; the printed
+    // delta keeps its sign either way.
+    const double regress_pct = HigherIsBetter(field) ? -delta_pct : delta_pct;
+    const bool regressed = regress_pct > threshold_pct;
     if (regressed) ++regressions;
     std::printf("  %-32s %12.6g -> %12.6g  %+7.1f%%  %s\n", label.c_str(),
                 base, cand, delta_pct,
                 regressed          ? "REGRESSION"
-                : delta_pct < -threshold_pct ? "improved"
-                                             : "ok");
+                : regress_pct < -threshold_pct ? "improved"
+                                               : "ok");
   }
   for (const auto& [key, entry] : docs[1].entries) {
     (void)entry;

@@ -23,3 +23,10 @@ trap 'rm -rf "$workdir"' EXIT
 "$pipeline" --pipeline_json="$workdir/candidate.json"
 "$cmp_bin" "$repo/BENCH_pipeline.json" "$workdir/candidate.json" \
     --threshold-pct "$threshold"
+
+# Second pass: parallel efficiency (schema v3). The field is optional —
+# stages too short for rusage ticks print as informational — but a real
+# efficiency collapse on a comparable machine fails the gate just like a
+# wall-time regression.
+"$cmp_bin" "$repo/BENCH_pipeline.json" "$workdir/candidate.json" \
+    --threshold-pct "$threshold" --field parallel_efficiency

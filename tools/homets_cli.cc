@@ -80,6 +80,7 @@
 #include "obs/flusher.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/progress.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -117,7 +118,11 @@ int Usage() {
          "  --log-level LEVEL    debug|info|warn|error|off (default warn)\n"
          "  --progress           heartbeat lines (rate, ETA, queue depth)\n"
          "  --progress-interval-sec SEC  heartbeat period (default 2)\n"
-         "  --run-manifest-out FILE      write a run manifest JSON\n";
+         "  --run-manifest-out FILE      write a run manifest JSON\n"
+         "  --prof               enable the execution profiler (lock\n"
+         "                       contention, pool accounting, alloc tally)\n"
+         "  --prof-out FILE      write the profiler report JSON (needs "
+         "--prof)\n";
   return 2;
 }
 
@@ -127,10 +132,11 @@ const std::set<std::string> kObsFlags = {
     "metrics-flush-interval-sec",   "input-format", "read-policy",
     "read-retries", "failpoints",   "failpoints-seed",
     "log-out",      "log-level",    "progress",
-    "progress-interval-sec",        "run-manifest-out"};
+    "progress-interval-sec",        "run-manifest-out",
+    "prof",         "prof-out"};
 
 // Flags that take no value (bare `--progress`; `--progress=0` still parses).
-const std::set<std::string> kBoolFlags = {"progress"};
+const std::set<std::string> kBoolFlags = {"progress", "prof"};
 
 std::set<std::string> WithObsFlags(std::set<std::string> flags) {
   flags.insert(kObsFlags.begin(), kObsFlags.end());
@@ -660,6 +666,20 @@ int main(int argc, char** argv) {
     std::cerr << "error: --progress-interval-sec must be positive\n";
     return 2;
   }
+  // Execution profiler (DESIGN.md §13): gate the mutex/pool hot-path
+  // instrumentation and the operator-new tally before any work runs, so
+  // every stage is covered. Off (the default), the hot paths cost one
+  // relaxed atomic load.
+  const bool prof_on = args.Has("prof") && args.GetString("prof") != "0";
+  const std::string prof_path = args.GetString("prof-out");
+  if (!prof_path.empty() && !prof_on) {
+    std::cerr << "error: --prof-out requires --prof\n";
+    return 2;
+  }
+  if (prof_on) {
+    obs::EnableProfiler(true);
+    obs::EnableAllocTally(true);
+  }
   obs::LoggerOptions log_options;
   log_options.file_path = log_path;
   log_options.min_level =
@@ -795,11 +815,18 @@ int main(int argc, char** argv) {
     const Status status = WriteFile(trace_path, session.ToChromeJson());
     if (!status.ok()) rc = FailWith("trace-out", status);
   }
+  // Fold the profiler accumulators into homets.prof.* before the registry is
+  // exported, so --metrics-out carries the run totals.
+  if (prof_on) obs::PublishProfMetrics();
   const std::string metrics_path = args.GetString("metrics-out");
   if (!metrics_path.empty() && rc == 0) {
     const Status status =
         WriteFile(metrics_path, obs::MetricsRegistry::Global().ExportJson());
     if (!status.ok()) rc = FailWith("metrics-out", status);
+  }
+  if (!prof_path.empty() && rc == 0) {
+    const Status status = WriteFile(prof_path, obs::ProfReportJson());
+    if (!status.ok()) rc = FailWith("prof-out", status);
   }
   // Flush any buffered log records (and close the file sink) before the
   // summary, so the JSONL file is complete whatever the outcome was.

@@ -65,7 +65,7 @@ const std::vector<std::string>& AllRules() {
       "no-cc-include",    "csv-include",          "unsafe-call",
       "metric-name-format",    "metric-name-duplicate",
       "metric-raw-literal",    "metric-dead-constant",
-      "discarded-status",
+      "discarded-status",      "clock-discipline",
   };
   return rules;
 }
@@ -339,6 +339,8 @@ class Linter {
   void CheckStderr(const FileViews& views, const std::string& rel_path);
   void CheckCcInclude(const FileViews& views, const std::string& rel_path);
   void CheckCsvInclude(const FileViews& views, const std::string& rel_path);
+  void CheckClockDiscipline(const FileViews& views,
+                            const std::string& rel_path);
   void CheckUnsafeCalls(const FileViews& views, const std::string& rel_path);
   void CheckMetricCatalog(const FileViews& views, const std::string& rel_path);
   void CheckMetricRawLiterals(const FileViews& views,
@@ -630,6 +632,37 @@ void Linter::CheckCsvInclude(const FileViews& views,
   }
 }
 
+void Linter::CheckClockDiscipline(const FileViews& views,
+                                  const std::string& rel_path) {
+  if (!RuleEnabled("clock-discipline", rel_path)) return;
+  // Wall-clock reads are an observability concern: timestamps flow through
+  // obs (Logger::NowUs, StageTimer, CaptureRusage) and durations through
+  // steady_clock. Only the src/ engine layers are in scope — src/obs owns
+  // the clock, and src/common hosts the low-level timing the profiler and
+  // pool instrumentation write through. bench/, tools/ and tests/ time
+  // whatever they like.
+  if (rel_path.rfind("src/", 0) != 0 ||
+      rel_path.rfind("src/obs/", 0) == 0 ||
+      rel_path.rfind("src/common/", 0) == 0) {
+    return;
+  }
+  for (size_t i = 0; i < views.pure.size(); ++i) {
+    const std::string& line = views.pure[i];
+    if (FindWord(line, "system_clock") != std::string::npos) {
+      Report(views, rel_path, i + 1, "clock-discipline",
+             "std::chrono::system_clock use outside src/obs and src/common "
+             "— wall-clock timestamps belong to the obs layer (Logger::NowUs"
+             " / StageTimer); use steady_clock for durations");
+    }
+    if (FindWord(line, "clock_gettime") != std::string::npos) {
+      Report(views, rel_path, i + 1, "clock-discipline",
+             "raw clock_gettime call outside src/obs and src/common — "
+             "wall-clock timestamps belong to the obs layer (Logger::NowUs "
+             "/ StageTimer); use steady_clock for durations");
+    }
+  }
+}
+
 void Linter::CheckUnsafeCalls(const FileViews& views,
                               const std::string& rel_path) {
   if (!RuleEnabled("unsafe-call", rel_path)) return;
@@ -894,6 +927,7 @@ void Linter::ScanFile(const std::string& rel_path, const std::string& text) {
   CheckStderr(views, rel_path);
   CheckCcInclude(views, rel_path);
   CheckCsvInclude(views, rel_path);
+  CheckClockDiscipline(views, rel_path);
   CheckUnsafeCalls(views, rel_path);
   CheckMetricCatalog(views, rel_path);
   CheckMetricRawLiterals(views, rel_path);

@@ -52,7 +52,16 @@ fi
 
 jobs=$( (nproc || sysctl -n hw.ncpu || echo 2) 2>/dev/null | head -n1 )
 run cmake --build "$build" -j "$jobs"
-run ctest --test-dir "$build" --output-on-failure -L "lint|threads|chaos|storage|telemetry|bench-smoke"
+run ctest --test-dir "$build" --output-on-failure -L "lint|threads|chaos|storage|telemetry|bench-smoke|prof"
+
+# Profiler instrumentation under TSan: the mutex-contention and pool-worker
+# hooks are lock-free hot-path writes, so the prof suite gets its own
+# ThreadSanitizer pass (the alloc-tally test self-skips there — the
+# operator-new replacement is compiled out under sanitizers).
+tsan_build="$root/build-gates-tsan"
+run cmake -S "$root" -B "$tsan_build" -DHOMETS_SANITIZE=thread
+run cmake --build "$tsan_build" -j "$jobs" --target prof_test
+run ctest --test-dir "$tsan_build" --output-on-failure -L prof
 
 if [ "$dry_run" -eq 1 ]; then
     echo "DRY RUN: no commands executed"
