@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/similarity.h"
+#include "correlation/prepared_series.h"
 #include "distance/distance.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"

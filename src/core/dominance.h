@@ -4,8 +4,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/status.h"
-#include "core/similarity.h"
 #include "simgen/types.h"
 
 namespace homets::core {

@@ -7,6 +7,7 @@
 
 #include "core/similarity.h"
 #include "core/similarity_engine.h"
+#include "correlation/prepared_series.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"

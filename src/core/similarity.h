@@ -4,8 +4,6 @@
 #include <string>
 #include <vector>
 
-#include "common/status.h"
-#include "correlation/coefficients.h"
 #include "correlation/prepared_series.h"
 #include "ts/time_series.h"
 

@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/similarity.h"
 #include "ts/time_series.h"
 
 namespace homets::core {

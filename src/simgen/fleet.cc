@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "simgen/behavior.h"
 
 namespace homets::simgen {
 

@@ -6,8 +6,8 @@
 
 #include "common/random.h"
 #include "common/status.h"
-#include "simgen/behavior.h"
 #include "simgen/types.h"
+#include "ts/time_series.h"
 
 namespace homets::simgen {
 

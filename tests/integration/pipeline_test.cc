@@ -11,7 +11,6 @@
 #include "core/dominance.h"
 #include "core/motif.h"
 #include "core/motif_analysis.h"
-#include "core/similarity.h"
 #include "simgen/fleet.h"
 
 namespace homets {

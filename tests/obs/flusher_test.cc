@@ -9,7 +9,6 @@
 
 #include <gtest/gtest.h>
 
-#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace homets::obs {

@@ -171,6 +171,11 @@ rc=0
 check "unknown rule id exits 2" test "$rc" -eq 2
 
 check "--list-rules names every rule" \
-    test "$("$lint" --list-rules | wc -l)" -eq 13
+    test "$("$lint" --list-rules | wc -l)" -eq 21
+
+# --- comment-only suppressions reach past blank lines ---------------------
+run_case suppression_gap
+check "suppression_gap exits 0" test "$rc" -eq 0
+check "suppression_gap prints OK" grep -q '^OK:' "$workdir/out"
 
 exit "$fail"

@@ -1,0 +1,6 @@
+// Fixture: a suppression naming a rule id the registry does not know.
+namespace fixture {
+inline int Answer() {
+  return 42;  // homets-lint: allow(no-raw-randomness)
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#ifndef FIXTURE_A_H_
+#define FIXTURE_A_H_
+
+namespace fixture {
+struct Aa {
+  int value = 0;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_A_H_

@@ -1,0 +1,9 @@
+// Fixture: waived upward edge common -> core (renders dashed in DOT).
+#include "core/b.h"
+
+namespace fixture {
+int WaivedUse() {
+  Bb b;
+  return b.inner.value;
+}
+}  // namespace fixture

@@ -1,0 +1,12 @@
+#ifndef FIXTURE_B_H_
+#define FIXTURE_B_H_
+
+#include "common/a.h"
+
+namespace fixture {
+struct Bb {
+  Aa inner;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_B_H_

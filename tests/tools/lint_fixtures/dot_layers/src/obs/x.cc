@@ -1,0 +1,9 @@
+// Fixture: disallowed upward edge obs -> core (renders red in DOT).
+#include "core/b.h"
+
+namespace fixture {
+int RedUse() {
+  Bb b;
+  return b.inner.value;
+}
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: half of an include cycle.
+#ifndef FIXTURE_X_H_
+#define FIXTURE_X_H_
+
+#include "a/y.h"
+
+namespace fixture {
+struct Xx {
+  Yy* peer = nullptr;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_X_H_

@@ -1,0 +1,13 @@
+// Fixture: the other half of the include cycle.
+#ifndef FIXTURE_Y_H_
+#define FIXTURE_Y_H_
+
+#include "a/x.h"
+
+namespace fixture {
+struct Yy {
+  Xx* peer = nullptr;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_Y_H_

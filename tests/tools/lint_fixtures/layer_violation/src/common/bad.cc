@@ -1,0 +1,9 @@
+// Fixture: a common-layer file reaching up into core (layer-dag hit).
+#include "core/engine.h"
+
+namespace fixture {
+int Ticks() {
+  CoreEngine engine;
+  return engine.ticks;
+}
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: the same upward edge, absorbed by a file-level waiver.
+#include "core/engine.h"
+
+namespace fixture {
+int WaivedTicks() {
+  CoreEngine engine;
+  return engine.ticks + 1;
+}
+}  // namespace fixture

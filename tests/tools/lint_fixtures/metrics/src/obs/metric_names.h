@@ -1,5 +1,8 @@
 // Fixture catalog: one conforming name, one malformed name, one duplicate,
 // one dead constant. (This is a fixture file, not the real catalog.)
+#ifndef FIXTURE_METRIC_NAMES_H_
+#define FIXTURE_METRIC_NAMES_H_
+
 #include <string_view>
 
 inline constexpr std::string_view kFixtureGood = "homets.engine.pairs";
@@ -11,3 +14,5 @@ inline constexpr std::string_view kFixtureDupe =
     "homets.engine.pairs";  // metric-name-duplicate hit
 inline constexpr std::string_view kFixtureDead =
     "homets.engine.never_registered";  // metric-dead-constant hit
+
+#endif  // FIXTURE_METRIC_NAMES_H_

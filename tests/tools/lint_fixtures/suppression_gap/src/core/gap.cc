@@ -1,0 +1,11 @@
+// Fixture: a comment-only suppression separated from its target line by a
+// blank line must still cover it (the lexer carries it past blanks).
+#include <cstdlib>
+
+namespace fixture {
+inline int Draw() {
+  // homets-lint: allow(no-raw-random)
+
+  return rand();
+}
+}  // namespace fixture

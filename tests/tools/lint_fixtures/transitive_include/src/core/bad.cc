@@ -1,0 +1,10 @@
+// Fixture: DeepExtra arrives only through mid.h (transitive-include hit).
+#include "core/mid.h"
+
+namespace fixture {
+int Probe() {
+  MidThing mid;
+  DeepExtra extra;
+  return mid.inner.depth + extra.bonus;
+}
+}  // namespace fixture

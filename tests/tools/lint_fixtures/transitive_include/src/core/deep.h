@@ -1,0 +1,14 @@
+// Fixture: the deepest header; DeepExtra is the symbol mid.h never names.
+#ifndef FIXTURE_DEEP_H_
+#define FIXTURE_DEEP_H_
+
+namespace fixture {
+struct DeepThing {
+  int depth = 0;
+};
+struct DeepExtra {
+  int bonus = 0;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_DEEP_H_

@@ -1,0 +1,10 @@
+// Fixture: the self header's closure covers DeepExtra — no violation.
+#include "core/good.h"
+
+namespace fixture {
+int Facade() {
+  GoodFacade facade;
+  DeepExtra extra;
+  return facade.inner.depth + extra.bonus;
+}
+}  // namespace fixture

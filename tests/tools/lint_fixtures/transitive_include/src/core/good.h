@@ -1,0 +1,13 @@
+// Fixture: good.cc's own header; its closure legitimately supplies deep.h.
+#ifndef FIXTURE_GOOD_H_
+#define FIXTURE_GOOD_H_
+
+#include "core/deep.h"
+
+namespace fixture {
+struct GoodFacade {
+  DeepThing inner;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_GOOD_H_

@@ -1,0 +1,13 @@
+// Fixture: the middle header; pulls deep.h in but only names DeepThing.
+#ifndef FIXTURE_MID_H_
+#define FIXTURE_MID_H_
+
+#include "core/deep.h"
+
+namespace fixture {
+struct MidThing {
+  DeepThing inner;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_MID_H_

@@ -1,0 +1,17 @@
+// Fixture: hash-order iteration leaks into results (unordered-iteration).
+#include <unordered_map>
+
+namespace fixture {
+int Sum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) {
+    total += entry.second;
+  }
+  return total;
+}
+
+int First(const std::unordered_map<int, int>& counts) {
+  const auto it = counts.begin();
+  return it == counts.end() ? 0 : it->second;
+}
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: lookups are order-independent and stay legal.
+#include <unordered_map>
+
+namespace fixture {
+int Lookup(const std::unordered_map<int, int>& counts, int key) {
+  const auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}
+}  // namespace fixture

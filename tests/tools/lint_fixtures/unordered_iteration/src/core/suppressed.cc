@@ -1,0 +1,13 @@
+// Fixture: the same loop, suppressed (order provably never escapes here).
+#include <unordered_map>
+
+namespace fixture {
+int SuppressedSum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // homets-lint: allow(unordered-iteration)
+  for (const auto& entry : counts) {
+    total += entry.second;
+  }
+  return total;
+}
+}  // namespace fixture

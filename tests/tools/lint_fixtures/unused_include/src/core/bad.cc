@@ -1,0 +1,10 @@
+// Fixture: one include is referenced, the other is dead weight.
+#include "core/used.h"
+#include "core/unused.h"
+
+namespace fixture {
+int Use() {
+  UsedThing thing;
+  return thing.value;
+}
+}  // namespace fixture

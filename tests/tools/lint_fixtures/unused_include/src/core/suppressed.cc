@@ -1,0 +1,10 @@
+// Fixture: the same dead include, suppressed with a rationale.
+#include "core/used.h"
+#include "core/unused.h"  // homets-lint: allow(unused-include)
+
+namespace fixture {
+int SuppressedUse() {
+  UsedThing thing;
+  return thing.value + 1;
+}
+}  // namespace fixture

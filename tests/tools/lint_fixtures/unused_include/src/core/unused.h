@@ -1,0 +1,11 @@
+// Fixture: a header nothing in the includer refers to.
+#ifndef FIXTURE_UNUSED_H_
+#define FIXTURE_UNUSED_H_
+
+namespace fixture {
+struct UnusedThing {
+  int value = 0;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_UNUSED_H_

@@ -1,0 +1,11 @@
+// Fixture: a header whose symbol the includer really uses.
+#ifndef FIXTURE_USED_H_
+#define FIXTURE_USED_H_
+
+namespace fixture {
+struct UsedThing {
+  int value = 0;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_USED_H_

@@ -25,7 +25,6 @@
 
 #include "common/flags.h"
 #include "common/json.h"
-#include "common/strings.h"
 
 namespace homets {
 namespace {

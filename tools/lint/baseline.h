@@ -1,0 +1,46 @@
+// Baseline support: freeze the current violation set to JSON and later gate
+// only on regressions against it.
+//
+//   homets_lint --baseline out.json        writes the baseline (exit 0)
+//   homets_lint --baseline-check out.json  subtracts it; only violations
+//                                          beyond the recorded counts fail
+//
+// Entries are keyed on (file, rule) with a count — line numbers churn with
+// every edit, so pinning them would make the baseline useless after one
+// refactor. A file that reduces its count tightens the effective budget the
+// next time the baseline is refrozen.
+
+#ifndef HOMETS_TOOLS_LINT_BASELINE_H_
+#define HOMETS_TOOLS_LINT_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+#include "lint.h"
+
+namespace homets::lint {
+
+struct Baseline {
+  /// (file, rule) -> allowed violation count.
+  std::map<std::pair<std::string, std::string>, size_t> entries;
+};
+
+/// Serializes the violations as a baseline document (schema_version 1),
+/// sorted by (file, rule).
+std::string RenderBaseline(const std::vector<Violation>& violations);
+
+Result<Baseline> LoadBaseline(const std::string& path);
+
+/// The violations that exceed the baseline's per-(file, rule) budget: the
+/// first `count` hits of each key are absorbed, the rest returned in input
+/// order.
+std::vector<Violation> SubtractBaseline(const std::vector<Violation>& all,
+                                        const Baseline& baseline);
+
+}  // namespace homets::lint
+
+#endif  // HOMETS_TOOLS_LINT_BASELINE_H_

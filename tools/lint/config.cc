@@ -1,0 +1,173 @@
+#include "config.h"
+
+#include <algorithm>
+#include <set>
+
+#include "registry.h"
+
+#include "common/json.h"
+
+namespace homets::lint {
+
+Result<LintConfig> LoadConfig(const std::string& path) {
+  LintConfig config;
+  HOMETS_ASSIGN_OR_RETURN(const JsonValue doc, ReadJsonFile(path));
+  const JsonValue* allow = doc.Find("allow_paths");
+  if (allow == nullptr) return config;
+  if (!allow->is_object()) {
+    return Status::InvalidArgument(path + ": allow_paths must be an object");
+  }
+  for (const auto& [rule, paths] : allow->object_items()) {
+    if (!IsKnownRule(rule)) {
+      return Status::InvalidArgument(path + ": unknown rule id '" + rule +
+                                     "' in allow_paths");
+    }
+    if (!paths.is_array()) {
+      return Status::InvalidArgument(path + ": allow_paths." + rule +
+                                     " must be an array of path substrings");
+    }
+    for (const JsonValue& entry : paths.array_items()) {
+      if (!entry.is_string()) {
+        return Status::InvalidArgument(path + ": allow_paths." + rule +
+                                       " entries must be strings");
+      }
+      config.allow_paths[rule].push_back(entry.string_value());
+    }
+  }
+  return config;
+}
+
+bool LayerGraph::Allows(const std::string& from_layer,
+                        const std::string& to_layer) const {
+  if (from_layer == to_layer) return true;
+  const auto it = layers.find(from_layer);
+  if (it == layers.end()) return false;
+  if (it->second.allow_all) return true;
+  const auto& deps = it->second.deps;
+  return std::find(deps.begin(), deps.end(), to_layer) != deps.end();
+}
+
+bool LayerGraph::Waived(const std::string& rel_path,
+                        const std::string& to_layer) const {
+  const auto it = waivers.find(rel_path);
+  if (it == waivers.end()) return false;
+  const auto& targets = it->second;
+  return std::find(targets.begin(), targets.end(), to_layer) != targets.end();
+}
+
+namespace {
+
+/// Depth-first acyclicity check over the declared deps (allow-all layers
+/// excluded: they sit at the top and may close arbitrary loops on paper).
+/// Returns a cycle as "a -> b -> a" when one exists.
+std::string FindDeclaredCycle(const LayerGraph& graph) {
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::string cycle;
+  // Iterative DFS with an explicit stack of (layer, next-dep-index).
+  for (const auto& [start, spec] : graph.layers) {
+    if (spec.allow_all || state[start] != 0) continue;
+    std::vector<std::pair<std::string, size_t>> dfs{{start, 0}};
+    state[start] = 1;
+    stack.push_back(start);
+    while (!dfs.empty()) {
+      auto& [layer, next] = dfs.back();
+      const auto it = graph.layers.find(layer);
+      const auto& deps = it->second.deps;
+      if (next >= deps.size()) {
+        state[layer] = 2;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      const std::string dep = deps[next++];
+      const auto dep_it = graph.layers.find(dep);
+      if (dep_it == graph.layers.end() || dep_it->second.allow_all) continue;
+      if (state[dep] == 1) {
+        const auto at = std::find(stack.begin(), stack.end(), dep);
+        for (auto s = at; s != stack.end(); ++s) cycle += *s + " -> ";
+        cycle += dep;
+        return cycle;
+      }
+      if (state[dep] == 0) {
+        state[dep] = 1;
+        stack.push_back(dep);
+        dfs.emplace_back(dep, 0);
+      }
+    }
+  }
+  return cycle;
+}
+
+}  // namespace
+
+Result<LayerGraph> LoadLayers(const std::string& path) {
+  LayerGraph graph;
+  HOMETS_ASSIGN_OR_RETURN(const JsonValue doc, ReadJsonFile(path));
+  const JsonValue* layers = doc.Find("layers");
+  if (layers == nullptr || !layers->is_object()) {
+    return Status::InvalidArgument(path +
+                                   ": expected a top-level \"layers\" object");
+  }
+  for (const auto& [name, deps] : layers->object_items()) {
+    LayerSpec spec;
+    if (!deps.is_array()) {
+      return Status::InvalidArgument(path + ": layers." + name +
+                                     " must be an array of layer names");
+    }
+    for (const JsonValue& dep : deps.array_items()) {
+      if (!dep.is_string()) {
+        return Status::InvalidArgument(path + ": layers." + name +
+                                       " entries must be strings");
+      }
+      if (dep.string_value() == "*") {
+        spec.allow_all = true;
+      } else {
+        spec.deps.push_back(dep.string_value());
+      }
+    }
+    if (!graph.layers.emplace(name, std::move(spec)).second) {
+      return Status::InvalidArgument(path + ": layer '" + name +
+                                     "' declared twice");
+    }
+  }
+  for (const auto& [name, spec] : graph.layers) {
+    for (const std::string& dep : spec.deps) {
+      if (graph.layers.count(dep) == 0) {
+        return Status::InvalidArgument(path + ": layers." + name +
+                                       " depends on undeclared layer '" + dep +
+                                       "'");
+      }
+    }
+  }
+  const JsonValue* waivers = doc.Find("edge_waivers");
+  if (waivers != nullptr) {
+    if (!waivers->is_object()) {
+      return Status::InvalidArgument(path + ": edge_waivers must be an object");
+    }
+    for (const auto& [rel_path, entry] : waivers->object_items()) {
+      const JsonValue* to = entry.Find("to");
+      if (!entry.is_object() || to == nullptr || !to->is_array()) {
+        return Status::InvalidArgument(
+            path + ": edge_waivers entries must be objects with a \"to\" "
+                   "array (plus a \"why\" rationale)");
+      }
+      for (const JsonValue& layer : to->array_items()) {
+        if (!layer.is_string() ||
+            graph.layers.count(layer.string_value()) == 0) {
+          return Status::InvalidArgument(path + ": edge_waivers." + rel_path +
+                                         " names an undeclared layer");
+        }
+        graph.waivers[rel_path].push_back(layer.string_value());
+      }
+    }
+  }
+  const std::string cycle = FindDeclaredCycle(graph);
+  if (!cycle.empty()) {
+    return Status::InvalidArgument(path + ": declared layer graph is cyclic (" +
+                                   cycle + ") — the contract is a DAG");
+  }
+  return graph;
+}
+
+}  // namespace homets::lint

@@ -1,0 +1,54 @@
+// Configuration loading: the per-rule path exemptions (tools/homets_lint.json)
+// and the declared layer DAG (tools/lint/layers.json).
+
+#ifndef HOMETS_TOOLS_LINT_CONFIG_H_
+#define HOMETS_TOOLS_LINT_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace homets::lint {
+
+struct LintConfig {
+  /// rule id -> path substrings (relative, '/'-separated) exempt from it.
+  std::map<std::string, std::vector<std::string>> allow_paths;
+};
+
+/// Loads `allow_paths` from a JSON config; unknown rule ids are errors.
+Result<LintConfig> LoadConfig(const std::string& path);
+
+/// The declared layer DAG. A layer is the first path segment below src/
+/// ("core", "obs", …); the top-level trees bench/, tools/ and tests/ are
+/// layers of their own. Each layer lists the layers it may include from;
+/// the wildcard "*" (stored as `allow_all`) marks consumer layers that may
+/// depend on everything and is exempt from the DAG's acyclicity check.
+struct LayerSpec {
+  std::vector<std::string> deps;  ///< allowed direct dependencies
+  bool allow_all = false;
+};
+
+struct LayerGraph {
+  /// layer name -> what it may include from. Layers not listed here are
+  /// config errors when seen in the tree (the DAG must be total).
+  std::map<std::string, LayerSpec> layers;
+  /// File-level waivers: rel path -> target layers that file alone may
+  /// reach in violation of its layer's spec. Each carries a rationale in
+  /// the JSON; the linter only needs the edge.
+  std::map<std::string, std::vector<std::string>> waivers;
+
+  bool Allows(const std::string& from_layer, const std::string& to_layer) const;
+  bool Waived(const std::string& rel_path, const std::string& to_layer) const;
+};
+
+/// Loads and validates layers.json: every dep must name a declared layer,
+/// and the declared graph (minus allow-all layers) must be acyclic — the
+/// contract is a DAG, so a cyclic declaration is a config error, not
+/// something to discover later from the include scan.
+Result<LayerGraph> LoadLayers(const std::string& path);
+
+}  // namespace homets::lint
+
+#endif  // HOMETS_TOOLS_LINT_CONFIG_H_

@@ -1,0 +1,123 @@
+#include "determinism_pass.h"
+
+#include <cctype>
+
+#include "text_pass.h"
+
+namespace homets::lint {
+namespace {
+
+/// Joins the pure view back into one buffer (newline-separated) so
+/// declarations whose template arguments span lines still parse; the
+/// offset-to-line mapping recovers diagnostics positions.
+struct FlatView {
+  std::string text;
+  std::vector<size_t> line_starts;  // offset of each line's first char
+
+  explicit FlatView(const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      line_starts.push_back(text.size());
+      text += line;
+      text += '\n';
+    }
+  }
+
+  size_t LineAt(size_t offset) const {
+    size_t lo = 0;
+    size_t hi = line_starts.size();
+    while (lo + 1 < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (line_starts[mid] <= offset) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo + 1;  // 1-based
+  }
+};
+
+/// Variable names declared with an unordered container type. Parses
+/// `unordered_map<...> [&*]name` with brace matching across lines; a name
+/// directly followed by '(' is a function declaration, not a variable.
+std::set<std::string> CollectUnorderedVars(const FlatView& flat) {
+  std::set<std::string> vars;
+  for (const char* token : {"unordered_map", "unordered_set"}) {
+    const std::string needle(token);
+    for (size_t pos = FindWord(flat.text, needle); pos != std::string::npos;
+         pos = FindWord(flat.text, needle, pos + needle.size())) {
+      size_t j = pos + needle.size();
+      if (j >= flat.text.size() || flat.text[j] != '<') continue;
+      int depth = 0;
+      while (j < flat.text.size()) {
+        if (flat.text[j] == '<') ++depth;
+        if (flat.text[j] == '>' && --depth == 0) break;
+        ++j;
+      }
+      if (j >= flat.text.size()) break;
+      ++j;  // past '>'
+      while (j < flat.text.size() &&
+             (std::isspace(static_cast<unsigned char>(flat.text[j])) ||
+              flat.text[j] == '&' || flat.text[j] == '*')) {
+        ++j;
+      }
+      std::string name;
+      while (j < flat.text.size() && IsWordChar(flat.text[j])) {
+        name += flat.text[j++];
+      }
+      if (name.empty()) continue;
+      if (j < flat.text.size() && flat.text[j] == '(') continue;
+      vars.insert(name);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+void RunDeterminismPass(const std::vector<SourceFile>& files,
+                        const LintConfig& config,
+                        const std::set<std::string>& enabled,
+                        std::vector<Violation>* out) {
+  for (const SourceFile& file : files) {
+    if (!TextPass::RuleEnabled(config, enabled, "unordered-iteration",
+                               file.rel_path)) {
+      continue;
+    }
+    const FlatView flat(file.views.pure);
+    const std::set<std::string> vars = CollectUnorderedVars(flat);
+    if (vars.empty()) continue;
+    for (const std::string& name : vars) {
+      for (size_t pos = FindWord(flat.text, name); pos != std::string::npos;
+           pos = FindWord(flat.text, name, pos + name.size())) {
+        const size_t end = pos + name.size();
+        if (end < flat.text.size() && IsWordChar(flat.text[end])) continue;
+        // Range-for: the token directly preceded by ':' (skipping spaces),
+        // as in `for (const auto& kv : name)`.
+        size_t back = pos;
+        while (back > 0 && std::isspace(static_cast<unsigned char>(
+                               flat.text[back - 1]))) {
+          --back;
+        }
+        const bool range_for =
+            back > 0 && flat.text[back - 1] == ':' &&
+            (back < 2 || flat.text[back - 2] != ':');
+        // Explicit iteration: name.begin() / name.cbegin().
+        const bool begin_call =
+            flat.text.compare(end, 7, ".begin(") == 0 ||
+            flat.text.compare(end, 8, ".cbegin(") == 0;
+        if (!range_for && !begin_call) continue;
+        const size_t line = flat.LineAt(pos);
+        if (IsSuppressed(file.views, line, "unordered-iteration")) continue;
+        out->push_back(
+            {file.rel_path, line, "unordered-iteration",
+             "iteration over unordered container '" + name +
+                 "' — bucket order is nondeterministic and leaks into the "
+                 "output; iterate a sorted copy of the keys or use "
+                 "std::map/std::set"});
+      }
+    }
+  }
+}
+
+}  // namespace homets::lint

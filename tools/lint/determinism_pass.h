@@ -1,0 +1,28 @@
+// Determinism pass: rule unordered-iteration. Engine results must be
+// bit-identical across runs (DESIGN.md §7), and iterating a hash container
+// leaks its bucket order into anything the loop produces. The pass finds
+// variables declared as std::unordered_map/std::unordered_set and flags
+// range-for loops and explicit .begin() iteration over them. Lookups
+// (find/at/emplace) are fine and not matched; files where the order
+// provably never escapes can be exempted via allow_paths or a suppression.
+
+#ifndef HOMETS_TOOLS_LINT_DETERMINISM_PASS_H_
+#define HOMETS_TOOLS_LINT_DETERMINISM_PASS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "lint.h"
+
+namespace homets::lint {
+
+void RunDeterminismPass(const std::vector<SourceFile>& files,
+                        const LintConfig& config,
+                        const std::set<std::string>& enabled,
+                        std::vector<Violation>* out);
+
+}  // namespace homets::lint
+
+#endif  // HOMETS_TOOLS_LINT_DETERMINISM_PASS_H_

@@ -1,0 +1,277 @@
+#include "hygiene_pass.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "text_pass.h"
+
+#include "common/strings.h"
+
+namespace homets::lint {
+namespace {
+
+/// The project naming convention: UpperCamel types/functions (two chars or
+/// more, so template parameters like `T` stay invisible), kConstants,
+/// HOMETS_ macros and g_ globals.
+bool IsConventionSymbol(const std::string& token) {
+  if (token.size() < 2) return false;
+  const unsigned char c0 = token[0];
+  const unsigned char c1 = token[1];
+  if (std::isupper(c0) && std::isalnum(c1)) return true;
+  if (c0 == 'k' && std::isupper(c1)) return true;
+  if (StartsWith(token, "HOMETS_")) return true;
+  if (StartsWith(token, "g_") && token.size() > 2) return true;
+  return false;
+}
+
+/// F's sibling header ("src/core/x.cc" -> "src/core/x.h"); empty for
+/// non-.cc files.
+std::string SiblingHeader(const std::string& rel_path) {
+  if (rel_path.size() <= 3 ||
+      rel_path.compare(rel_path.size() - 3, 3, ".cc") != 0) {
+    return std::string();
+  }
+  return rel_path.substr(0, rel_path.size() - 3) + ".h";
+}
+
+/// How the tree would spell an include of `header` from inside `from`:
+/// src/-relative for library headers, bare filename for a same-directory
+/// sibling, the full rel path otherwise.
+std::string SpellInclude(const std::string& header, const std::string& from) {
+  const size_t slash = from.rfind('/');
+  const std::string dir = slash == std::string::npos ? "" : from.substr(0, slash);
+  if (!dir.empty() && StartsWith(header, dir + "/") &&
+      header.find('/', dir.size() + 1) == std::string::npos) {
+    return header.substr(dir.size() + 1);
+  }
+  if (StartsWith(header, "src/")) return header.substr(4);
+  return header;
+}
+
+void CheckSelfIncludeFirst(const SourceFile& file, const IncludeGraph& graph,
+                           std::vector<Violation>* out) {
+  const std::string sibling = SiblingHeader(file.rel_path);
+  if (sibling.empty() || graph.files().count(sibling) == 0) return;
+  const std::vector<Include>& incs = graph.IncludesOf(file.rel_path);
+  size_t line = 1;
+  if (!incs.empty()) {
+    if (incs.front().resolved == sibling) return;
+    line = incs.front().line;
+  }
+  if (IsSuppressed(file.views, line, "self-include-first")) return;
+  out->push_back(
+      {file.rel_path, line, "self-include-first",
+       "first include must be this file's own header '" +
+           SpellInclude(sibling, file.rel_path) +
+           "' — including it before anything else proves the header is "
+           "self-contained"});
+}
+
+void CheckIncludeGuard(const SourceFile& file, std::vector<Violation>* out) {
+  const std::string& path = file.rel_path;
+  if (path.size() <= 2 || path.compare(path.size() - 2, 2, ".h") != 0) return;
+  const auto report = [&](size_t line, const std::string& message) {
+    if (!IsSuppressed(file.views, line, "include-guard")) {
+      out->push_back({path, line, "include-guard", message});
+    }
+  };
+  // Walk the first two preprocessor directives of the code view; a guarded
+  // header opens with #ifndef NAME / #define NAME.
+  std::string guard;
+  size_t guard_line = 0;
+  for (size_t i = 0; i < file.views.code.size(); ++i) {
+    std::string line{StrTrim(file.views.code[i])};
+    if (line.empty() || line[0] != '#') continue;
+    std::string directive;
+    size_t j = 1;
+    while (j < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    while (j < line.size() && IsWordChar(line[j])) directive += line[j++];
+    while (j < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    std::string name;
+    while (j < line.size() && IsWordChar(line[j])) name += line[j++];
+    if (guard.empty()) {
+      if (directive == "pragma" && name == "once") {
+        report(i + 1, "#pragma once — this tree standardizes on classic "
+                      "HOMETS-style include guards (#ifndef/#define)");
+        return;
+      }
+      if (directive != "ifndef" || name.empty()) {
+        report(i + 1, "missing include guard — the first directive must be "
+                      "#ifndef <GUARD>_H_");
+        return;
+      }
+      guard = name;
+      guard_line = i + 1;
+      continue;
+    }
+    if (directive != "define" || name != guard) {
+      report(i + 1, "include-guard #define does not match the #ifndef ('" +
+                        guard + "' vs '" + name + "')");
+      return;
+    }
+    if (guard.size() < 3 ||
+        guard.compare(guard.size() - 3, 3, "_H_") != 0) {
+      report(guard_line,
+             "include guard '" + guard + "' does not end in _H_");
+    }
+    return;
+  }
+  report(1, "missing include guard — the first directive must be "
+            "#ifndef <GUARD>_H_");
+}
+
+}  // namespace
+
+std::set<std::string> HarvestSymbols(const SourceFile& file) {
+  // Joined scan so `enum class X { … }` bodies can be skipped across
+  // lines: scoped enumerators are only reachable qualified, so the header
+  // supplies the enum's NAME, not its members — crediting the members
+  // would let `kNone` in one header cover an unrelated `kNone` elsewhere.
+  std::string text;
+  for (const std::string& line : file.views.pure) {
+    text += line;
+    text += '\n';
+  }
+  std::set<std::string> symbols;
+  // 0 = normal, 1 = saw `enum class/struct`, waiting for '{' (the enum
+  // name itself is still harvested), 2 = inside the enumerator list.
+  int state = 0;
+  std::string prev_token;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!IsWordChar(c)) {
+      if (state == 1 && c == '{') state = 2;
+      if (state == 1 && (c == ';' || c == ')')) state = 0;  // fwd decl / cast
+      if (state == 2 && c == '}') state = 0;
+      continue;
+    }
+    std::string token;
+    size_t j = i;
+    while (j < text.size() && IsWordChar(text[j])) token += text[j++];
+    if (state != 2 && IsConventionSymbol(token)) symbols.insert(token);
+    if (prev_token == "enum" && (token == "class" || token == "struct")) {
+      state = 1;
+    }
+    prev_token = token;
+    i = j - 1;
+  }
+  return symbols;
+}
+
+void RunHygienePass(const std::vector<SourceFile>& files,
+                    const IncludeGraph& graph, const LintConfig& config,
+                    const std::set<std::string>& enabled,
+                    std::vector<Violation>* out) {
+  const auto rule_on = [&](const std::string& rule, const std::string& path) {
+    return TextPass::RuleEnabled(config, enabled, rule, path);
+  };
+  // Symbol sets are needed per file both as "what this file uses" and
+  // "what this header supplies"; harvest once.
+  std::map<std::string, std::set<std::string>> syms;
+  const bool need_syms =
+      std::any_of(files.begin(), files.end(), [&](const SourceFile& f) {
+        return rule_on("unused-include", f.rel_path) ||
+               rule_on("transitive-include", f.rel_path);
+      });
+  if (need_syms) {
+    for (const SourceFile& file : files) {
+      syms[file.rel_path] = HarvestSymbols(file);
+    }
+  }
+
+  for (const SourceFile& file : files) {
+    if (rule_on("self-include-first", file.rel_path)) {
+      CheckSelfIncludeFirst(file, graph, out);
+    }
+    if (rule_on("include-guard", file.rel_path)) {
+      CheckIncludeGuard(file, out);
+    }
+
+    const std::string sibling = SiblingHeader(file.rel_path);
+    const std::vector<Include>& incs = graph.IncludesOf(file.rel_path);
+
+    if (rule_on("unused-include", file.rel_path)) {
+      const std::set<std::string>& used = syms[file.rel_path];
+      for (const Include& inc : incs) {
+        if (inc.resolved.empty() || inc.resolved == sibling) continue;
+        const auto it = syms.find(inc.resolved);
+        if (it == syms.end()) continue;
+        const bool referenced =
+            std::any_of(it->second.begin(), it->second.end(),
+                        [&](const std::string& s) { return used.count(s); });
+        if (referenced) continue;
+        if (IsSuppressed(file.views, inc.line, "unused-include")) continue;
+        out->push_back(
+            {file.rel_path, inc.line, "unused-include",
+             "no symbol from '" + inc.target +
+                 "' is referenced in this file — drop the include, or "
+                 "suppress with a rationale if it is needed for side "
+                 "effects"});
+      }
+    }
+
+    if (rule_on("transitive-include", file.rel_path)) {
+      // Direct interface: everything reachable from the file's own direct
+      // includes' first hop, plus — for a .cc — the whole closure of its
+      // self header (the header's transitive interface belongs to it).
+      std::set<std::string> direct;
+      for (const Include& inc : incs) {
+        if (!inc.resolved.empty()) direct.insert(inc.resolved);
+      }
+      std::set<std::string> covered_files = direct;
+      if (!sibling.empty() && direct.count(sibling) > 0) {
+        for (const std::string& h : graph.TransitiveClosure(sibling)) {
+          covered_files.insert(h);
+        }
+      }
+      std::set<std::string> covered_syms;
+      for (const std::string& h : covered_files) {
+        const auto it = syms.find(h);
+        if (it == syms.end()) continue;
+        covered_syms.insert(it->second.begin(), it->second.end());
+      }
+      // Transitive-only headers, smallest path first so attribution is
+      // deterministic.
+      std::vector<std::string> indirect;
+      for (const std::string& h : graph.TransitiveClosure(file.rel_path)) {
+        if (covered_files.count(h) == 0 && h != file.rel_path) {
+          indirect.push_back(h);
+        }
+      }
+      std::map<std::string, std::vector<std::string>> missing;
+      for (const std::string& token : syms[file.rel_path]) {
+        if (covered_syms.count(token) > 0) continue;
+        for (const std::string& h : indirect) {
+          const auto it = syms.find(h);
+          if (it != syms.end() && it->second.count(token) > 0) {
+            missing[h].push_back(token);
+            break;
+          }
+        }
+      }
+      const size_t anchor = incs.empty() ? 1 : incs.front().line;
+      for (const auto& [header, tokens] : missing) {
+        if (IsSuppressed(file.views, anchor, "transitive-include")) break;
+        std::string list;
+        for (size_t i = 0; i < tokens.size() && i < 3; ++i) {
+          list += (i ? ", " : "") + tokens[i];
+        }
+        if (tokens.size() > 3) list += ", …";
+        out->push_back(
+            {file.rel_path, anchor, "transitive-include",
+             "relies on " + header + " only transitively for " + list +
+                 " — #include \"" + SpellInclude(header, file.rel_path) +
+                 "\" directly so the dependency survives refactors"});
+      }
+    }
+  }
+}
+
+}  // namespace homets::lint

@@ -1,0 +1,46 @@
+// Header-hygiene pass: four include-discipline rules over the scanned set
+// and its include graph.
+//
+//   self-include-first — a .cc whose sibling header is in the set must
+//                        include it, and include it first.
+//   include-guard      — every .h carries a classic include guard
+//                        (#ifndef/#define with matching names ending _H_);
+//                        #pragma once is flagged for consistency.
+//   unused-include     — a direct quoted include none of whose harvested
+//                        symbols appear in the including file.
+//   transitive-include — a file that names a symbol supplied only by a
+//                        transitively reached header must include that
+//                        header directly.
+//
+// Symbol matching is lexical: a header "supplies" every identifier in it
+// that follows the project naming convention (UpperCamel types/functions,
+// kConstants, HOMETS_ macros, g_ globals). That convention is what makes a
+// token attributable at all without a real parser; lower_snake locals and
+// members are invisible on purpose.
+
+#ifndef HOMETS_TOOLS_LINT_HYGIENE_PASS_H_
+#define HOMETS_TOOLS_LINT_HYGIENE_PASS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "include_graph.h"
+#include "lint.h"
+
+namespace homets::lint {
+
+/// Appends the four hygiene-rule violations for the scanned set.
+void RunHygienePass(const std::vector<SourceFile>& files,
+                    const IncludeGraph& graph, const LintConfig& config,
+                    const std::set<std::string>& enabled,
+                    std::vector<Violation>* out);
+
+/// Exposed for the determinism pass: the project-convention identifiers in
+/// one file's pure view (see the header comment for the convention).
+std::set<std::string> HarvestSymbols(const SourceFile& file);
+
+}  // namespace homets::lint
+
+#endif  // HOMETS_TOOLS_LINT_HYGIENE_PASS_H_

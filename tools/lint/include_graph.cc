@@ -1,0 +1,152 @@
+#include "include_graph.h"
+
+#include <algorithm>
+
+namespace homets::lint {
+namespace {
+
+/// "src/core/x.h" -> "src/core"; "main.cc" -> "".
+std::string DirName(const std::string& rel_path) {
+  const size_t slash = rel_path.rfind('/');
+  return slash == std::string::npos ? std::string()
+                                    : rel_path.substr(0, slash);
+}
+
+/// Parses one include directive out of a code-view line; false when the
+/// line is not one.
+bool ParseIncludeLine(const std::string& line, Include* inc) {
+  size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return false;
+  i = line.find_first_not_of(" \t", i + 1);
+  if (i == std::string::npos || line.compare(i, 7, "include") != 0) {
+    return false;
+  }
+  const size_t open = line.find_first_of("\"<", i + 7);
+  if (open == std::string::npos) return false;
+  const char closer = line[open] == '<' ? '>' : '"';
+  const size_t close = line.find(closer, open + 1);
+  if (close == std::string::npos) return false;
+  inc->target = line.substr(open + 1, close - open - 1);
+  inc->angled = line[open] == '<';
+  return true;
+}
+
+}  // namespace
+
+std::string LayerOf(const std::string& rel_path) {
+  const std::vector<const char*> tops = {"bench", "tools", "tests"};
+  for (const char* top : tops) {
+    if (rel_path.rfind(std::string(top) + "/", 0) == 0) return top;
+  }
+  if (rel_path.rfind("src/", 0) == 0) {
+    const size_t next = rel_path.find('/', 4);
+    if (next != std::string::npos) return rel_path.substr(4, next - 4);
+  }
+  return std::string();
+}
+
+IncludeGraph IncludeGraph::Build(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  std::set<std::string> known;
+  for (const SourceFile& file : files) known.insert(file.rel_path);
+  for (const SourceFile& file : files) {
+    std::vector<Include>& out = graph.includes_[file.rel_path];
+    const std::string dir = DirName(file.rel_path);
+    for (size_t i = 0; i < file.views.code.size(); ++i) {
+      Include inc;
+      if (!ParseIncludeLine(file.views.code[i], &inc)) continue;
+      inc.line = i + 1;
+      if (!inc.angled) {
+        // The tree's convention: project includes are root-relative under
+        // src/ ("core/similarity.h"); tools/tests also use repo-relative
+        // and same-directory paths.
+        for (const std::string& candidate :
+             {"src/" + inc.target, inc.target,
+              dir.empty() ? inc.target : dir + "/" + inc.target}) {
+          if (known.count(candidate) > 0) {
+            inc.resolved = candidate;
+            break;
+          }
+        }
+      }
+      out.push_back(inc);
+    }
+  }
+  return graph;
+}
+
+const std::vector<Include>& IncludeGraph::IncludesOf(
+    const std::string& rel_path) const {
+  static const std::vector<Include> kEmpty;
+  const auto it = includes_.find(rel_path);
+  return it == includes_.end() ? kEmpty : it->second;
+}
+
+std::set<std::string> IncludeGraph::TransitiveClosure(
+    const std::string& rel_path) const {
+  std::set<std::string> seen;
+  std::vector<std::string> frontier{rel_path};
+  while (!frontier.empty()) {
+    const std::string cur = std::move(frontier.back());
+    frontier.pop_back();
+    for (const Include& inc : IncludesOf(cur)) {
+      if (inc.resolved.empty()) continue;
+      if (seen.insert(inc.resolved).second) frontier.push_back(inc.resolved);
+    }
+  }
+  return seen;
+}
+
+std::vector<std::vector<std::string>> IncludeGraph::FindCycles() const {
+  // Coloring DFS; each back edge yields one cycle, deduped by canonical
+  // rotation (start at the smallest member). The outer loop and include
+  // lists are in deterministic order, so the result is too.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::set<std::vector<std::string>> canon;
+  std::vector<std::vector<std::string>> cycles;
+  std::vector<std::string> stack;
+
+  // Explicit DFS: (node, next-include-index).
+  for (const auto& [start, unused] : includes_) {
+    (void)unused;
+    if (state[start] != 0) continue;
+    std::vector<std::pair<std::string, size_t>> dfs{{start, 0}};
+    state[start] = 1;
+    stack.push_back(start);
+    while (!dfs.empty()) {
+      const std::string node = dfs.back().first;
+      const size_t next = dfs.back().second++;
+      const std::vector<Include>& incs = IncludesOf(node);
+      // Skip directives that do not resolve into the set.
+      size_t k = next;
+      while (k < incs.size() && incs[k].resolved.empty()) {
+        ++k;
+        ++dfs.back().second;
+      }
+      if (k >= incs.size()) {
+        state[node] = 2;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      const std::string& dep = incs[k].resolved;
+      if (state[dep] == 1) {
+        const auto at = std::find(stack.begin(), stack.end(), dep);
+        std::vector<std::string> cycle(at, stack.end());
+        const auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        if (canon.insert(cycle).second) cycles.push_back(cycle);
+        continue;
+      }
+      if (state[dep] == 0) {
+        state[dep] = 1;
+        stack.push_back(dep);
+        dfs.emplace_back(dep, 0);
+      }
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+}  // namespace homets::lint

@@ -1,0 +1,63 @@
+// Whole-program include graph over the scanned file set.
+//
+// Built once by the driver and shared by the architecture pass (layer DAG,
+// cycles) and the hygiene pass (self-include-first, unused and transitive
+// includes). Resolution is against the scanned set only — an include that
+// does not resolve to a collected file (system headers, generated code) is
+// kept with an empty `resolved` and ignored by the graph rules.
+
+#ifndef HOMETS_TOOLS_LINT_INCLUDE_GRAPH_H_
+#define HOMETS_TOOLS_LINT_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace homets::lint {
+
+struct Include {
+  size_t line = 0;      ///< 1-based line of the directive
+  std::string target;   ///< the path as written between the delimiters
+  std::string resolved; ///< rel path of the included file; empty if external
+  bool angled = false;  ///< <…> (never resolved) vs "…"
+};
+
+class IncludeGraph {
+ public:
+  /// Parses every `#include` directive out of the files' code views and
+  /// resolves quoted targets against the set, trying in order:
+  ///   src/<target>, <target>, <dir-of-includer>/<target>.
+  static IncludeGraph Build(const std::vector<SourceFile>& files);
+
+  /// Directives of one file in source order; empty vector for unknown files.
+  const std::vector<Include>& IncludesOf(const std::string& rel_path) const;
+
+  /// Resolved rel paths reachable from `rel_path` through any include chain,
+  /// excluding `rel_path` itself unless it sits on a cycle.
+  std::set<std::string> TransitiveClosure(const std::string& rel_path) const;
+
+  /// Every distinct include cycle, as a canonical rotation starting at the
+  /// lexicographically smallest member: {"a.h", "b.h"} means a.h -> b.h ->
+  /// a.h. Sorted by first member, deterministic across runs.
+  std::vector<std::vector<std::string>> FindCycles() const;
+
+  const std::map<std::string, std::vector<Include>>& files() const {
+    return includes_;
+  }
+
+ private:
+  std::map<std::string, std::vector<Include>> includes_;
+};
+
+/// The layer a file belongs to: the first path segment below src/
+/// ("src/core/x.h" -> "core"), or the top-level tree name for bench/,
+/// tools/ and tests/ ("tools/lint/main.cc" -> "tools"). Empty for anything
+/// else.
+std::string LayerOf(const std::string& rel_path);
+
+}  // namespace homets::lint
+
+#endif  // HOMETS_TOOLS_LINT_INCLUDE_GRAPH_H_

@@ -1,286 +1,12 @@
-// homets_lint: project-invariant checker for the homets tree.
-//
-// Enforces the invariants the compiler cannot (see DESIGN.md §7): the
-// engine's determinism contract (no wall-clock or libc randomness outside
-// common/random), floating-point comparison discipline, the CLI's
-// byte-identical stdout contract, include hygiene, a small banned-call list,
-// and the metric-name catalog rules that used to live in
-// check_metrics_names.sh (which now delegates here).
-//
-// Scanning is lexical, not semantic: each file is split into two views —
-// `code` (comments blanked) and `pure` (comments and string/char literals
-// blanked) — and each rule declares which view it matches against, so rule
-// tokens inside strings or commented-out code never fire. Violations print
-//   <file>:<line>: <rule-id>: <message>
-// and the process exits 1 (0 clean, 2 usage/config error). A site can opt
-// out of one rule for one line with the suppression comment
-//   // homets-lint: allow(<rule-id>[, <rule-id>...])
-// either on the offending line or alone on the line directly above it.
-//
-// Usage:
-//   homets_lint [--root DIR] [--config FILE] [--rules id,id,...] [--list-rules]
-//
-// --root defaults to the current directory and must contain the tree to
-// scan; the walker visits src/ bench/ tools/ tests/ and skips build*/ and
-// lint_fixtures/ directories. --config points at a JSON file (default
-// <root>/tools/homets_lint.json when present) whose "allow_paths" object
-// maps rule ids to path substrings that are exempt. --rules restricts the
-// run to a comma-separated subset of rule ids.
+#include "text_pass.h"
 
-#include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-#include <string_view>
-#include <vector>
 
-#include "common/flags.h"
-#include "common/json.h"
-#include "common/status.h"
 #include "common/strings.h"
 
 namespace homets::lint {
 namespace {
-
-namespace fs = std::filesystem;
-
-struct Violation {
-  std::string file;  ///< path relative to --root
-  size_t line = 0;   ///< 1-based
-  std::string rule;
-  std::string message;
-};
-
-// Every rule id the tool knows, in reporting order.
-const std::vector<std::string>& AllRules() {
-  static const std::vector<std::string> rules = {
-      "no-raw-random",    "float-equality",       "no-stdout-in-lib",
-      "no-raw-stderr-in-lib",
-      "no-cc-include",    "csv-include",          "unsafe-call",
-      "metric-name-format",    "metric-name-duplicate",
-      "metric-raw-literal",    "metric-dead-constant",
-      "discarded-status",      "clock-discipline",
-  };
-  return rules;
-}
-
-// ---------------------------------------------------------------------------
-// Source views and suppressions
-// ---------------------------------------------------------------------------
-
-/// One scanned file: raw lines plus the two blanked views and per-line
-/// suppression sets. Blanking replaces characters with spaces so columns and
-/// line numbers stay aligned.
-struct FileViews {
-  std::vector<std::string> code;  ///< comments blanked, strings kept
-  std::vector<std::string> pure;  ///< comments and string/char literals blanked
-  /// line (1-based) -> rule ids allowed on that line
-  std::map<size_t, std::set<std::string>> allowed;
-};
-
-/// Records `// homets-lint: allow(a, b)` for `line`; a comment alone on a
-/// line also covers the next line.
-void ParseSuppression(const std::string& raw, size_t line, bool comment_only,
-                      FileViews* views) {
-  static const std::string kTag = "homets-lint:";
-  const size_t tag = raw.find(kTag);
-  if (tag == std::string::npos) return;
-  const size_t open = raw.find("allow(", tag);
-  if (open == std::string::npos) return;
-  const size_t close = raw.find(')', open);
-  if (close == std::string::npos) return;
-  const std::string inner =
-      raw.substr(open + 6, close - open - 6);
-  for (const std::string& part : StrSplit(inner, ',')) {
-    const std::string rule{StrTrim(part)};
-    if (rule.empty()) continue;
-    views->allowed[line].insert(rule);
-    if (comment_only) views->allowed[line + 1].insert(rule);
-  }
-}
-
-/// Lexes `text` into the two views. Handles //, /*…*/, "…", '…' and the
-/// common escape sequences; raw string literals are treated as plain strings
-/// (good enough for this tree, which has none).
-FileViews BuildViews(const std::string& text) {
-  FileViews views;
-  std::string code_line;
-  std::string pure_line;
-  std::string raw_line;
-  bool in_block_comment = false;
-  bool in_string = false;
-  bool in_char = false;
-  bool line_had_code = false;
-  size_t line_no = 1;
-
-  auto flush_line = [&]() {
-    // A comment-only line's suppression covers the next line too.
-    const bool comment_only = !line_had_code;
-    ParseSuppression(raw_line, line_no, comment_only, &views);
-    views.code.push_back(code_line);
-    views.pure.push_back(pure_line);
-    code_line.clear();
-    pure_line.clear();
-    raw_line.clear();
-    line_had_code = false;
-    ++line_no;
-  };
-
-  for (size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      // Strings and char literals do not survive a newline in this lexer;
-      // multi-line raw strings would, but the tree has none.
-      in_string = in_char = false;
-      flush_line();
-      continue;
-    }
-    raw_line += c;
-    if (in_block_comment) {
-      code_line += ' ';
-      pure_line += ' ';
-      if (c == '*' && next == '/') {
-        code_line += ' ';
-        pure_line += ' ';
-        raw_line += next;
-        ++i;
-        in_block_comment = false;
-      }
-      continue;
-    }
-    if (in_string || in_char) {
-      code_line += c;
-      pure_line += ' ';
-      if (c == '\\' && next != '\0' && next != '\n') {
-        code_line += next;
-        pure_line += ' ';
-        raw_line += next;
-        ++i;
-        continue;
-      }
-      if ((in_string && c == '"') || (in_char && c == '\'')) {
-        in_string = in_char = false;
-      }
-      continue;
-    }
-    if (c == '/' && next == '/') {
-      // Line comment: blank the remainder in both views.
-      const size_t eol = text.find('\n', i);
-      const size_t end = eol == std::string::npos ? text.size() : eol;
-      for (size_t j = i; j < end; ++j) {
-        code_line += ' ';
-        pure_line += ' ';
-        if (j > i) raw_line += text[j];
-      }
-      i = end - 1;
-      continue;
-    }
-    if (c == '/' && next == '*') {
-      in_block_comment = true;
-      code_line += ' ';
-      pure_line += ' ';
-      code_line += ' ';
-      pure_line += ' ';
-      raw_line += next;
-      ++i;
-      continue;
-    }
-    if (c == '"') {
-      in_string = true;
-      code_line += c;
-      pure_line += ' ';
-      line_had_code = true;
-      continue;
-    }
-    if (c == '\'') {
-      // Heuristic: a quote directly after an identifier/digit is a digit
-      // separator (1'000'000), not a char literal.
-      const char prev = raw_line.size() >= 2 ? raw_line[raw_line.size() - 2] : '\0';
-      if (std::isalnum(static_cast<unsigned char>(prev))) {
-        code_line += c;
-        pure_line += c;
-        continue;
-      }
-      in_char = true;
-      code_line += c;
-      pure_line += ' ';
-      line_had_code = true;
-      continue;
-    }
-    code_line += c;
-    pure_line += c;
-    if (!std::isspace(static_cast<unsigned char>(c))) line_had_code = true;
-  }
-  flush_line();
-  return views;
-}
-
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Finds `token` in `line` starting at `from`, requiring that the character
-/// before the match is not an identifier character (so `snprintf` never
-/// matches a search for `printf`). `::` and `.` prefixes count as
-/// non-identifier, so qualified calls match.
-size_t FindWord(const std::string& line, const std::string& token,
-                size_t from = 0) {
-  size_t pos = line.find(token, from);
-  while (pos != std::string::npos) {
-    if (pos == 0 || !IsWordChar(line[pos - 1])) return pos;
-    pos = line.find(token, pos + 1);
-  }
-  return std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Config
-// ---------------------------------------------------------------------------
-
-struct LintConfig {
-  /// rule id -> path substrings (relative, '/'-separated) exempt from it.
-  std::map<std::string, std::vector<std::string>> allow_paths;
-};
-
-Result<LintConfig> LoadConfig(const std::string& path) {
-  LintConfig config;
-  HOMETS_ASSIGN_OR_RETURN(const JsonValue doc, ReadJsonFile(path));
-  const JsonValue* allow = doc.Find("allow_paths");
-  if (allow == nullptr) return config;
-  if (!allow->is_object()) {
-    return Status::InvalidArgument(path + ": allow_paths must be an object");
-  }
-  for (const auto& [rule, paths] : allow->object_items()) {
-    if (std::find(AllRules().begin(), AllRules().end(), rule) ==
-        AllRules().end()) {
-      return Status::InvalidArgument(path + ": unknown rule id '" + rule +
-                                     "' in allow_paths");
-    }
-    if (!paths.is_array()) {
-      return Status::InvalidArgument(path + ": allow_paths." + rule +
-                                     " must be an array of path substrings");
-    }
-    for (const JsonValue& entry : paths.array_items()) {
-      if (!entry.is_string()) {
-        return Status::InvalidArgument(path + ": allow_paths." + rule +
-                                       " entries must be strings");
-      }
-      config.allow_paths[rule].push_back(entry.string_value());
-    }
-  }
-  return config;
-}
-
-// ---------------------------------------------------------------------------
-// Linter
-// ---------------------------------------------------------------------------
 
 /// homets.<layer>.<name>, both segments lower_snake_case starting with a
 /// letter.
@@ -301,87 +27,32 @@ bool MatchesNameScheme(const std::string& name) {
   return true;
 }
 
-class Linter {
- public:
-  Linter(LintConfig config, std::set<std::string> enabled)
-      : config_(std::move(config)), enabled_(std::move(enabled)) {}
+}  // namespace
 
-  void ScanFile(const std::string& rel_path, const std::string& text);
-  /// Cross-file rules; call after every ScanFile.
-  void Finish();
-
-  const std::vector<Violation>& violations() const { return violations_; }
-  size_t files_scanned() const { return files_scanned_; }
-  size_t metric_names() const { return metric_names_; }
-
- private:
-  bool RuleEnabled(const std::string& rule, const std::string& rel_path) const {
-    if (!enabled_.empty() && enabled_.count(rule) == 0) return false;
-    const auto it = config_.allow_paths.find(rule);
-    if (it != config_.allow_paths.end()) {
-      for (const std::string& sub : it->second) {
-        if (rel_path.find(sub) != std::string::npos) return false;
-      }
+bool TextPass::RuleEnabled(const LintConfig& config,
+                           const std::set<std::string>& enabled,
+                           const std::string& rule,
+                           const std::string& rel_path) {
+  if (!enabled.empty() && enabled.count(rule) == 0) return false;
+  const auto it = config.allow_paths.find(rule);
+  if (it != config.allow_paths.end()) {
+    for (const std::string& sub : it->second) {
+      if (rel_path.find(sub) != std::string::npos) return false;
     }
-    return true;
   }
+  return true;
+}
 
-  void Report(const FileViews& views, const std::string& rel_path, size_t line,
-              const std::string& rule, std::string message) {
-    const auto it = views.allowed.find(line);
-    if (it != views.allowed.end() && it->second.count(rule) > 0) return;
-    violations_.push_back({rel_path, line, rule, std::move(message)});
-  }
+void TextPass::Report(const FileViews& views, const std::string& rel_path,
+                      size_t line, const std::string& rule,
+                      std::string message) {
+  if (IsSuppressed(views, line, rule)) return;
+  violations_.push_back({rel_path, line, rule, std::move(message)});
+}
 
-  void CheckRandomness(const FileViews& views, const std::string& rel_path);
-  void CheckFloatEquality(const FileViews& views, const std::string& rel_path);
-  void CheckStdout(const FileViews& views, const std::string& rel_path);
-  void CheckStderr(const FileViews& views, const std::string& rel_path);
-  void CheckCcInclude(const FileViews& views, const std::string& rel_path);
-  void CheckCsvInclude(const FileViews& views, const std::string& rel_path);
-  void CheckClockDiscipline(const FileViews& views,
-                            const std::string& rel_path);
-  void CheckUnsafeCalls(const FileViews& views, const std::string& rel_path);
-  void CheckMetricCatalog(const FileViews& views, const std::string& rel_path);
-  void CheckMetricRawLiterals(const FileViews& views,
-                              const std::string& rel_path);
-  void CollectMetricReferences(const FileViews& views,
-                               const std::string& rel_path);
-  void CollectStatusDecls(const FileViews& views);
-  void CollectStatusCallSites(const FileViews& views,
-                              const std::string& rel_path);
-
-  LintConfig config_;
-  std::set<std::string> enabled_;
-  std::vector<Violation> violations_;
-  size_t files_scanned_ = 0;
-  size_t metric_names_ = 0;
-
-  /// metric-dead-constant state: k-constants declared in metric_names.h and
-  /// the set referenced anywhere else, resolved in Finish().
-  std::vector<std::pair<std::string, size_t>> metric_constants_;
-  std::set<std::string> metric_references_;
-  std::string metric_header_path_;
-  /// The views of metric_names.h, kept so Finish() can honor suppressions.
-  FileViews metric_header_views_;
-
-  /// discarded-status state: every function name declared anywhere with a
-  /// Status or Result<…> return, plus statement-start call sites whose
-  /// result is dropped. A call site only becomes a violation in Finish(),
-  /// once all declarations have been seen (files scan in path order, so a
-  /// caller may precede the header that declares its callee).
-  struct DroppedCall {
-    std::string file;
-    size_t line = 0;
-    std::string name;
-  };
-  std::set<std::string> status_returning_;
-  std::vector<DroppedCall> dropped_calls_;
-};
-
-void Linter::CheckRandomness(const FileViews& views,
-                             const std::string& rel_path) {
-  if (!RuleEnabled("no-raw-random", rel_path)) return;
+void TextPass::CheckRandomness(const FileViews& views,
+                               const std::string& rel_path) {
+  if (!Enabled("no-raw-random", rel_path)) return;
   // common/random wraps the only sanctioned generators.
   if (rel_path.find("src/common/random") != std::string::npos) return;
   static const std::vector<std::string> kTokens = {
@@ -429,9 +100,9 @@ void Linter::CheckRandomness(const FileViews& views,
   }
 }
 
-void Linter::CheckFloatEquality(const FileViews& views,
-                                const std::string& rel_path) {
-  if (!RuleEnabled("float-equality", rel_path)) return;
+void TextPass::CheckFloatEquality(const FileViews& views,
+                                  const std::string& rel_path) {
+  if (!Enabled("float-equality", rel_path)) return;
   // Parses a float literal adjacent to position `pos` in `line`, scanning
   // forward (dir=+1) or backward (dir=-1). Returns the literal text, empty
   // when the adjacent operand is not a float literal.
@@ -532,8 +203,9 @@ void Linter::CheckFloatEquality(const FileViews& views,
   }
 }
 
-void Linter::CheckStdout(const FileViews& views, const std::string& rel_path) {
-  if (!RuleEnabled("no-stdout-in-lib", rel_path)) return;
+void TextPass::CheckStdout(const FileViews& views,
+                           const std::string& rel_path) {
+  if (!Enabled("no-stdout-in-lib", rel_path)) return;
   // Library code only: src/. CLIs, benches, tools and tests own their stdout.
   if (rel_path.rfind("src/", 0) != 0) return;
   static const std::vector<std::string> kTokens = {"cout", "printf(", "puts("};
@@ -550,8 +222,9 @@ void Linter::CheckStdout(const FileViews& views, const std::string& rel_path) {
   }
 }
 
-void Linter::CheckStderr(const FileViews& views, const std::string& rel_path) {
-  if (!RuleEnabled("no-raw-stderr-in-lib", rel_path)) return;
+void TextPass::CheckStderr(const FileViews& views,
+                           const std::string& rel_path) {
+  if (!Enabled("no-raw-stderr-in-lib", rel_path)) return;
   // Library code only: src/. The structured logger (obs/log) owns the
   // process's single human-readable stderr sink; library narration goes
   // through it so fleet runs stay machine-parseable (allow_paths exempts
@@ -580,9 +253,9 @@ void Linter::CheckStderr(const FileViews& views, const std::string& rel_path) {
   }
 }
 
-void Linter::CheckCcInclude(const FileViews& views,
-                            const std::string& rel_path) {
-  if (!RuleEnabled("no-cc-include", rel_path)) return;
+void TextPass::CheckCcInclude(const FileViews& views,
+                              const std::string& rel_path) {
+  if (!Enabled("no-cc-include", rel_path)) return;
   for (size_t i = 0; i < views.code.size(); ++i) {
     const std::string& line = views.code[i];
     const size_t hash = line.find('#');
@@ -603,9 +276,9 @@ void Linter::CheckCcInclude(const FileViews& views,
   }
 }
 
-void Linter::CheckCsvInclude(const FileViews& views,
-                             const std::string& rel_path) {
-  if (!RuleEnabled("csv-include", rel_path)) return;
+void TextPass::CheckCsvInclude(const FileViews& views,
+                               const std::string& rel_path) {
+  if (!Enabled("csv-include", rel_path)) return;
   // The CSV reader is the ingest edge: only the io layer itself, the
   // columnar storage layer and tests may talk to it directly — everything
   // else reads traces through io/dataset.h (DatasetReader).
@@ -632,9 +305,9 @@ void Linter::CheckCsvInclude(const FileViews& views,
   }
 }
 
-void Linter::CheckClockDiscipline(const FileViews& views,
-                                  const std::string& rel_path) {
-  if (!RuleEnabled("clock-discipline", rel_path)) return;
+void TextPass::CheckClockDiscipline(const FileViews& views,
+                                    const std::string& rel_path) {
+  if (!Enabled("clock-discipline", rel_path)) return;
   // Wall-clock reads are an observability concern: timestamps flow through
   // obs (Logger::NowUs, StageTimer, CaptureRusage) and durations through
   // steady_clock. Only the src/ engine layers are in scope — src/obs owns
@@ -663,9 +336,9 @@ void Linter::CheckClockDiscipline(const FileViews& views,
   }
 }
 
-void Linter::CheckUnsafeCalls(const FileViews& views,
-                              const std::string& rel_path) {
-  if (!RuleEnabled("unsafe-call", rel_path)) return;
+void TextPass::CheckUnsafeCalls(const FileViews& views,
+                                const std::string& rel_path) {
+  if (!Enabled("unsafe-call", rel_path)) return;
   static const std::vector<std::pair<std::string, std::string>> kBanned = {
       {"sprintf(", "use snprintf with an explicit size"},
       {"strtok(", "not reentrant; use homets::StrSplit"},
@@ -681,14 +354,14 @@ void Linter::CheckUnsafeCalls(const FileViews& views,
   }
 }
 
-void Linter::CheckMetricCatalog(const FileViews& views,
-                                const std::string& rel_path) {
+void TextPass::CheckMetricCatalog(const FileViews& views,
+                                  const std::string& rel_path) {
   // Only the canonical catalog header is subject to name-format rules.
   if (rel_path.find("metric_names.h") == std::string::npos) return;
   metric_header_path_ = rel_path;
   metric_header_views_.allowed = views.allowed;
-  const bool check_format = RuleEnabled("metric-name-format", rel_path);
-  const bool check_dupes = RuleEnabled("metric-name-duplicate", rel_path);
+  const bool check_format = Enabled("metric-name-format", rel_path);
+  const bool check_dupes = Enabled("metric-name-duplicate", rel_path);
   std::map<std::string, size_t> first_seen;
   for (size_t i = 0; i < views.code.size(); ++i) {
     const std::string& line = views.code[i];
@@ -735,9 +408,9 @@ void Linter::CheckMetricCatalog(const FileViews& views,
   }
 }
 
-void Linter::CheckMetricRawLiterals(const FileViews& views,
-                                    const std::string& rel_path) {
-  if (!RuleEnabled("metric-raw-literal", rel_path)) return;
+void TextPass::CheckMetricRawLiterals(const FileViews& views,
+                                      const std::string& rel_path) {
+  if (!Enabled("metric-raw-literal", rel_path)) return;
   // Tests are exempt: they exercise private registries with throwaway names.
   if (rel_path.rfind("tests/", 0) == 0) return;
   if (rel_path.find("metric_names.h") != std::string::npos) return;
@@ -763,8 +436,8 @@ void Linter::CheckMetricRawLiterals(const FileViews& views,
   }
 }
 
-void Linter::CollectMetricReferences(const FileViews& views,
-                                     const std::string& rel_path) {
+void TextPass::CollectMetricReferences(const FileViews& views,
+                                       const std::string& rel_path) {
   if (rel_path.find("metric_names.h") != std::string::npos) return;
   for (const std::string& line : views.code) {
     for (size_t i = 0; i < line.size(); ++i) {
@@ -786,7 +459,7 @@ void Linter::CollectMetricReferences(const FileViews& views,
 /// the pure view: `Status Name(` and `Result<…> Name(`. Names are collected
 /// tree-wide (not per class), so an unchecked call to any same-named
 /// overload is flagged — the conservative reading.
-void Linter::CollectStatusDecls(const FileViews& views) {
+void TextPass::CollectStatusDecls(const FileViews& views) {
   const auto word_ends_at = [](const std::string& line, size_t pos,
                                size_t len) {
     return pos + len >= line.size() || !IsWordChar(line[pos + len]);
@@ -828,9 +501,9 @@ void Linter::CollectStatusDecls(const FileViews& views) {
 /// (`a::b`, `a.b`, `a->b`) opening a call directly after `;`, `{`, `}` or
 /// `:` — i.e. not returned, assigned, wrapped in a macro, or part of a
 /// larger expression. Matched against the declaration set in Finish().
-void Linter::CollectStatusCallSites(const FileViews& views,
-                                    const std::string& rel_path) {
-  if (!RuleEnabled("discarded-status", rel_path)) return;
+void TextPass::CollectStatusCallSites(const FileViews& views,
+                                      const std::string& rel_path) {
+  if (!Enabled("discarded-status", rel_path)) return;
   static const std::set<std::string> kKeywords = {
       "if",     "while",  "for",    "switch", "return", "case",
       "else",   "do",     "new",    "delete", "sizeof", "throw",
@@ -879,10 +552,7 @@ void Linter::CollectStatusCallSites(const FileViews& views,
       }
       if (boundary && j < line.size() && line[j] == '(' &&
           kKeywords.count(first) == 0 && kKeywords.count(last) == 0) {
-        const auto it = views.allowed.find(i + 1);
-        const bool suppressed =
-            it != views.allowed.end() && it->second.count("discarded-status");
-        if (!suppressed) {
+        if (!IsSuppressed(views, i + 1, "discarded-status")) {
           dropped_calls_.push_back(DroppedCall{rel_path, i + 1, last});
         }
       }
@@ -892,10 +562,10 @@ void Linter::CollectStatusCallSites(const FileViews& views,
   }
 }
 
-void Linter::Finish() {
+void TextPass::Finish() {
   const bool enabled =
       !metric_header_path_.empty() &&
-      RuleEnabled("metric-dead-constant", metric_header_path_);
+      Enabled("metric-dead-constant", metric_header_path_);
   if (enabled) {
     for (const auto& [constant, line] : metric_constants_) {
       if (metric_references_.count(constant) > 0) continue;
@@ -918,9 +588,9 @@ void Linter::Finish() {
   }
 }
 
-void Linter::ScanFile(const std::string& rel_path, const std::string& text) {
-  ++files_scanned_;
-  const FileViews views = BuildViews(text);
+void TextPass::ScanFile(const SourceFile& file) {
+  const FileViews& views = file.views;
+  const std::string& rel_path = file.rel_path;
   CheckRandomness(views, rel_path);
   CheckFloatEquality(views, rel_path);
   CheckStdout(views, rel_path);
@@ -936,157 +606,4 @@ void Linter::ScanFile(const std::string& rel_path, const std::string& text) {
   CollectStatusCallSites(views, rel_path);
 }
 
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-bool ShouldSkipDir(const std::string& name) {
-  return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
-         (!name.empty() && name[0] == '.');
-}
-
-bool IsSourceFile(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".cc" || ext == ".h";
-}
-
-/// Collects .cc/.h files under root/{src,bench,tools,tests}, sorted so the
-/// report order is deterministic.
-std::vector<fs::path> CollectFiles(const fs::path& root) {
-  std::vector<fs::path> files;
-  for (const char* sub : {"src", "bench", "tools", "tests"}) {
-    const fs::path dir = root / sub;
-    std::error_code ec;
-    if (!fs::is_directory(dir, ec)) continue;
-    fs::recursive_directory_iterator it(dir, ec);
-    const fs::recursive_directory_iterator end;
-    while (it != end) {
-      const fs::directory_entry& entry = *it;
-      if (entry.is_directory(ec)) {
-        if (ShouldSkipDir(entry.path().filename().string())) {
-          it.disable_recursion_pending();
-        }
-      } else if (entry.is_regular_file(ec) && IsSourceFile(entry.path())) {
-        files.push_back(entry.path());
-      }
-      it.increment(ec);
-      if (ec) break;
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
-int Usage(FILE* out) {
-  std::fputs(
-      "usage: homets_lint [--root DIR] [--config FILE] [--rules id,...] "
-      "[--list-rules]\n"
-      "Scans DIR/{src,bench,tools,tests} for project-invariant violations\n"
-      "and prints 'file:line: rule-id: message' per hit; exits 1 when any\n"
-      "are found, 2 on usage/config errors. Suppress one line with\n"
-      "'// homets-lint: allow(rule-id)'.\n",
-      out);
-  return 2;
-}
-
-int Run(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (std::find(args.begin(), args.end(), "--help") != args.end()) {
-    Usage(stdout);
-    return 0;
-  }
-  // Boolean flag, handled before the strict value-carrying parser.
-  const auto list_it = std::find(args.begin(), args.end(), "--list-rules");
-  if (list_it != args.end()) {
-    for (const std::string& rule : AllRules()) {
-      std::fprintf(stdout, "%s\n", rule.c_str());
-    }
-    return 0;
-  }
-  const Result<ParsedArgs> parsed =
-      ParseFlags(args, {"root", "config", "rules"});
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "homets_lint: %s\n",
-                 parsed.status().message().c_str());
-    return Usage(stderr);
-  }
-  if (!parsed->positional.empty()) {
-    std::fprintf(stderr, "homets_lint: unexpected positional argument '%s'\n",
-                 parsed->positional.front().c_str());
-    return Usage(stderr);
-  }
-
-  const fs::path root = parsed->GetString("root", ".");
-  std::error_code ec;
-  if (!fs::is_directory(root, ec)) {
-    std::fprintf(stderr, "homets_lint: --root %s is not a directory\n",
-                 root.string().c_str());
-    return 2;
-  }
-
-  std::set<std::string> enabled;
-  if (parsed->Has("rules")) {
-    for (const std::string& part :
-         StrSplit(parsed->GetString("rules"), ',')) {
-      const std::string rule{StrTrim(part)};
-      if (rule.empty()) continue;
-      if (std::find(AllRules().begin(), AllRules().end(), rule) ==
-          AllRules().end()) {
-        std::fprintf(stderr, "homets_lint: unknown rule id '%s'\n",
-                     rule.c_str());
-        return 2;
-      }
-      enabled.insert(rule);
-    }
-  }
-
-  LintConfig config;
-  std::string config_path = parsed->GetString("config");
-  if (config_path.empty()) {
-    const fs::path implicit = root / "tools" / "homets_lint.json";
-    if (fs::is_regular_file(implicit, ec)) config_path = implicit.string();
-  }
-  if (!config_path.empty()) {
-    Result<LintConfig> loaded = LoadConfig(config_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "homets_lint: %s\n",
-                   loaded.status().ToString().c_str());
-      return 2;
-    }
-    config = std::move(loaded).value();
-  }
-
-  Linter linter(std::move(config), std::move(enabled));
-  for (const fs::path& path : CollectFiles(root)) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "homets_lint: cannot read %s\n",
-                   path.string().c_str());
-      return 2;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
-    const std::string rel =
-        fs::relative(path, root, ec).generic_string();
-    linter.ScanFile(ec ? path.generic_string() : rel, text.str());
-  }
-  linter.Finish();  // homets-lint: allow(discarded-status) — returns void
-
-  for (const Violation& v : linter.violations()) {
-    std::fprintf(stdout, "%s:%zu: %s: %s\n", v.file.c_str(), v.line,
-                 v.rule.c_str(), v.message.c_str());
-  }
-  if (!linter.violations().empty()) {
-    std::fprintf(stderr, "homets_lint: %zu violation(s) in %zu file(s)\n",
-                 linter.violations().size(), linter.files_scanned());
-    return 1;
-  }
-  std::fprintf(stdout, "OK: %zu files scanned, %zu metric names conform\n",
-               linter.files_scanned(), linter.metric_names());
-  return 0;
-}
-
-}  // namespace
 }  // namespace homets::lint
-
-int main(int argc, char** argv) { return homets::lint::Run(argc, argv); }
