@@ -41,11 +41,13 @@
 #include "core/similarity_engine.h"
 #include "core/stationarity.h"
 #include "core/streaming.h"
+#include "fleet/orchestrator.h"
 #include "io/dataset.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/progress.h"
 #include "simgen/fleet.h"
+#include "storage/homets_format.h"
 #include "ts/time_series.h"
 
 namespace {
@@ -396,6 +398,31 @@ void RunSize(const SizeSpec& spec, int threads_used,
     (void)motifs;
     return daily.size();
   });
+
+  // Sharded fleet execution (DESIGN.md §15): the whole per-gateway pipeline
+  // again, but through the shard orchestrator over one out-of-core .homets
+  // fleet — units are shards, so units_per_sec is the shards/sec figure the
+  // scaling story quotes (bench_fleet sweeps the shard count).
+  {
+    char fleet_tmpl[] = "/tmp/homets_pipeline_fleet_XXXXXX";
+    const char* fleet_tmpdir = mkdtemp(fleet_tmpl);
+    if (fleet_tmpdir != nullptr) {
+      const std::string fleet_path =
+          std::string(fleet_tmpdir) + "/fleet.homets";
+      if (storage::WriteFleetHomets(generator, fleet_path).ok()) {
+        bench.Stage("fleet_analyze", "shards", [&] {
+          fleet::FleetOptions options;
+          options.n_shards = std::min(8, config.n_gateways);
+          fleet::FleetOrchestrator orchestrator({fleet_path}, options);
+          const auto report = orchestrator.Analyze();
+          return report.ok() ? static_cast<size_t>(report->n_shards)
+                             : size_t{0};
+        });
+      }
+      std::remove(fleet_path.c_str());
+      rmdir(fleet_tmpdir);
+    }
+  }
 
   bench.Stage("streaming", "observations", [&] {
     auto assembler =

@@ -18,12 +18,30 @@ namespace homets {
 /// SimilarityEngine::PairwiseChecked); the requester calls `Cancel()` from
 /// any thread. The flag is sticky until `Reset()`. All operations are
 /// lock-free atomics, so polling on the hot path is cheap.
+///
+/// Tokens can be linked into a tree: a child constructed with a parent
+/// observes the parent's cancellation (cancelling a fleet run cancels every
+/// in-flight shard) while `Cancel()` on the child stays local (a shard
+/// deadline kills that shard only, never its siblings or the whole run).
+/// The parent must outlive its children; linkage is fixed at construction,
+/// so the chain walk in `cancelled()` needs no synchronization.
 class CancellationToken {
  public:
+  CancellationToken() = default;
+  /// A child token: cancelled when either its own flag or any ancestor's is
+  /// set. `parent` may be nullptr (equivalent to the default constructor).
+  explicit CancellationToken(const CancellationToken* parent)
+      : parent_(parent) {}
+
+  /// Cancels this token (and, via the chain walk, everything linked below
+  /// it); never propagates upward to the parent.
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
   }
+  /// Clears this token's own flag; an ancestor's cancellation still shows
+  /// through `cancelled()`.
   void Reset() { cancelled_.store(false, std::memory_order_release); }
 
   /// OK while not cancelled; Status::Cancelled afterwards — the shape
@@ -34,6 +52,7 @@ class CancellationToken {
   }
 
  private:
+  const CancellationToken* parent_ = nullptr;
   std::atomic<bool> cancelled_{false};
 };
 

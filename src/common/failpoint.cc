@@ -105,7 +105,8 @@ Status Failpoints::Configure(std::string_view spec, uint64_t seed) {
         rule.probability = p;
       }
     }
-    rule.rng = SplitMix64(seed ^ HashSite(site));
+    rule.seed = seed ^ HashSite(site);
+    rule.rng = SplitMix64(rule.seed);
     parsed.insert_or_assign(site, rule);
   }
   MutexLock lock(&mu_);
@@ -171,8 +172,58 @@ FailpointAction Failpoints::Evaluate(std::string_view site) {
   return rule.action;
 }
 
+FailpointAction Failpoints::EvaluateAt(std::string_view site, uint64_t index,
+                                       uint64_t attempt) {
+  if (!armed()) return FailpointAction::kNone;
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const evaluations =
+      registry.GetCounter(obs::kFailpointEvaluations);
+  static obs::Counter* const triggers =
+      registry.GetCounter(obs::kFailpointTriggers);
+  MutexLock lock(&mu_);
+  const auto it = rules_.find(site);
+  if (it == rules_.end()) return FailpointAction::kNone;
+  Rule& rule = it->second;
+  ++rule.hits;
+  evaluations->Increment();
+  if (rule.action == FailpointAction::kNone) return FailpointAction::kNone;
+  // Every predicate below is a pure function of the rule and the caller's
+  // (index, attempt), so the decision cannot depend on which thread's hit
+  // reached the registry first.
+  if (index < rule.start) return FailpointAction::kNone;
+  if (attempt > rule.max_fires) return FailpointAction::kNone;
+  if (rule.probability < 1.0) {
+    SplitMix64 draw(rule.seed ^ (index * 0x9E3779B97F4A7C15ull) ^
+                    (attempt * 0xBF58476D1CE4E5B9ull));
+    if (ToUnit(draw.Next()) >= rule.probability) {
+      return FailpointAction::kNone;
+    }
+  }
+  ++rule.fires;
+  triggers->Increment();
+  obs::LogWarn("failpoint", "failpoint fired",
+               {obs::LogField::Str("site", std::string(site)),
+                obs::LogField::Uint("index", index),
+                obs::LogField::Uint("attempt", attempt)});
+  return rule.action;
+}
+
 Status Failpoints::InjectedError(std::string_view site) {
   switch (Evaluate(site)) {
+    case FailpointAction::kError:
+      return Status::IoError("injected by failpoint '" + std::string(site) +
+                             "'");
+    case FailpointAction::kFail:
+      return Status::ComputeError("injected by failpoint '" +
+                                  std::string(site) + "'");
+    default:
+      return Status::OK();
+  }
+}
+
+Status Failpoints::InjectedErrorAt(std::string_view site, uint64_t index,
+                                   uint64_t attempt) {
+  switch (EvaluateAt(site, index, attempt)) {
     case FailpointAction::kError:
       return Status::IoError("injected by failpoint '" + std::string(site) +
                              "'");

@@ -80,10 +80,26 @@ class Failpoints {
   /// Evaluates the rule at `site`; kNone when disarmed or no rule matches.
   FailpointAction Evaluate(std::string_view site);
 
+  /// Schedule-independent variant for sites whose units carry a stable
+  /// logical index (shard number, chunk number): the decision is a pure
+  /// function of the armed rule and (`index`, `attempt`), never of hit
+  /// arrival order, so `fleet.shard.run=fail@3` fires on shard index 3 under
+  /// any `--shards`/thread-count combination. Both arguments are 1-based.
+  /// Modifiers are reinterpreted per unit: `@K` makes indices >= K eligible,
+  /// `*N` fires only the first N attempts at an eligible index (so
+  /// `fail@3*1` fails shard 3 once and lets its retry through), and `~P`
+  /// draws from a stream keyed on (seed, site, index, attempt).
+  FailpointAction EvaluateAt(std::string_view site, uint64_t index,
+                             uint64_t attempt = 1);
+
   /// Evaluate() mapped to a Status: kError becomes a retryable IoError,
   /// kFail becomes a ComputeError, anything else is OK (kCorrupt/kTruncate
   /// are data-shaping actions the site must apply itself).
   Status InjectedError(std::string_view site);
+
+  /// EvaluateAt() mapped to a Status, same action mapping as InjectedError.
+  Status InjectedErrorAt(std::string_view site, uint64_t index,
+                         uint64_t attempt = 1);
 
   /// Counters for one site (zeros when the site has no rule).
   FailpointStats stats(std::string_view site) const;
@@ -94,6 +110,7 @@ class Failpoints {
     uint64_t start = 1;                 ///< 1-based first eligible hit
     uint64_t max_fires = UINT64_MAX;    ///< '*COUNT' budget
     double probability = 1.0;           ///< '~PROB' per-hit chance
+    uint64_t seed = 0;                  ///< seed ^ hash(site), for EvaluateAt
     SplitMix64 rng{0};                  ///< seeded stream for '~' draws
     uint64_t hits = 0;
     uint64_t fires = 0;
@@ -119,6 +136,10 @@ inline constexpr std::string_view kFailpointThreadPoolTask =
     "threadpool.task";
 inline constexpr std::string_view kFailpointEnginePairBlock =
     "engine.pair_block";
+inline constexpr std::string_view kFailpointFleetShardRun =
+    "fleet.shard.run";
+inline constexpr std::string_view kFailpointCkptWrite = "io.ckpt.write";
+inline constexpr std::string_view kFailpointCkptRead = "io.ckpt.read";
 
 /// Evaluates `site` with zero cost when fault injection is disarmed.
 inline FailpointAction EvaluateFailpoint(std::string_view site) {

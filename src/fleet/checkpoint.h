@@ -1,0 +1,85 @@
+#ifndef HOMETS_FLEET_CHECKPOINT_H_
+#define HOMETS_FLEET_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/shard.h"
+
+// Crash-safe shard checkpoints (DESIGN.md §15.2).
+//
+// Each completed shard is persisted as one small file in --checkpoint-dir:
+//
+//   "HSHARDC1" | payload | CRC-32(payload)
+//
+// The payload (storage/wire.h varints, little-endian fixed ints, raw
+// IEEE-754 bits for doubles) starts with the checkpoint schema version and
+// the run fingerprint, so a resumed run silently discards checkpoints that
+// are torn (CRC), from another input set / shard layout (fingerprint), or
+// from an older code version (schema). Writes go to a ".tmp" sibling and
+// are atomically renamed into place: a crash mid-write leaves no partial
+// file under the final name, and a torn final file (power loss after
+// rename) is caught by the CRC on read.
+namespace homets::fleet {
+
+/// Bump on any incompatible change to the checkpoint payload.
+inline constexpr uint64_t kCheckpointSchemaVersion = 1;
+
+/// \brief FNV-1a 64-bit fingerprint of everything that must match for a
+/// checkpoint to be reusable: input paths with sizes and order, the shard
+/// layout, the dataset format policy, and the checkpoint schema version.
+uint64_t FleetFingerprint(const FleetInputs& inputs, int n_shards,
+                          std::string_view format_name);
+
+/// Canonical checkpoint file path for one shard.
+std::string ShardCheckpointPath(const std::string& dir, int shard_index);
+
+/// \brief Serializes a shard result (magic + payload + CRC).
+std::string EncodeShardCheckpoint(const ShardResult& result,
+                                  uint64_t fingerprint);
+
+/// \brief Parses checkpoint bytes; FailedPrecondition on a magic/CRC/
+/// schema/fingerprint mismatch (the caller discards and re-runs the shard).
+Result<ShardResult> DecodeShardCheckpoint(const std::string& bytes,
+                                          uint64_t fingerprint);
+
+/// \brief Writes the shard checkpoint via tmp-file + atomic rename. The
+/// `io.ckpt.write` failpoint is evaluated per (shard index, attempt):
+/// `error` fails the write, `truncate` leaves a torn file under the final
+/// name (a simulated crash), `corrupt` flips a payload byte.
+Status WriteShardCheckpoint(const std::string& dir, const ShardResult& result,
+                            uint64_t fingerprint, uint64_t attempt = 1);
+
+/// \brief Loads and validates one shard checkpoint. NotFound when the file
+/// does not exist; FailedPrecondition when it exists but cannot be trusted.
+/// The `io.ckpt.read` failpoint injects IoError per shard index.
+Result<ShardResult> ReadShardCheckpoint(const std::string& dir,
+                                        int shard_index, uint64_t fingerprint);
+
+// --- checkpoint-directory hygiene -----------------------------------------
+
+std::string FleetLockPath(const std::string& dir);
+std::string FleetManifestPath(const std::string& dir);
+
+/// \brief Creates `dir` (one level) if needed and takes its LOCK sentinel.
+///
+/// An existing LOCK is honoured only when it plausibly belongs to a live
+/// run: its pid is alive AND the directory still carries a fleet manifest.
+/// Anything else (dead pid, no manifest — e.g. a SIGKILLed run) is a stale
+/// lock, reclaimed with a logged warning. Refusal is FailedPrecondition.
+Status AcquireFleetLock(const std::string& dir, uint64_t fingerprint);
+
+/// Removes the LOCK sentinel (no-op if missing).
+void ReleaseFleetLock(const std::string& dir);
+
+/// \brief Writes the small fleet manifest recording the fingerprint and the
+/// shard layout, so operators (and the lock-staleness check) can see what
+/// run owns the directory.
+Status WriteFleetManifest(const std::string& dir, uint64_t fingerprint,
+                          int n_shards, int n_gateways);
+
+}  // namespace homets::fleet
+
+#endif  // HOMETS_FLEET_CHECKPOINT_H_

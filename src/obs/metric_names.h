@@ -179,6 +179,32 @@ inline constexpr std::string_view kProfPeakRssBytes =
 inline constexpr std::string_view kProfLockContention =
     "homets.prof.lock_contention";
 
+// fleet — shard orchestration funnel: plan → run/resume → checkpoint →
+// quarantine. shards_resumed counts shards satisfied from valid checkpoints;
+// checkpoints_discarded counts files that existed but failed validation
+// (torn CRC, stale fingerprint, old schema); locks_reclaimed counts stale
+// LOCK sentinels taken over with a warning.
+inline constexpr std::string_view kFleetShardsPlanned =
+    "homets.fleet.shards_planned";
+inline constexpr std::string_view kFleetShardsRun =
+    "homets.fleet.shards_run";
+inline constexpr std::string_view kFleetShardsResumed =
+    "homets.fleet.shards_resumed";
+inline constexpr std::string_view kFleetShardsQuarantined =
+    "homets.fleet.shards_quarantined";
+inline constexpr std::string_view kFleetShardRetries =
+    "homets.fleet.shard_retries";
+inline constexpr std::string_view kFleetCheckpointsWritten =
+    "homets.fleet.checkpoints_written";
+inline constexpr std::string_view kFleetCheckpointsLoaded =
+    "homets.fleet.checkpoints_loaded";
+inline constexpr std::string_view kFleetCheckpointsDiscarded =
+    "homets.fleet.checkpoints_discarded";
+inline constexpr std::string_view kFleetGatewaysAnalyzed =
+    "homets.fleet.gateways_analyzed";
+inline constexpr std::string_view kFleetLocksReclaimed =
+    "homets.fleet.locks_reclaimed";
+
 // common/failpoint — fault-injection registry (counts only while armed, so
 // both stay zero in production runs).
 inline constexpr std::string_view kFailpointEvaluations =

@@ -187,6 +187,19 @@ void RunManifestBuilder::MarkFailed(std::string_view stage,
   final_status_ = status;
 }
 
+void RunManifestBuilder::AddQuarantinedShard(int shard_index,
+                                             const Status& status,
+                                             int attempts) {
+  MutexLock lock(&mu_);
+  quarantine_.push_back(QuarantineEntry{shard_index, status, attempts});
+  degraded_ = true;
+}
+
+void RunManifestBuilder::SetDegraded() {
+  MutexLock lock(&mu_);
+  degraded_ = true;
+}
+
 void RunManifestBuilder::SetExitCode(int exit_code) {
   MutexLock lock(&mu_);
   exit_code_ = exit_code;
@@ -314,6 +327,27 @@ std::string RunManifestBuilder::ToJson() const {
     out += '}';
   }
   out += stages_.empty() ? "]" : "\n  ]";
+  // Degraded runs list every quarantined fleet shard with its final Status,
+  // so an operator can audit exactly which slices of the fleet are missing
+  // from the (still-written) outputs.
+  if (degraded_) {
+    out += ",\n  \"degraded\": true";
+    out += ",\n  \"quarantine\": [";
+    for (size_t i = 0; i < quarantine_.size(); ++i) {
+      const QuarantineEntry& q = quarantine_[i];
+      if (i > 0) out += ',';
+      out += "\n    {\"shard\": ";
+      AppendInt(q.shard_index, &out);
+      out += ", \"attempts\": ";
+      AppendInt(q.attempts, &out);
+      out += ", \"status\": {\"code\": ";
+      AppendQuoted(CodeName(q.status.code()), &out);
+      out += ", \"message\": ";
+      AppendQuoted(q.status.message(), &out);
+      out += "}}";
+    }
+    out += quarantine_.empty() ? "]" : "\n  ]";
+  }
   // Percentile digest of every non-empty histogram (satellite of the
   // profiler PR): manifests carry the latency distribution shape, not just
   // count/sum, without inlining full bucket arrays.

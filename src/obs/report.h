@@ -102,6 +102,15 @@ class RunManifestBuilder {
   void MarkFailed(std::string_view stage, const Status& status)
       HOMETS_EXCLUDES(mu_);
 
+  /// Records one quarantined fleet shard (its final Status and the attempts
+  /// it burned) and marks the run's outputs degraded. Additive v2 fields:
+  /// runs without quarantined shards emit neither key.
+  void AddQuarantinedShard(int shard_index, const Status& status,
+                           int attempts) HOMETS_EXCLUDES(mu_);
+
+  /// Marks outputs degraded without a shard entry (e.g. partial inputs).
+  void SetDegraded() HOMETS_EXCLUDES(mu_);
+
   void SetExitCode(int exit_code) HOMETS_EXCLUDES(mu_);
 
   /// The manifest as pretty-enough JSON (stable key order, one stage per
@@ -169,7 +178,15 @@ class RunManifestBuilder {
   int read_retries_ HOMETS_GUARDED_BY(mu_) = 0;
   bool has_ingest_ HOMETS_GUARDED_BY(mu_) = false;
   ManifestIngestCounters ingest_ HOMETS_GUARDED_BY(mu_);
+  struct QuarantineEntry {
+    int shard_index = 0;
+    Status status;
+    int attempts = 0;
+  };
+
   std::vector<StageEntry> stages_ HOMETS_GUARDED_BY(mu_);
+  std::vector<QuarantineEntry> quarantine_ HOMETS_GUARDED_BY(mu_);
+  bool degraded_ HOMETS_GUARDED_BY(mu_) = false;
   bool failed_ HOMETS_GUARDED_BY(mu_) = false;
   std::string failed_stage_ HOMETS_GUARDED_BY(mu_);
   Status final_status_ HOMETS_GUARDED_BY(mu_);

@@ -26,7 +26,7 @@ Result<ZipfFit> FitZipfRankFrequency(const std::vector<double>& sample,
   // Logarithmic bins over [lo, hi].
   const double log_lo = std::log(lo);
   const double log_span = std::log(hi) - log_lo;
-  std::vector<size_t> counts(bins, 0);
+  std::vector<uint64_t> counts(bins, 0);
   for (double x : sample) {
     if (!(x > 0.0) || std::isnan(x)) continue;
     size_t idx = static_cast<size_t>((std::log(x) - log_lo) / log_span *
@@ -34,8 +34,12 @@ Result<ZipfFit> FitZipfRankFrequency(const std::vector<double>& sample,
     if (idx >= bins) idx = bins - 1;
     ++counts[idx];
   }
+  return FitZipfFromFrequencies(counts);
+}
+
+Result<ZipfFit> FitZipfFromFrequencies(const std::vector<uint64_t>& counts) {
   std::vector<double> freq;
-  for (size_t c : counts) {
+  for (uint64_t c : counts) {
     if (c > 0) freq.push_back(static_cast<double>(c));
   }
   std::sort(freq.begin(), freq.end(), std::greater<>());

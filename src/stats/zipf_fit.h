@@ -1,6 +1,7 @@
 #ifndef HOMETS_STATS_ZIPF_FIT_H_
 #define HOMETS_STATS_ZIPF_FIT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +29,14 @@ struct ZipfFit {
 /// Requires at least 3 non-empty ranks.
 Result<ZipfFit> FitZipfRankFrequency(const std::vector<double>& sample,
                                      size_t bins = 64);
+
+/// \brief Fits Zipf's law to pre-binned frequency counts — e.g. the fleet
+/// merge of per-shard absolute log-bin histograms, where the raw sample
+/// never exists in one place. Non-zero counts are ranked descending and fit
+/// by OLS in log–log space; requires at least 3 non-empty ranks. With counts
+/// produced by the same binning, this is the distributed-equivalent of
+/// FitZipfRankFrequency (which now delegates here).
+Result<ZipfFit> FitZipfFromFrequencies(const std::vector<uint64_t>& counts);
 
 }  // namespace homets::stats
 

@@ -6,7 +6,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <cstring>
 #include <map>
@@ -18,6 +17,7 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/wire.h"
 
 namespace homets::storage {
 
@@ -62,131 +62,8 @@ const StorageMetrics& Metrics() {
   return metrics;
 }
 
-/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven.
-uint32_t Crc32(const uint8_t* data, size_t size) {
-  static const auto table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-// --- little-endian / varint primitives -------------------------------------
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutVarint(std::string* out, uint64_t v) {
-  while (v >= 0x80u) {
-    out->push_back(static_cast<char>((v & 0x7Fu) | 0x80u));
-    v >>= 7;
-  }
-  out->push_back(static_cast<char>(v));
-}
-
-uint64_t ZigzagEncode(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^
-         static_cast<uint64_t>(v >> 63);
-}
-
-int64_t ZigzagDecode(uint64_t v) {
-  return static_cast<int64_t>((v >> 1) ^ (~(v & 1u) + 1u));
-}
-
-void PutZigzag(std::string* out, int64_t v) {
-  PutVarint(out, ZigzagEncode(v));
-}
-
-/// Bounds-checked sequential decoder over a byte span; every Read returns
-/// false instead of running past the end, so corrupt lengths surface as a
-/// clean Status, never a wild read.
-class ByteReader {
- public:
-  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  bool ReadVarint(uint64_t* v) {
-    uint64_t result = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      if (pos_ >= size_) return false;
-      const uint8_t byte = data_[pos_++];
-      result |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
-      if ((byte & 0x80u) == 0) {
-        *v = result;
-        return true;
-      }
-    }
-    return false;
-  }
-
-  bool ReadZigzag(int64_t* v) {
-    uint64_t raw = 0;
-    if (!ReadVarint(&raw)) return false;
-    *v = ZigzagDecode(raw);
-    return true;
-  }
-
-  bool ReadU8(uint8_t* v) {
-    if (pos_ >= size_) return false;
-    *v = data_[pos_++];
-    return true;
-  }
-
-  bool ReadU32(uint32_t* v) {
-    if (pos_ + 4 > size_) return false;
-    uint32_t result = 0;
-    for (int i = 0; i < 4; ++i) {
-      result |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 4;
-    *v = result;
-    return true;
-  }
-
-  bool ReadU64(uint64_t* v) {
-    if (pos_ + 8 > size_) return false;
-    uint64_t result = 0;
-    for (int i = 0; i < 8; ++i) {
-      result |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 8;
-    *v = result;
-    return true;
-  }
-
-  const uint8_t* Skip(size_t n) {
-    if (pos_ + n > size_) return nullptr;
-    const uint8_t* at = data_ + pos_;
-    pos_ += n;
-    return at;
-  }
-
-  size_t remaining() const { return size_ - pos_; }
-
- private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
+// CRC-32, varint/zigzag encoders and the bounds-checked ByteReader live in
+// storage/wire.h, shared with the fleet checkpoint format.
 
 // --- chunk encode / decode -------------------------------------------------
 

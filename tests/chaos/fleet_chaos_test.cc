@@ -1,0 +1,254 @@
+// Chaos-fleet suite (`ctest -L chaos-fleet`): kill/resume sweeps and torn-
+// checkpoint recovery for the sharded fleet orchestrator (DESIGN.md §15).
+//
+// The contracts under test:
+//   1. A run killed at shard K and then resumed produces a fleet report
+//      byte-identical to the uninterrupted run — including when the last
+//      checkpoint before the kill was torn mid-write.
+//   2. Failpoint schedules select shards by index, not arrival order, so
+//      the same chaos schedule hits the same shards under any thread count
+//      (schedule equivalence).
+//   3. Retries absorb transient shard and checkpoint-write faults without
+//      changing a single output byte.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "fleet/orchestrator.h"
+#include "simgen/fleet.h"
+#include "storage/homets_format.h"
+
+namespace homets {
+namespace {
+
+constexpr int kShards = 4;
+
+class FleetChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Global().Reset();
+    dir_ = testing::TempDir() + "/fleet_chaos_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    // TempDir() outlives the process: scrub checkpoints left by a previous
+    // ctest invocation or they would satisfy --resume and skew the counts.
+    std::filesystem::remove_all(dir_);
+    ::mkdir(dir_.c_str(), 0755);
+    simgen::SimConfig config;
+    config.n_gateways = 6;
+    config.weeks = 2;
+    config.surveyed_gateways =
+        std::min(config.surveyed_gateways, config.n_gateways);
+    fleet_path_ = dir_ + "/fleet.homets";
+    simgen::FleetGenerator generator(config);
+    const auto stats = storage::WriteFleetHomets(generator, fleet_path_);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+
+  void TearDown() override { Failpoints::Global().Reset(); }
+
+  fleet::FleetOptions Options(const std::string& checkpoint_dir = "") const {
+    fleet::FleetOptions options;
+    options.n_shards = kShards;
+    options.threads = 2;
+    options.checkpoint_dir = checkpoint_dir;
+    return options;
+  }
+
+  // The uninterrupted, fault-free report every scenario must reproduce.
+  std::string Baseline() {
+    fleet::FleetOrchestrator orchestrator({fleet_path_}, Options());
+    const auto report = orchestrator.Analyze();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_FALSE(report->degraded);
+    return fleet::FormatFleetReport(*report);
+  }
+
+  std::string dir_;
+  std::string fleet_path_;
+};
+
+// Contract 1, swept: for every shard K, kill the run as it reaches K (all
+// shards >= K fail, fail-fast, no retry — the checkpoints of shards < K are
+// already on disk, exactly as after a SIGKILL), then resume and demand the
+// uninterrupted report byte for byte.
+TEST_F(FleetChaosTest, KilledAtEveryShardThenResumedIsByteIdentical) {
+  const std::string baseline = Baseline();
+  for (int k = 1; k <= kShards; ++k) {
+    const std::string ckpt = dir_ + "/ckpt_" + std::to_string(k);
+    fleet::FleetOptions options = Options(ckpt);
+    options.quarantine = false;  // fail-fast, like a crash
+    options.max_attempts = 1;
+    ASSERT_TRUE(Failpoints::Global()
+                    .Configure("fleet.shard.run=fail@" + std::to_string(k))
+                    .ok());
+    fleet::FleetOrchestrator killed({fleet_path_}, options);
+    const auto dead = killed.Analyze();
+    ASSERT_FALSE(dead.ok()) << "kill at shard " << k;
+    EXPECT_EQ(dead.status().code(), StatusCode::kComputeError);
+    Failpoints::Global().Reset();
+
+    fleet::FleetOptions resume_options = Options(ckpt);
+    resume_options.resume = true;
+    fleet::FleetOrchestrator resumed({fleet_path_}, resume_options);
+    const auto report = resumed.Analyze();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    // Exactly the shards before the kill point were checkpointed.
+    EXPECT_EQ(report->shards_resumed, static_cast<uint64_t>(k - 1));
+    EXPECT_EQ(report->checkpoints_discarded, 0u);
+    EXPECT_EQ(fleet::FormatFleetReport(*report), baseline)
+        << "kill at shard " << k;
+  }
+}
+
+// Contract 1, torn edge: the kill lands mid-checkpoint-write, leaving half a
+// file under the FINAL name (as after power loss). Resume must discard it by
+// CRC, recompute that shard, and still match the baseline exactly.
+TEST_F(FleetChaosTest, TornLastCheckpointIsDiscardedAndRecomputed) {
+  const std::string baseline = Baseline();
+  const std::string ckpt = dir_ + "/ckpt_torn";
+  fleet::FleetOptions options = Options(ckpt);
+  options.quarantine = false;
+  options.max_attempts = 1;
+  // Shard 1 (index 2) tears its checkpoint; shards 2+ (index >= 3) die
+  // before producing one. Shard 0 checkpoints cleanly.
+  ASSERT_TRUE(Failpoints::Global()
+                  .Configure(
+                      "io.ckpt.write=truncate@2;fleet.shard.run=fail@3")
+                  .ok());
+  fleet::FleetOrchestrator killed({fleet_path_}, options);
+  ASSERT_FALSE(killed.Analyze().ok());
+  Failpoints::Global().Reset();
+
+  fleet::FleetOptions resume_options = Options(ckpt);
+  resume_options.resume = true;
+  fleet::FleetOrchestrator resumed({fleet_path_}, resume_options);
+  const auto report = resumed.Analyze();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->shards_resumed, 1u);        // shard 0
+  EXPECT_EQ(report->checkpoints_discarded, 1u);  // torn shard 1
+  EXPECT_EQ(fleet::FormatFleetReport(*report), baseline);
+}
+
+// A checkpoint that fails to READ (I/O error, not absence) is treated like a
+// discard: the shard is recomputed, the figures never change.
+TEST_F(FleetChaosTest, UnreadableCheckpointsFallBackToRecompute) {
+  const std::string baseline = Baseline();
+  const std::string ckpt = dir_ + "/ckpt_read";
+  fleet::FleetOptions options = Options(ckpt);
+  fleet::FleetOrchestrator first({fleet_path_}, options);
+  ASSERT_TRUE(first.Analyze().ok());
+
+  ASSERT_TRUE(Failpoints::Global().Configure("io.ckpt.read=error@1").ok());
+  fleet::FleetOptions resume_options = Options(ckpt);
+  resume_options.resume = true;
+  fleet::FleetOrchestrator resumed({fleet_path_}, resume_options);
+  const auto report = resumed.Analyze();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->shards_resumed, 0u);
+  EXPECT_EQ(report->checkpoints_discarded, static_cast<uint64_t>(kShards));
+  EXPECT_EQ(fleet::FormatFleetReport(*report), baseline);
+}
+
+// Contract 2: the same deterministic schedule (shards 2 and 3 poisoned)
+// quarantines the same shards and renders the same degraded report under
+// every thread count.
+TEST_F(FleetChaosTest, ScheduleEquivalenceAcrossThreadCounts) {
+  std::string expected;
+  for (const int threads : {1, 2, 8}) {
+    ASSERT_TRUE(
+        Failpoints::Global().Configure("fleet.shard.run=fail@3").ok());
+    fleet::FleetOptions options = Options();
+    options.threads = threads;
+    options.max_attempts = 2;
+    fleet::FleetOrchestrator orchestrator({fleet_path_}, options);
+    const auto report = orchestrator.Analyze();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->degraded);
+    ASSERT_EQ(report->quarantined.size(), 2u);
+    EXPECT_EQ(report->quarantined[0].shard_index, 2);
+    EXPECT_EQ(report->quarantined[1].shard_index, 3);
+    EXPECT_EQ(report->quarantined[0].attempts, 2);
+    const std::string formatted = fleet::FormatFleetReport(*report);
+    if (expected.empty()) {
+      expected = formatted;
+    } else {
+      EXPECT_EQ(formatted, expected) << "threads=" << threads;
+    }
+    Failpoints::Global().Reset();
+  }
+}
+
+// Contract 2, probabilistic: a seeded coin-flip schedule is a pure function
+// of (shard index, attempt, seed), so even random chaos picks identical
+// victims under 1 and 8 threads.
+TEST_F(FleetChaosTest, SeededProbabilisticScheduleIsThreadCountInvariant) {
+  std::string expected;
+  for (const int threads : {1, 8}) {
+    ASSERT_TRUE(Failpoints::Global()
+                    .Configure("fleet.shard.run=fail~0.5", 42)
+                    .ok());
+    fleet::FleetOptions options = Options();
+    options.threads = threads;
+    options.max_attempts = 1;
+    fleet::FleetOrchestrator orchestrator({fleet_path_}, options);
+    const auto report = orchestrator.Analyze();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const std::string formatted = fleet::FormatFleetReport(*report);
+    if (expected.empty()) {
+      expected = formatted;
+    } else {
+      EXPECT_EQ(formatted, expected) << "threads=" << threads;
+    }
+    Failpoints::Global().Reset();
+  }
+}
+
+// Contract 3: a fault on every shard's FIRST attempt only — one retry
+// absorbs all of them; the report matches the fault-free baseline and
+// nothing is quarantined.
+TEST_F(FleetChaosTest, RetryAbsorbsTransientShardFaults) {
+  const std::string baseline = Baseline();
+  ASSERT_TRUE(
+      Failpoints::Global().Configure("fleet.shard.run=fail@1*1").ok());
+  fleet::FleetOptions options = Options();
+  options.max_attempts = 2;
+  fleet::FleetOrchestrator orchestrator({fleet_path_}, options);
+  const auto report = orchestrator.Analyze();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->degraded);
+  EXPECT_EQ(fleet::FormatFleetReport(*report), baseline);
+}
+
+// Contract 3 for the write path: a transient checkpoint-write error is a
+// retryable shard failure, not a lost shard.
+TEST_F(FleetChaosTest, RetryAbsorbsTransientCheckpointWriteFaults) {
+  const std::string baseline = Baseline();
+  const std::string ckpt = dir_ + "/ckpt_write_retry";
+  ASSERT_TRUE(Failpoints::Global().Configure("io.ckpt.write=error@1*1").ok());
+  fleet::FleetOptions options = Options(ckpt);
+  options.max_attempts = 2;
+  fleet::FleetOrchestrator orchestrator({fleet_path_}, options);
+  const auto report = orchestrator.Analyze();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->degraded);
+  EXPECT_EQ(fleet::FormatFleetReport(*report), baseline);
+  Failpoints::Global().Reset();
+  // Every checkpoint landed intact despite the first-attempt faults.
+  fleet::FleetOptions resume_options = Options(ckpt);
+  resume_options.resume = true;
+  fleet::FleetOrchestrator resumed({fleet_path_}, resume_options);
+  const auto resumed_report = resumed.Analyze();
+  ASSERT_TRUE(resumed_report.ok());
+  EXPECT_EQ(resumed_report->shards_resumed, static_cast<uint64_t>(kShards));
+  EXPECT_EQ(fleet::FormatFleetReport(*resumed_report), baseline);
+}
+
+}  // namespace
+}  // namespace homets

@@ -1,0 +1,103 @@
+#include "common/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace homets {
+namespace {
+
+TEST(CancellationTokenTest, DefaultNotCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.AsStatus().ok());
+}
+
+TEST(CancellationTokenTest, CancelIsStickyUntilReset) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.AsStatus().code(), StatusCode::kCancelled);
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, NullParentBehavesLikeRoot) {
+  CancellationToken token(nullptr);
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, ParentCancellationReachesChild) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.AsStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, ChildCancellationDoesNotPropagateUp) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancellationTokenTest, SiblingsAreIsolated) {
+  CancellationToken parent;
+  CancellationToken shard_a(&parent);
+  CancellationToken shard_b(&parent);
+  shard_a.Cancel();
+  EXPECT_TRUE(shard_a.cancelled());
+  EXPECT_FALSE(shard_b.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancellationTokenTest, GrandchildSeesRootCancellation) {
+  CancellationToken root;
+  CancellationToken mid(&root);
+  CancellationToken leaf(&mid);
+  root.Cancel();
+  EXPECT_TRUE(mid.cancelled());
+  EXPECT_TRUE(leaf.cancelled());
+}
+
+TEST(CancellationTokenTest, ChildResetDoesNotMaskParent) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  parent.Cancel();
+  child.Reset();  // clears only the child's own flag
+  EXPECT_TRUE(child.cancelled());
+  parent.Reset();
+  EXPECT_FALSE(child.cancelled());
+}
+
+TEST(CancellationTokenTest, WatchdogOnChildFiresLocally) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  {
+    DeadlineWatchdog watchdog(&child, 0.0);
+    // A zero deadline fires promptly; spin until the watcher runs.
+    while (!child.cancelled()) {
+    }
+    EXPECT_TRUE(watchdog.fired());
+  }
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancellationTokenTest, WatchdogDisarmLeavesTokenAlone) {
+  CancellationToken token;
+  {
+    DeadlineWatchdog watchdog(&token, 60000.0);
+    watchdog.Disarm();
+    EXPECT_FALSE(watchdog.fired());
+  }
+  EXPECT_FALSE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace homets

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/status.h"
 
@@ -123,6 +126,116 @@ TEST_F(FailpointTest, OffActionInstallsNothingForSite) {
             FailpointAction::kNone);
   EXPECT_EQ(Failpoints::Global().Evaluate(kFailpointCsvRow),
             FailpointAction::kError);
+}
+
+TEST_F(FailpointTest, EvaluateAtSelectsByIndexNotArrivalOrder) {
+  ASSERT_TRUE(Failpoints::Global().Configure("fleet.shard.run=fail@3").ok());
+  // Evaluate indices in descending order: the decision must track the index,
+  // not how many hits the site has absorbed so far.
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 4),
+            FailpointAction::kFail);
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 1),
+            FailpointAction::kNone);
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 2),
+            FailpointAction::kNone);
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 3),
+            FailpointAction::kFail);
+  // Re-evaluating the same index yields the same decision.
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 3),
+            FailpointAction::kFail);
+}
+
+TEST_F(FailpointTest, EvaluateAtAttemptBudgetAllowsRetryToSucceed) {
+  ASSERT_TRUE(Failpoints::Global().Configure("fleet.shard.run=fail@2*1").ok());
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 2, 1),
+            FailpointAction::kFail);
+  // The second attempt at the same index is beyond the '*1' budget.
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 2, 2),
+            FailpointAction::kNone);
+  // Other eligible indices still fail their first attempt.
+  EXPECT_EQ(Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, 5, 1),
+            FailpointAction::kFail);
+}
+
+TEST_F(FailpointTest, EvaluateAtProbabilityIsAFunctionOfIndex) {
+  const auto pattern_for = [](bool reversed) {
+    EXPECT_TRUE(
+        Failpoints::Global().Configure("io.ckpt.write=error~0.5", 11).ok());
+    std::string pattern(64, '.');
+    for (int i = 0; i < 64; ++i) {
+      const int idx = reversed ? 63 - i : i;
+      if (Failpoints::Global().EvaluateAt(
+              kFailpointCkptWrite, static_cast<uint64_t>(idx) + 1) ==
+          FailpointAction::kError) {
+        pattern[idx] = 'E';
+      }
+    }
+    return pattern;
+  };
+  const std::string forward = pattern_for(false);
+  const std::string backward = pattern_for(true);
+  EXPECT_EQ(forward, backward);
+  // ~0.5 over 64 indices: both outcomes must appear.
+  EXPECT_NE(forward.find('E'), std::string::npos);
+  EXPECT_NE(forward.find('.'), std::string::npos);
+}
+
+TEST_F(FailpointTest, InjectedErrorAtMapsActions) {
+  ASSERT_TRUE(Failpoints::Global()
+                  .Configure("io.ckpt.read=error;fleet.shard.run=fail")
+                  .ok());
+  EXPECT_EQ(Failpoints::Global().InjectedErrorAt(kFailpointCkptRead, 1).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(
+      Failpoints::Global().InjectedErrorAt(kFailpointFleetShardRun, 1).code(),
+      StatusCode::kComputeError);
+  EXPECT_TRUE(
+      Failpoints::Global().InjectedErrorAt(kFailpointCsvOpen, 1).ok());
+}
+
+TEST_F(FailpointTest, ConcurrentArmingKeepsIndexedDecisionsDeterministic) {
+  // Readers hammer EvaluateAt while the spec is re-armed concurrently; the
+  // registry must stay consistent, and once arming settles every thread must
+  // see the same per-index decision regardless of interleaving.
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIndices = 32;
+  // Armed before the readers start; the concurrent Configure calls below
+  // re-install the identical spec, so every sweep sees the same rule.
+  ASSERT_TRUE(
+      Failpoints::Global().Configure("fleet.shard.run=fail@7", 3).ok());
+  std::vector<std::thread> workers;
+  std::vector<std::string> patterns(kThreads, std::string(kIndices, '.'));
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &patterns] {
+      for (int round = 0; round < 50; ++round) {
+        for (uint64_t i = 1; i <= kIndices; ++i) {
+          Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, i);
+        }
+      }
+      // Final sweep after arming has settled: record the decisions.
+      for (uint64_t i = 1; i <= kIndices; ++i) {
+        if (Failpoints::Global().EvaluateAt(kFailpointFleetShardRun, i) ==
+            FailpointAction::kFail) {
+          patterns[t][i - 1] = 'F';
+        }
+      }
+    });
+  }
+  // Re-arm the same spec repeatedly while the readers run.
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(
+        Failpoints::Global().Configure("fleet.shard.run=fail@7", 3).ok());
+  }
+  for (auto& w : workers) w.join();
+  const std::string expected = [] {
+    std::string p(kIndices, '.');
+    std::fill(p.begin() + 6, p.end(), 'F');
+    return p;
+  }();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(patterns[t], expected) << "thread " << t;
+  }
 }
 
 TEST_F(FailpointTest, ConfigureFromEnvReadsSpecAndSeed) {

@@ -1,0 +1,336 @@
+// Fleet execution unit tests (DESIGN.md §15): shard planning, checkpoint
+// encode/decode with torn/stale rejection, checkpoint-dir lock hygiene, and
+// the deterministic merge — the report must be byte-identical across shard
+// counts and thread counts.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/checkpoint.h"
+#include "fleet/orchestrator.h"
+#include "fleet/shard.h"
+#include "simgen/fleet.h"
+#include "storage/homets_format.h"
+
+namespace homets {
+namespace {
+
+using fleet::FleetInputs;
+using fleet::GatewaySummary;
+using fleet::ShardPlan;
+using fleet::ShardResult;
+
+// A fresh per-test directory under the gtest temp root; tests run as
+// separate ctest processes, so names must not collide across binaries.
+// TempDir() outlives the process, so scrub leftovers from a previous run —
+// stale checkpoints or LOCK files would change resume/lock outcomes.
+std::string MakeTestDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/fleet_" + name;
+  std::filesystem::remove_all(dir);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+// A small synthetic fleet on disk as one out-of-core .homets file.
+std::string WriteSmallFleet(const std::string& dir, int gateways = 6,
+                            int weeks = 2) {
+  simgen::SimConfig config;
+  config.n_gateways = gateways;
+  config.weeks = weeks;
+  config.surveyed_gateways = std::min(config.surveyed_gateways, gateways);
+  const std::string path = dir + "/fleet.homets";
+  simgen::FleetGenerator generator(config);
+  const auto stats = storage::WriteFleetHomets(generator, path);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return path;
+}
+
+ShardResult MakeShardResult() {
+  ShardResult result;
+  result.plan = ShardPlan{3, 4, 6};
+  GatewaySummary a;
+  a.gateway_id = 4;
+  a.eligible = true;
+  a.devices_observed = 5;
+  a.dominant_count = 2;
+  a.min_residents = 3;
+  a.weekly_stationary = true;
+  a.quietest_slot = 1;
+  a.evening_share = 0.37519;
+  a.tau_small = 3;
+  a.tau_medium = 1;
+  a.tau_large = 1;
+  a.daily_windows = 14;
+  a.daily_motifs = 4;
+  GatewaySummary b;
+  b.gateway_id = 5;
+  b.eligible = false;
+  b.quietest_slot = -1;
+  result.gateways = {a, b};
+  result.zipf_bins.assign(fleet::kZipfBins, 0);
+  result.zipf_bins[17] = 42;
+  result.zipf_bins[90] = 7;
+  result.values_binned = 49;
+  return result;
+}
+
+bool SameSummary(const GatewaySummary& x, const GatewaySummary& y) {
+  return x.gateway_id == y.gateway_id && x.eligible == y.eligible &&
+         x.devices_observed == y.devices_observed &&
+         x.dominant_count == y.dominant_count &&
+         x.min_residents == y.min_residents &&
+         x.weekly_stationary == y.weekly_stationary &&
+         x.quietest_slot == y.quietest_slot &&
+         std::memcmp(&x.evening_share, &y.evening_share, sizeof(double)) ==
+             0 &&
+         x.tau_small == y.tau_small && x.tau_medium == y.tau_medium &&
+         x.tau_large == y.tau_large && x.daily_windows == y.daily_windows &&
+         x.daily_motifs == y.daily_motifs;
+}
+
+// --- planner ---------------------------------------------------------------
+
+TEST(ShardPlannerTest, PartitionsContiguouslyAndNearEqually) {
+  const auto plans = fleet::ShardPlanner::Plan(10, 3);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 3u);
+  // First n % s shards carry the remainder.
+  EXPECT_EQ((*plans)[0].begin_gateway, 0);
+  EXPECT_EQ((*plans)[0].end_gateway, 4);
+  EXPECT_EQ((*plans)[1].begin_gateway, 4);
+  EXPECT_EQ((*plans)[1].end_gateway, 7);
+  EXPECT_EQ((*plans)[2].begin_gateway, 7);
+  EXPECT_EQ((*plans)[2].end_gateway, 10);
+  for (int s = 0; s < 3; ++s) EXPECT_EQ((*plans)[s].shard_index, s);
+}
+
+TEST(ShardPlannerTest, MoreShardsThanGatewaysYieldsEmptyShards) {
+  const auto plans = fleet::ShardPlanner::Plan(2, 5);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 5u);
+  EXPECT_EQ((*plans)[0].end_gateway - (*plans)[0].begin_gateway, 1);
+  EXPECT_EQ((*plans)[1].end_gateway - (*plans)[1].begin_gateway, 1);
+  for (size_t s = 2; s < 5; ++s) {
+    EXPECT_EQ((*plans)[s].begin_gateway, (*plans)[s].end_gateway);
+  }
+}
+
+TEST(ShardPlannerTest, RejectsBadArguments) {
+  EXPECT_EQ(fleet::ShardPlanner::Plan(10, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fleet::ShardPlanner::Plan(-1, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ZipfBinTest, MonotoneAndClamped) {
+  EXPECT_EQ(fleet::ZipfBinIndex(1e-300), 0u);
+  EXPECT_EQ(fleet::ZipfBinIndex(1e300), fleet::kZipfBins - 1);
+  size_t last = 0;
+  for (double v = 1e-6; v < 1e9; v *= 3.0) {
+    const size_t bin = fleet::ZipfBinIndex(v);
+    EXPECT_GE(bin, last);
+    EXPECT_LT(bin, fleet::kZipfBins);
+    last = bin;
+  }
+}
+
+// --- checkpoint encode/decode ---------------------------------------------
+
+TEST(CheckpointTest, RoundTripPreservesEveryFieldBitExactly) {
+  const ShardResult original = MakeShardResult();
+  const std::string bytes = fleet::EncodeShardCheckpoint(original, 0xF00Dull);
+  const auto decoded = fleet::DecodeShardCheckpoint(bytes, 0xF00Dull);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->plan.shard_index, original.plan.shard_index);
+  EXPECT_EQ(decoded->plan.begin_gateway, original.plan.begin_gateway);
+  EXPECT_EQ(decoded->plan.end_gateway, original.plan.end_gateway);
+  ASSERT_EQ(decoded->gateways.size(), original.gateways.size());
+  for (size_t i = 0; i < original.gateways.size(); ++i) {
+    EXPECT_TRUE(SameSummary(decoded->gateways[i], original.gateways[i]))
+        << "gateway " << i;
+  }
+  EXPECT_EQ(decoded->zipf_bins, original.zipf_bins);
+  EXPECT_EQ(decoded->values_binned, original.values_binned);
+}
+
+TEST(CheckpointTest, TornBytesAreRejectedAtEveryTruncationPoint) {
+  const std::string bytes =
+      fleet::EncodeShardCheckpoint(MakeShardResult(), 1ull);
+  // Any strict prefix must decode as untrusted — never crash, never
+  // half-parse.
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    const auto torn = fleet::DecodeShardCheckpoint(bytes.substr(0, cut), 1ull);
+    EXPECT_EQ(torn.status().code(), StatusCode::kFailedPrecondition)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CheckpointTest, SingleFlippedByteFailsTheCrc) {
+  const std::string bytes =
+      fleet::EncodeShardCheckpoint(MakeShardResult(), 1ull);
+  for (size_t i = 8; i < bytes.size(); i += 11) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(static_cast<uint8_t>(corrupt[i]) ^ 0x40u);
+    EXPECT_EQ(fleet::DecodeShardCheckpoint(corrupt, 1ull).status().code(),
+              StatusCode::kFailedPrecondition)
+        << "byte " << i;
+  }
+}
+
+TEST(CheckpointTest, StaleFingerprintIsRejected) {
+  const std::string bytes =
+      fleet::EncodeShardCheckpoint(MakeShardResult(), 1ull);
+  const auto stale = fleet::DecodeShardCheckpoint(bytes, 2ull);
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(stale.status().message().find("stale"), std::string::npos);
+}
+
+TEST(CheckpointTest, FileRoundTripAndNotFound) {
+  const std::string dir = MakeTestDir("ckpt_file");
+  const ShardResult original = MakeShardResult();
+  ASSERT_TRUE(fleet::WriteShardCheckpoint(dir, original, 9ull).ok());
+  const auto loaded =
+      fleet::ReadShardCheckpoint(dir, original.plan.shard_index, 9ull);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->values_binned, original.values_binned);
+  EXPECT_EQ(fleet::ReadShardCheckpoint(dir, 1234, 9ull).status().code(),
+            StatusCode::kNotFound);
+  std::remove(fleet::ShardCheckpointPath(dir, 3).c_str());
+}
+
+TEST(CheckpointTest, FingerprintTracksInputsShardsAndFormat) {
+  FleetInputs inputs;
+  inputs.paths = {"a.homets", "b.homets"};
+  inputs.bytes = {100, 200};
+  inputs.gateways = {{0, 0}, {1, 0}};
+  const uint64_t base = fleet::FleetFingerprint(inputs, 4, "homets");
+  EXPECT_EQ(base, fleet::FleetFingerprint(inputs, 4, "homets"));
+  EXPECT_NE(base, fleet::FleetFingerprint(inputs, 5, "homets"));
+  EXPECT_NE(base, fleet::FleetFingerprint(inputs, 4, "csv"));
+  FleetInputs grown = inputs;
+  grown.bytes[1] = 201;  // an input file changed size
+  EXPECT_NE(base, fleet::FleetFingerprint(grown, 4, "homets"));
+  FleetInputs reordered;
+  reordered.paths = {"b.homets", "a.homets"};
+  reordered.bytes = {200, 100};
+  reordered.gateways = inputs.gateways;
+  EXPECT_NE(base, fleet::FleetFingerprint(reordered, 4, "homets"));
+}
+
+// --- LOCK hygiene ----------------------------------------------------------
+
+void WriteLock(const std::string& dir, long long pid) {
+  std::ofstream out(fleet::FleetLockPath(dir), std::ios::trunc);
+  out << pid << " 0000000000000000\n";
+}
+
+TEST(FleetLockTest, RefusesDirectoryOwnedByLiveRun) {
+  const std::string dir = MakeTestDir("lock_live");
+  // pid 1 is always alive; a manifest marks the dir as a real run's.
+  ASSERT_TRUE(fleet::WriteFleetManifest(dir, 7ull, 2, 4).ok());
+  WriteLock(dir, 1);
+  const Status refused = fleet::AcquireFleetLock(dir, 7ull);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(refused.message().find("live run"), std::string::npos);
+  fleet::ReleaseFleetLock(dir);
+}
+
+TEST(FleetLockTest, ReclaimsLockOfDeadProcess) {
+  const std::string dir = MakeTestDir("lock_dead");
+  ASSERT_TRUE(fleet::WriteFleetManifest(dir, 7ull, 2, 4).ok());
+  WriteLock(dir, 999999999);  // far past pid_max: certainly dead
+  EXPECT_TRUE(fleet::AcquireFleetLock(dir, 7ull).ok());
+  fleet::ReleaseFleetLock(dir);
+}
+
+TEST(FleetLockTest, ReclaimsLockWithoutManifest) {
+  // A SIGKILL between LOCK creation and the manifest write leaves exactly
+  // this state; it must never wedge the directory.
+  const std::string dir = MakeTestDir("lock_orphan");
+  std::remove(fleet::FleetManifestPath(dir).c_str());
+  WriteLock(dir, 1);
+  EXPECT_TRUE(fleet::AcquireFleetLock(dir, 7ull).ok());
+  fleet::ReleaseFleetLock(dir);
+}
+
+TEST(FleetLockTest, OwnPidMayReacquire) {
+  const std::string dir = MakeTestDir("lock_self");
+  ASSERT_TRUE(fleet::WriteFleetManifest(dir, 7ull, 2, 4).ok());
+  ASSERT_TRUE(fleet::AcquireFleetLock(dir, 7ull).ok());
+  EXPECT_TRUE(fleet::AcquireFleetLock(dir, 7ull).ok());
+  fleet::ReleaseFleetLock(dir);
+}
+
+// --- orchestrator determinism ---------------------------------------------
+
+TEST(FleetOrchestratorTest, ReportIsIdenticalAcrossShardAndThreadCounts) {
+  const std::string dir = MakeTestDir("merge");
+  const std::string path = WriteSmallFleet(dir);
+  std::string baseline;
+  for (const int shards : {1, 3, 4}) {
+    for (const int threads : {1, 4}) {
+      fleet::FleetOptions options;
+      options.n_shards = shards;
+      options.threads = threads;
+      fleet::FleetOrchestrator orchestrator({path}, options);
+      const auto report = orchestrator.Analyze();
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_FALSE(report->degraded);
+      const std::string formatted = fleet::FormatFleetReport(*report);
+      // Only the shard-count line may differ; the figures must not.
+      const std::string figures = formatted.substr(formatted.find('\n') + 1);
+      if (baseline.empty()) {
+        baseline = figures;
+      } else {
+        EXPECT_EQ(figures, baseline)
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FleetOrchestratorTest, ResumeLoadsCheckpointsWithoutRecomputation) {
+  const std::string dir = MakeTestDir("resume_unit");
+  const std::string path = WriteSmallFleet(dir);
+  const std::string ckpt = dir + "/ckpt";
+  fleet::FleetOptions options;
+  options.n_shards = 3;
+  options.checkpoint_dir = ckpt;
+  fleet::FleetOrchestrator first({path}, options);
+  const auto complete = first.Analyze();
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_EQ(complete->shards_resumed, 0u);
+
+  options.resume = true;
+  fleet::FleetOrchestrator second({path}, options);
+  const auto resumed = second.Analyze();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->shards_resumed, 3u);
+  EXPECT_EQ(resumed->checkpoints_discarded, 0u);
+  EXPECT_EQ(fleet::FormatFleetReport(*resumed),
+            fleet::FormatFleetReport(*complete));
+  std::remove(path.c_str());
+}
+
+TEST(FleetOrchestratorTest, EnumerateRejectsMissingAndEmptyInputs) {
+  io::DatasetOptions options;
+  EXPECT_EQ(fleet::EnumerateFleetInputs({}, options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fleet::EnumerateFleetInputs({"/nonexistent/x.homets"}, options)
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace homets

@@ -7,6 +7,10 @@
 //   homets_cli profile TRACE
 //   homets_cli motifs [--period daily|weekly] TRACE [TRACE ...]
 //   homets_cli stream [--period daily|weekly] [--horizon N] TRACE [...]
+//   homets_cli analyze [--shards N] [--threads N] [--checkpoint-dir DIR]
+//                      [--resume] [--shard-attempts N]
+//                      [--shard-backoff-ms MS] [--shard-deadline-ms MS]
+//                      [--fail-fast] TRACE [TRACE ...]
 //
 // TRACE arguments are read through DatasetReader: `.homets` files decode as
 // the binary columnar format (DESIGN.md §11), anything else as the
@@ -75,6 +79,7 @@
 #include "core/profiling.h"
 #include "core/stationarity.h"
 #include "core/streaming.h"
+#include "fleet/orchestrator.h"
 #include "io/dataset.h"
 #include "io/table.h"
 #include "obs/flusher.h"
@@ -100,6 +105,12 @@ int Usage() {
          "  homets_cli profile TRACE\n"
          "  homets_cli motifs [--period daily|weekly] TRACE [...]\n"
          "  homets_cli stream [--period daily|weekly] [--horizon N] "
+         "TRACE [...]\n"
+         "  homets_cli analyze [--shards N] [--threads N] "
+         "[--checkpoint-dir DIR]\n"
+         "                     [--resume] [--shard-attempts N] "
+         "[--shard-backoff-ms MS]\n"
+         "                     [--shard-deadline-ms MS] [--fail-fast] "
          "TRACE [...]\n"
          "common flags (all subcommands):\n"
          "  --metrics-out FILE   write end-of-run metrics as JSON\n"
@@ -136,7 +147,8 @@ const std::set<std::string> kObsFlags = {
     "prof",         "prof-out"};
 
 // Flags that take no value (bare `--progress`; `--progress=0` still parses).
-const std::set<std::string> kBoolFlags = {"progress", "prof"};
+const std::set<std::string> kBoolFlags = {"progress", "prof", "resume",
+                                          "fail-fast"};
 
 std::set<std::string> WithObsFlags(std::set<std::string> flags) {
   flags.insert(kObsFlags.begin(), kObsFlags.end());
@@ -609,6 +621,65 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
+// Sharded fleet analysis (DESIGN.md §15): partitions the gateways of the
+// TRACE arguments into --shards contiguous shards, runs each shard's
+// per-gateway pipeline on the thread pool under retry/deadline machinery,
+// checkpoints completed shards under --checkpoint-dir (resumable with
+// --resume after a crash or kill), quarantines poison shards, and merges
+// everything into one deterministic fleet report on stdout.
+int RunAnalyze(const ParsedArgs& args,
+               const io::DatasetOptions& dataset_options) {
+  if (args.positional.empty()) {
+    std::cerr << "analyze: at least one TRACE expected\n";
+    return 2;
+  }
+  int64_t shards = 0, threads = 0, attempts = 0, backoff_ms = 0,
+          deadline_ms = 0;
+  if (FlagIntOr(args, "shards", 1, &shards) != 0) return 2;
+  if (FlagIntOr(args, "threads", 0, &threads) != 0) return 2;
+  if (FlagIntOr(args, "shard-attempts", 3, &attempts) != 0) return 2;
+  if (FlagIntOr(args, "shard-backoff-ms", 0, &backoff_ms) != 0) return 2;
+  if (FlagIntOr(args, "shard-deadline-ms", 0, &deadline_ms) != 0) return 2;
+  if (shards < 1 || attempts < 1 || threads < 0 || backoff_ms < 0 ||
+      deadline_ms < 0) {
+    std::cerr << "analyze: --shards and --shard-attempts must be >= 1; "
+                 "--threads, --shard-backoff-ms and --shard-deadline-ms "
+                 "must be >= 0\n";
+    return 2;
+  }
+  fleet::FleetOptions options;
+  options.dataset = dataset_options;
+  options.n_shards = static_cast<int>(shards);
+  options.threads = static_cast<int>(threads);
+  options.max_attempts = static_cast<int>(attempts);
+  options.retry_backoff_ms = static_cast<double>(backoff_ms);
+  options.shard_deadline_ms = static_cast<double>(deadline_ms);
+  options.checkpoint_dir = args.GetString("checkpoint-dir");
+  options.resume = args.Has("resume") && args.GetString("resume") != "0";
+  options.quarantine =
+      !(args.Has("fail-fast") && args.GetString("fail-fast") != "0");
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::cerr << "analyze: --resume requires --checkpoint-dir\n";
+    return 2;
+  }
+  obs::ScopedSpan span("cli.analyze");
+  obs::RunManifestBuilder::StageTimer stage(g_manifest, "analyze");
+  stage.set_units(static_cast<uint64_t>(shards));
+  fleet::FleetOrchestrator orchestrator(args.positional, options);
+  const auto report = orchestrator.Analyze();
+  if (!report.ok()) return FailWith("analyze failed", report.status());
+  if (g_manifest != nullptr) {
+    for (const auto& shard : report->quarantined) {
+      g_manifest->AddQuarantinedShard(shard.shard_index, shard.status,
+                                      shard.attempts);
+    }
+  }
+  std::cout << fleet::FormatFleetReport(*report);
+  // Degraded runs still exit 0 — the report and manifest carry the
+  // quarantine record; fail-fast runs never get here on a shard failure.
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -626,6 +697,11 @@ int main(int argc, char** argv) {
     known_flags = WithObsFlags({"period"});
   } else if (command == "stream") {
     known_flags = WithObsFlags({"period", "horizon"});
+  } else if (command == "analyze") {
+    known_flags = WithObsFlags({"shards", "threads", "checkpoint-dir",
+                                "resume", "shard-attempts",
+                                "shard-backoff-ms", "shard-deadline-ms",
+                                "fail-fast"});
   } else {
     return Usage();
   }
@@ -799,6 +875,7 @@ int main(int argc, char** argv) {
   if (command == "profile") rc = RunProfile(args, *dataset_options);
   if (command == "motifs") rc = RunMotifs(args, *dataset_options);
   if (command == "stream") rc = RunStream(args, *dataset_options);
+  if (command == "analyze") rc = RunAnalyze(args, *dataset_options);
 
   if (progress_on) {
     progress_tracker.StopHeartbeat();  // emits one final heartbeat
