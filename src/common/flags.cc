@@ -51,7 +51,10 @@ Result<ParsedArgs> ParseFlags(const std::vector<std::string>& args,
     }
     if (!has_value) {
       if (bool_flags.count(name) > 0) {
-        value = "1";
+        // assign(count, char) rather than operator=(const char*): GCC 12's
+        // -Wrestrict misfires on the latter after the substr above and the
+        // werror gate treats it as an error.
+        value.assign(1, '1');
       } else {
         if (i + 1 >= args.size()) {
           return Status::InvalidArgument("flag --" + name +

@@ -1,11 +1,13 @@
 #include "fleet/checkpoint.h"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -90,9 +92,14 @@ uint64_t FleetFingerprint(const FleetInputs& inputs, int n_shards,
   canonical += ";format=" + std::string(format_name);
   canonical += ";gateways=" + StrFormat("%zu", inputs.gateways.size());
   for (size_t i = 0; i < inputs.paths.size(); ++i) {
+    // Size alone misses an in-place edit that keeps the byte count; mtime
+    // makes such a checkpoint stale instead of silently accepted.
+    const uint64_t mtime =
+        i < inputs.mtime_ns.size() ? inputs.mtime_ns[i] : 0;
     canonical += ";input=" + inputs.paths[i] + ":" +
-                 StrFormat("%llu",
-                           static_cast<unsigned long long>(inputs.bytes[i]));
+                 StrFormat("%llu@%llu",
+                           static_cast<unsigned long long>(inputs.bytes[i]),
+                           static_cast<unsigned long long>(mtime));
   }
   return Fnv1a(canonical);
 }
@@ -286,6 +293,30 @@ std::string FleetManifestPath(const std::string& dir) {
   return dir + "/fleet_manifest.json";
 }
 
+namespace {
+
+/// Start time of `pid` in clock ticks since boot (field 22 of
+/// /proc/<pid>/stat), or 0 when unavailable (non-Linux, proc gone). Two
+/// processes that reuse a pid get different start ticks, so recording this
+/// beside the pid in the LOCK detects pid recycling.
+uint64_t ProcStartTicks(long long pid) {
+  const auto content =
+      ReadFileBytes(StrFormat("/proc/%lld/stat", pid));
+  if (!content.ok()) return 0;
+  // comm (field 2) may hold spaces; everything after its closing paren is
+  // plain space-separated fields, starting at field 3.
+  const size_t close = content->rfind(')');
+  if (close == std::string::npos) return 0;
+  std::istringstream fields(content->substr(close + 1));
+  std::string token;
+  for (int field = 3; field <= 22; ++field) {
+    if (!(fields >> token)) return 0;
+  }
+  return std::strtoull(token.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
 Status AcquireFleetLock(const std::string& dir, uint64_t fingerprint) {
   static obs::Counter* const reclaimed =
       obs::MetricsRegistry::Global().GetCounter(obs::kFleetLocksReclaimed);
@@ -294,13 +325,45 @@ Status AcquireFleetLock(const std::string& dir, uint64_t fingerprint) {
                            "'");
   }
   const std::string lock_path = FleetLockPath(dir);
-  const auto existing = ReadFileBytes(lock_path);
-  if (existing.ok()) {
+  // O_CREAT|O_EXCL makes creation atomic: two racing runs cannot both pass
+  // a read-then-write staleness check, only one open() can win. The loop
+  // allows exactly one reclaim of a lock judged stale; if someone else
+  // recreates the lock in that window, the second O_EXCL loses and we
+  // refuse rather than spin.
+  for (int acquire_attempt = 0; acquire_attempt < 2; ++acquire_attempt) {
+    const int fd =
+        ::open(lock_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const long long self = static_cast<long long>(::getpid());
+      const std::string body = StrFormat(
+          "%lld %016llx %llu\n", self,
+          static_cast<unsigned long long>(fingerprint),
+          static_cast<unsigned long long>(ProcStartTicks(self)));
+      const ssize_t written = ::write(fd, body.data(), body.size());
+      ::close(fd);
+      if (written != static_cast<ssize_t>(body.size())) {
+        std::remove(lock_path.c_str());
+        return Status::IoError("fleet: short write to '" + lock_path + "'");
+      }
+      return Status::OK();
+    }
+    if (errno != EEXIST) {
+      return Status::IoError("fleet: cannot create '" + lock_path + "'");
+    }
+    const auto existing = ReadFileBytes(lock_path);
+    if (!existing.ok()) continue;  // vanished under us — retry the open
     long long pid = 0;
-    std::sscanf(existing->c_str(), "%lld", &pid);
-    const bool pid_alive =
+    unsigned long long start_ticks = 0;  // absent in pre-token locks
+    std::sscanf(existing->c_str(), "%lld %*s %llu", &pid, &start_ticks);
+    bool pid_alive =
         pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 ||
                     errno == EPERM);
+    if (pid_alive && start_ticks != 0) {
+      const uint64_t current = ProcStartTicks(pid);
+      // A live process with a different start time recycled the pid; the
+      // lock's owner is gone. Unknown (0) stays conservative: alive.
+      if (current != 0 && current != start_ticks) pid_alive = false;
+    }
     struct stat st = {};
     const bool has_manifest = ::stat(FleetManifestPath(dir).c_str(), &st) == 0;
     if (pid_alive && has_manifest &&
@@ -316,11 +379,10 @@ Status AcquireFleetLock(const std::string& dir, uint64_t fingerprint) {
                   obs::LogField::Bool("pid_alive", pid_alive),
                   obs::LogField::Bool("has_manifest", has_manifest)});
     reclaimed->Increment();
+    std::remove(lock_path.c_str());
   }
-  const std::string body =
-      StrFormat("%lld %016llx\n", static_cast<long long>(::getpid()),
-                static_cast<unsigned long long>(fingerprint));
-  return WriteFileBytes(lock_path, body);
+  return Status::FailedPrecondition(
+      "fleet: lost the race for '" + lock_path + "'; another run took it");
 }
 
 void ReleaseFleetLock(const std::string& dir) {

@@ -28,8 +28,10 @@ namespace homets::fleet {
 inline constexpr uint64_t kCheckpointSchemaVersion = 1;
 
 /// \brief FNV-1a 64-bit fingerprint of everything that must match for a
-/// checkpoint to be reusable: input paths with sizes and order, the shard
-/// layout, the dataset format policy, and the checkpoint schema version.
+/// checkpoint to be reusable: input paths with sizes, mtimes and order, the
+/// shard layout, the dataset format policy, and the checkpoint schema
+/// version. The mtime catches an input edited in place without changing
+/// size, which size alone would wave through.
 uint64_t FleetFingerprint(const FleetInputs& inputs, int n_shards,
                           std::string_view format_name);
 
@@ -63,12 +65,16 @@ Result<ShardResult> ReadShardCheckpoint(const std::string& dir,
 std::string FleetLockPath(const std::string& dir);
 std::string FleetManifestPath(const std::string& dir);
 
-/// \brief Creates `dir` (one level) if needed and takes its LOCK sentinel.
+/// \brief Creates `dir` (one level) if needed and takes its LOCK sentinel
+/// atomically (open with O_CREAT|O_EXCL, so two racing runs cannot both
+/// win; the loser inspects the existing lock instead).
 ///
 /// An existing LOCK is honoured only when it plausibly belongs to a live
-/// run: its pid is alive AND the directory still carries a fleet manifest.
-/// Anything else (dead pid, no manifest — e.g. a SIGKILLed run) is a stale
-/// lock, reclaimed with a logged warning. Refusal is FailedPrecondition.
+/// run: its pid is alive (with the recorded /proc start-time token, when
+/// present, ruling out a recycled pid) AND the directory still carries a
+/// fleet manifest. Anything else (dead pid, no manifest — e.g. a SIGKILLed
+/// run) is a stale lock, reclaimed with a logged warning. Refusal is
+/// FailedPrecondition.
 Status AcquireFleetLock(const std::string& dir, uint64_t fingerprint);
 
 /// Removes the LOCK sentinel (no-op if missing).

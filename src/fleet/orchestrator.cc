@@ -98,22 +98,29 @@ Result<FleetReport> FleetOrchestrator::Analyze(CancellationToken* cancel) {
     HOMETS_RETURN_IF_ERROR(
         AcquireFleetLock(options_.checkpoint_dir, fingerprint));
     locked_dir = options_.checkpoint_dir;
+  }
+  // The guard exists from the instant the lock is held, so every exit path
+  // below — including a failed manifest write — releases the LOCK.
+  FleetLockGuard lock_guard(locked_dir);
+  if (checkpointing) {
     HOMETS_RETURN_IF_ERROR(WriteFleetManifest(
         options_.checkpoint_dir, fingerprint, options_.n_shards,
         report.n_gateways));
   }
-  FleetLockGuard lock_guard(locked_dir);
 
   // Phase 1: load whatever valid checkpoints the directory holds.
+  // `done` is vector<char>, not vector<bool>: workers set distinct slots
+  // concurrently in Phase 2, and vector<bool>'s bit-packing would make
+  // those writes race on shared words.
   std::vector<ShardResult> results(plans.size());
-  std::vector<bool> done(plans.size(), false);
+  std::vector<char> done(plans.size(), 0);
   if (checkpointing && options_.resume) {
     for (size_t s = 0; s < plans.size(); ++s) {
       auto loaded = ReadShardCheckpoint(options_.checkpoint_dir,
                                         plans[s].shard_index, fingerprint);
       if (loaded.ok()) {
         results[s] = std::move(*loaded);
-        done[s] = true;
+        done[s] = 1;
         Metrics().checkpoints_loaded->Increment();
         Metrics().shards_resumed->Increment();
         ++report.shards_resumed;
@@ -154,7 +161,10 @@ Result<FleetReport> FleetOrchestrator::Analyze(CancellationToken* cancel) {
             if (attempt > 1) {
               Metrics().shard_retries->Increment();
               if (options_.retry_backoff_ms > 0.0) {
-                const double factor = static_cast<double>(1 << (attempt - 2));
+                // Cap the doubling exponent: --shard-attempts is unbounded
+                // and a shift past 63 would be UB (and the sleep absurd).
+                const double factor = static_cast<double>(
+                    1ull << std::min(attempt - 2, 20));
                 std::this_thread::sleep_for(
                     std::chrono::duration<double, std::milli>(
                         options_.retry_backoff_ms * factor));
@@ -182,7 +192,7 @@ Result<FleetReport> FleetOrchestrator::Analyze(CancellationToken* cancel) {
               }
               if (persisted.ok()) {
                 results[slot] = std::move(*result);
-                done[slot] = true;
+                done[slot] = 1;
                 Metrics().shards_run->Increment();
                 last = Status::OK();
                 break;

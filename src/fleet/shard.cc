@@ -104,12 +104,16 @@ Result<FleetInputs> EnumerateFleetInputs(
   FleetInputs inputs;
   inputs.paths = paths;
   inputs.bytes.reserve(paths.size());
+  inputs.mtime_ns.reserve(paths.size());
   for (size_t i = 0; i < paths.size(); ++i) {
     struct stat st = {};
     if (::stat(paths[i].c_str(), &st) != 0) {
       return Status::IoError("fleet: cannot stat '" + paths[i] + "'");
     }
     inputs.bytes.push_back(static_cast<uint64_t>(st.st_size));
+    inputs.mtime_ns.push_back(
+        static_cast<uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+        static_cast<uint64_t>(st.st_mtim.tv_nsec));
     HOMETS_ASSIGN_OR_RETURN(auto reader,
                             io::DatasetReader::Open(paths[i], options));
     for (size_t g = 0; g < reader.gateway_count(); ++g) {

@@ -44,11 +44,12 @@ struct GatewaySourceRef {
 };
 
 /// \brief The resolved input set of a fleet run: every path with its size
-/// (for the resume fingerprint) and the global gateway order (inputs in
-/// command-line order, gateways in file order within each input).
+/// and mtime (for the resume fingerprint) and the global gateway order
+/// (inputs in command-line order, gateways in file order within each input).
 struct FleetInputs {
   std::vector<std::string> paths;
   std::vector<uint64_t> bytes;
+  std::vector<uint64_t> mtime_ns;  ///< parallel to paths; ns since epoch
   std::vector<GatewaySourceRef> gateways;
 };
 

@@ -4,6 +4,7 @@
 // counts and thread counts.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -211,6 +212,7 @@ TEST(CheckpointTest, FingerprintTracksInputsShardsAndFormat) {
   FleetInputs inputs;
   inputs.paths = {"a.homets", "b.homets"};
   inputs.bytes = {100, 200};
+  inputs.mtime_ns = {1000, 2000};
   inputs.gateways = {{0, 0}, {1, 0}};
   const uint64_t base = fleet::FleetFingerprint(inputs, 4, "homets");
   EXPECT_EQ(base, fleet::FleetFingerprint(inputs, 4, "homets"));
@@ -219,11 +221,57 @@ TEST(CheckpointTest, FingerprintTracksInputsShardsAndFormat) {
   FleetInputs grown = inputs;
   grown.bytes[1] = 201;  // an input file changed size
   EXPECT_NE(base, fleet::FleetFingerprint(grown, 4, "homets"));
+  FleetInputs touched = inputs;
+  touched.mtime_ns[1] = 2001;  // same size, edited in place
+  EXPECT_NE(base, fleet::FleetFingerprint(touched, 4, "homets"));
   FleetInputs reordered;
   reordered.paths = {"b.homets", "a.homets"};
   reordered.bytes = {200, 100};
+  reordered.mtime_ns = {2000, 1000};
   reordered.gateways = inputs.gateways;
   EXPECT_NE(base, fleet::FleetFingerprint(reordered, 4, "homets"));
+}
+
+TEST(CheckpointTest, InPlaceEditWithSameSizeInvalidatesResume) {
+  // The fingerprint must flip when an input is rewritten without changing
+  // its byte count — otherwise --resume silently merges stale checkpoints.
+  const std::string dir = MakeTestDir("mtime_edit");
+  const std::string path = dir + "/input.bin";
+  const std::string ckpt = dir + "/ckpt";
+  ::mkdir(ckpt.c_str(), 0755);
+  std::ofstream(path, std::ios::trunc) << "AAAAAAAA";
+  struct stat st = {};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  FleetInputs before;
+  before.paths = {path};
+  before.bytes = {static_cast<uint64_t>(st.st_size)};
+  before.mtime_ns = {static_cast<uint64_t>(st.st_mtim.tv_sec) *
+                         1000000000ull +
+                     static_cast<uint64_t>(st.st_mtim.tv_nsec)};
+  before.gateways = {{0, 0}};
+  const uint64_t fp_before = fleet::FleetFingerprint(before, 2, "homets");
+
+  // Rewrite the same number of bytes, then bump mtime explicitly so the
+  // test does not depend on filesystem timestamp granularity.
+  std::ofstream(path, std::ios::trunc) << "BBBBBBBB";
+  struct timespec times[2] = {{st.st_atim.tv_sec, st.st_atim.tv_nsec},
+                              {st.st_mtim.tv_sec + 1, st.st_mtim.tv_nsec}};
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+  struct stat st_after = {};
+  ASSERT_EQ(::stat(path.c_str(), &st_after), 0);
+  ASSERT_EQ(st_after.st_size, st.st_size);
+  FleetInputs after = before;
+  after.mtime_ns = {static_cast<uint64_t>(st_after.st_mtim.tv_sec) *
+                        1000000000ull +
+                    static_cast<uint64_t>(st_after.st_mtim.tv_nsec)};
+  const uint64_t fp_after = fleet::FleetFingerprint(after, 2, "homets");
+  EXPECT_NE(fp_before, fp_after);
+
+  // A checkpoint written under the old fingerprint reads back as stale.
+  ASSERT_TRUE(
+      fleet::WriteShardCheckpoint(ckpt, MakeShardResult(), fp_before).ok());
+  const auto reloaded = fleet::ReadShardCheckpoint(ckpt, 3, fp_after);
+  EXPECT_EQ(reloaded.status().code(), StatusCode::kFailedPrecondition);
 }
 
 // --- LOCK hygiene ----------------------------------------------------------
@@ -268,6 +316,29 @@ TEST(FleetLockTest, OwnPidMayReacquire) {
   ASSERT_TRUE(fleet::AcquireFleetLock(dir, 7ull).ok());
   EXPECT_TRUE(fleet::AcquireFleetLock(dir, 7ull).ok());
   fleet::ReleaseFleetLock(dir);
+}
+
+TEST(FleetLockTest, ReclaimsLockOfRecycledPid) {
+  // pid 1 is alive, but the recorded start-time token cannot match any real
+  // process: the original lock owner died and the pid was recycled, so the
+  // lock is stale despite the live pid.
+  const std::string dir = MakeTestDir("lock_recycled");
+  ASSERT_TRUE(fleet::WriteFleetManifest(dir, 7ull, 2, 4).ok());
+  std::ofstream(fleet::FleetLockPath(dir), std::ios::trunc)
+      << "1 0000000000000000 18446744073709551615\n";
+  EXPECT_TRUE(fleet::AcquireFleetLock(dir, 7ull).ok());
+  fleet::ReleaseFleetLock(dir);
+}
+
+TEST(FleetLockTest, BoundedAcquireLoopRefusesPersistentRacer) {
+  // A dangling symlink makes every O_CREAT|O_EXCL fail with EEXIST while
+  // the read-back finds nothing — the shape of a racer that keeps
+  // recreating the LOCK. The bounded loop must refuse, not spin or clobber.
+  const std::string dir = MakeTestDir("lock_race");
+  ASSERT_EQ(::symlink("nonexistent", fleet::FleetLockPath(dir).c_str()), 0);
+  const Status lost = fleet::AcquireFleetLock(dir, 7ull);
+  EXPECT_EQ(lost.code(), StatusCode::kFailedPrecondition);
+  std::remove(fleet::FleetLockPath(dir).c_str());
 }
 
 // --- orchestrator determinism ---------------------------------------------
